@@ -1,0 +1,261 @@
+// Ablation: costs of the primitives every experiment rests on — hashes,
+// HMAC, symmetric ciphers, RSA by key size, Shamir sharing, evidence
+// construction, and the Merkle tree's parallel speedup. §6 lists "security
+// algorithm" among the performance factors it defers; this bench supplies
+// those numbers for our implementation.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench_util.h"
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/hash.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/rsa.h"
+#include "crypto/shamir.h"
+#include "nr/evidence.h"
+
+namespace {
+
+using namespace tpnr;  // NOLINT(google-build-using-namespace)
+
+void BM_Hash(benchmark::State& state) {
+  const auto kind = static_cast<crypto::HashKind>(state.range(0));
+  crypto::Drbg rng(std::uint64_t{1});
+  const common::Bytes data = rng.bytes(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::digest(kind, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+  state.SetLabel(crypto::hash_name(kind));
+}
+BENCHMARK(BM_Hash)
+    ->Args({static_cast<int>(crypto::HashKind::kMd5), 1 << 16})
+    ->Args({static_cast<int>(crypto::HashKind::kSha1), 1 << 16})
+    ->Args({static_cast<int>(crypto::HashKind::kSha256), 1 << 16})
+    ->Args({static_cast<int>(crypto::HashKind::kSha512), 1 << 16})
+    ->Args({static_cast<int>(crypto::HashKind::kMd5), 1 << 20})
+    ->Args({static_cast<int>(crypto::HashKind::kSha256), 1 << 20});
+
+void BM_HmacSha256(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{2});
+  const common::Bytes key = rng.bytes(32);
+  const common::Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Range(1 << 8, 1 << 20);
+
+void BM_AesCtr(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{3});
+  const common::Bytes key = rng.bytes(32);
+  const common::Bytes nonce = rng.bytes(12);
+  common::Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::AesCtr ctr(key, nonce);
+    ctr.apply(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Range(1 << 10, 1 << 20);
+
+void BM_ChaCha20(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{4});
+  const common::Bytes key = rng.bytes(32);
+  const common::Bytes nonce = rng.bytes(12);
+  common::Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::ChaCha20 cipher(key, nonce);
+    cipher.apply(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Range(1 << 10, 1 << 20);
+
+void BM_AeadSealOpen(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{5});
+  const crypto::Aead aead(rng.bytes(32));
+  const common::Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto sealed = aead.seal(data, {}, rng);
+    benchmark::DoNotOptimize(aead.open(sealed, {}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * state.range(0));
+}
+BENCHMARK(BM_AeadSealOpen)->Range(1 << 10, 1 << 20);
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto& id = bench::identity(
+      "rsa-" + std::to_string(state.range(0)),
+      static_cast<std::size_t>(state.range(0)));
+  crypto::Drbg rng(std::uint64_t{6});
+  const common::Bytes message = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(
+        id.private_key(), crypto::HashKind::kSha256, message));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-bit");
+}
+BENCHMARK(BM_RsaSign)->Arg(1024)->Arg(1536)->Arg(2048);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& id = bench::identity(
+      "rsa-" + std::to_string(state.range(0)),
+      static_cast<std::size_t>(state.range(0)));
+  crypto::Drbg rng(std::uint64_t{7});
+  const common::Bytes message = rng.bytes(256);
+  const common::Bytes signature =
+      crypto::rsa_sign(id.private_key(), crypto::HashKind::kSha256, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(
+        id.public_key(), crypto::HashKind::kSha256, message, signature));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-bit");
+}
+BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(1536)->Arg(2048);
+
+void BM_RsaHybridEncryptDecrypt(benchmark::State& state) {
+  const auto& id = bench::identity("rsa-1024", 1024);
+  crypto::Drbg rng(std::uint64_t{8});
+  const common::Bytes payload =
+      rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto ct = crypto::rsa_encrypt(id.public_key(), payload, rng);
+    benchmark::DoNotOptimize(crypto::rsa_decrypt(id.private_key(), ct));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RsaHybridEncryptDecrypt)->Range(1 << 8, 1 << 16);
+
+void BM_ShamirSplit(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{9});
+  const common::Bytes secret = rng.bytes(32);
+  const int shares = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::shamir_split(secret, (shares + 1) / 2, shares, rng));
+  }
+  state.SetLabel(std::to_string((shares + 1) / 2) + "-of-" +
+                 std::to_string(shares));
+}
+BENCHMARK(BM_ShamirSplit)->Arg(2)->Arg(5)->Arg(16)->Arg(64);
+
+void BM_ShamirCombine(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{10});
+  const common::Bytes secret = rng.bytes(32);
+  const int shares = static_cast<int>(state.range(0));
+  const auto all = crypto::shamir_split(secret, shares, shares, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::shamir_combine(all));
+  }
+}
+BENCHMARK(BM_ShamirCombine)->Arg(2)->Arg(5)->Arg(16);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{11});
+  const common::Bytes data = rng.bytes(8 << 20);  // 8 MiB
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    crypto::MerkleTree tree(data, 4096, crypto::HashKind::kSha256, threads);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_MerkleBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_MerkleProofVerify(benchmark::State& state) {
+  crypto::Drbg rng(std::uint64_t{12});
+  const common::Bytes data = rng.bytes(1 << 20);
+  crypto::MerkleTree tree(data, 4096);
+  const auto proof = tree.prove(100);
+  const auto chunk = common::BytesView(data).subspan(100 * 4096, 4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::MerkleTree::verify(chunk, proof, tree.root()));
+  }
+}
+BENCHMARK(BM_MerkleProofVerify);
+
+void BM_EvidenceMake(benchmark::State& state) {
+  const auto& alice = bench::identity("alice");
+  const auto& bob = bench::identity("bob");
+  crypto::Drbg rng(std::uint64_t{13});
+  nr::MessageHeader header;
+  header.sender = "alice";
+  header.recipient = "bob";
+  header.txn_id = "txn-1";
+  header.seq_no = 1;
+  header.nonce = rng.bytes(16);
+  header.data_hash = crypto::sha256(rng.bytes(4096));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nr::make_evidence(alice, bob.public_key(), header, rng));
+  }
+}
+BENCHMARK(BM_EvidenceMake);
+
+void BM_EvidenceOpen(benchmark::State& state) {
+  const auto& alice = bench::identity("alice");
+  const auto& bob = bench::identity("bob");
+  crypto::Drbg rng(std::uint64_t{14});
+  nr::MessageHeader header;
+  header.sender = "alice";
+  header.recipient = "bob";
+  header.txn_id = "txn-1";
+  header.seq_no = 1;
+  header.nonce = rng.bytes(16);
+  header.data_hash = crypto::sha256(rng.bytes(4096));
+  const auto evidence =
+      nr::make_evidence(alice, bob.public_key(), header, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nr::open_evidence(bob, alice.public_key(), header, evidence));
+  }
+}
+BENCHMARK(BM_EvidenceOpen);
+
+void print_merkle_speedup() {
+  crypto::Drbg rng(std::uint64_t{15});
+  const common::Bytes data = rng.bytes(16 << 20);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"threads", "build time (ms)", "speedup"});
+  double base_ms = 0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    crypto::MerkleTree tree(data, 4096, crypto::HashKind::kSha256, threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (threads == 1) base_ms = ms;
+    rows.push_back({std::to_string(threads), bench::fmt(ms),
+                    bench::fmt(base_ms / ms) + "x"});
+    benchmark::DoNotOptimize(tree.root());
+  }
+  bench::print_table("Merkle tree parallel leaf hashing (16 MiB, 4 KiB chunks)",
+                     rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_merkle_speedup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// §3: the four bridging solutions compared — messages, TAC messages, bytes,
+// signatures, verifications, SKS operations per uploading session, plus
+// wall-time benchmarks for upload / download / dispute under each scheme.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "bridge/scheme.h"
+#include "crypto/hash.h"
+#include "providers/azure_rest.h"
+
+namespace {
+
+using namespace tpnr;  // NOLINT(google-build-using-namespace)
+using bridge::SchemeKind;
+
+struct SchemeWorld {
+  explicit SchemeWorld(SchemeKind kind)
+      : rng(std::uint64_t{0x5ec3}),
+        platform(clock),
+        user(const_cast<pki::Identity&>(bench::identity("alice"))),
+        provider(const_cast<pki::Identity&>(bench::identity("provider"))),
+        tac(const_cast<pki::Identity&>(bench::identity("tac"))) {
+    platform.create_account("alice", rng);
+    scheme = bridge::make_scheme(kind, user, provider, platform, rng, &tac);
+  }
+
+  common::SimClock clock;
+  crypto::Drbg rng;
+  providers::AzureRestService platform;
+  pki::Identity& user;
+  pki::Identity& provider;
+  pki::Identity& tac;
+  std::unique_ptr<bridge::BridgingScheme> scheme;
+};
+
+const std::vector<SchemeKind>& all_schemes() {
+  static const std::vector<SchemeKind> kinds = {
+      SchemeKind::kPlain, SchemeKind::kSks, SchemeKind::kTac,
+      SchemeKind::kTacSks};
+  return kinds;
+}
+
+void print_cost_comparison() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"scheme", "msgs", "tac msgs", "KB moved", "signs",
+                  "verifies", "sks ops", "tamper verdict"});
+  for (const SchemeKind kind : all_schemes()) {
+    SchemeWorld world(kind);
+    crypto::Drbg data_rng(std::uint64_t{7});
+    const common::Bytes data = data_rng.bytes(64 << 10);
+    const auto up = world.scheme->upload("obj", data);
+    world.platform.tamper("obj", data_rng.bytes(64 << 10));
+    const auto outcome = world.scheme->dispute("obj", true);
+    rows.push_back({bridge::scheme_name(kind),
+                    std::to_string(up.costs.messages),
+                    std::to_string(up.costs.tac_messages),
+                    bench::fmt(static_cast<double>(up.costs.bytes) / 1024.0, 1),
+                    std::to_string(up.costs.signatures),
+                    std::to_string(up.costs.verifications),
+                    std::to_string(up.costs.sks_ops),
+                    bridge::verdict_name(outcome.verdict)});
+  }
+  bench::print_table(
+      "§3 bridging schemes: per-upload cost and dispute power (64 KiB object)",
+      rows);
+}
+
+void BM_Upload(benchmark::State& state) {
+  SchemeWorld world(all_schemes()[static_cast<std::size_t>(state.range(0))]);
+  crypto::Drbg data_rng(std::uint64_t{11});
+  const common::Bytes data = data_rng.bytes(64 << 10);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.scheme->upload("obj-" + std::to_string(i++), data));
+  }
+  state.SetLabel(bridge::scheme_name(
+      all_schemes()[static_cast<std::size_t>(state.range(0))]));
+}
+BENCHMARK(BM_Upload)->DenseRange(0, 3);
+
+void BM_Download(benchmark::State& state) {
+  SchemeWorld world(all_schemes()[static_cast<std::size_t>(state.range(0))]);
+  crypto::Drbg data_rng(std::uint64_t{13});
+  world.scheme->upload("obj", data_rng.bytes(64 << 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.scheme->download("obj"));
+  }
+  state.SetLabel(bridge::scheme_name(
+      all_schemes()[static_cast<std::size_t>(state.range(0))]));
+}
+BENCHMARK(BM_Download)->DenseRange(0, 3);
+
+void BM_Dispute(benchmark::State& state) {
+  SchemeWorld world(all_schemes()[static_cast<std::size_t>(state.range(0))]);
+  crypto::Drbg data_rng(std::uint64_t{17});
+  world.scheme->upload("obj", data_rng.bytes(64 << 10));
+  world.platform.tamper("obj", data_rng.bytes(64 << 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.scheme->dispute("obj", true));
+  }
+  state.SetLabel(bridge::scheme_name(
+      all_schemes()[static_cast<std::size_t>(state.range(0))]));
+}
+BENCHMARK(BM_Dispute)->DenseRange(0, 3);
+
+void BM_UploadBySize(benchmark::State& state) {
+  // Scheme 3.1 across object sizes: the data transfer dominates past ~64 KB,
+  // the RSA signatures below it.
+  SchemeWorld world(SchemeKind::kPlain);
+  crypto::Drbg data_rng(std::uint64_t{19});
+  const common::Bytes data =
+      data_rng.bytes(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.scheme->upload("s-" + std::to_string(i++), data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_UploadBySize)->Range(1 << 10, 1 << 22);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cost_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

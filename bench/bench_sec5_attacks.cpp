@@ -1,0 +1,90 @@
+// §5: robustness of the NR protocol under the five classic attacks. The
+// table reports, for every attack, the outcome against the full protocol
+// and against the protocol with that attack's §5 defence disabled — showing
+// both that the attacks are real and that the defences stop them. The
+// benchmarks measure the cost of running each attack scenario end to end.
+#include <benchmark/benchmark.h>
+
+#include "attacks/attacks.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace tpnr;  // NOLINT(google-build-using-namespace)
+using attacks::AttackKind;
+
+void print_attack_matrix() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"attack (§5.x)", "defended protocol", "weakened protocol",
+                  "defence that fires"});
+  const std::map<AttackKind, std::string> defence = {
+      {AttackKind::kManInTheMiddle, "authenticated public keys (TAC certs)"},
+      {AttackKind::kReflection, "addressee check + asymmetric flags"},
+      {AttackKind::kInterleaving, "signed header binds txn/seq/ids"},
+      {AttackKind::kReplay, "single-use nonces + signed header"},
+      {AttackKind::kTimeliness, "time-limit field in every message"},
+  };
+  for (const AttackKind kind : attacks::all_attacks()) {
+    const auto defended = attacks::run_attack(kind, true, 1);
+    const auto weakened = attacks::run_attack(kind, false, 1);
+    rows.push_back({attacks::attack_name(kind),
+                    defended.attack_succeeded ? "BREACHED" : "resisted",
+                    weakened.attack_succeeded ? "breached" : "resisted",
+                    defence.at(kind)});
+  }
+  bench::print_table("§5 attack matrix (TPNR)", rows);
+  std::printf(
+      "notes: interleaving stays 'resisted' even weakened — the evidence\n"
+      "signature over the full header defeats session splicing without any\n"
+      "help from the freshness screens. 'breached' under the weakened\n"
+      "reflection run means the screen was penetrated; the asymmetric\n"
+      "message flags still prevented state corruption.\n");
+
+  // Rejection-counter detail for the defended runs.
+  std::vector<std::vector<std::string>> counters;
+  counters.push_back({"attack", "replay rej", "expired rej", "addressee rej",
+                      "bad-evidence rej", "bad-seq rej"});
+  for (const AttackKind kind : attacks::all_attacks()) {
+    const auto report = attacks::run_attack(kind, true, 1);
+    const auto& s = report.victim_stats;
+    counters.push_back({attacks::attack_name(kind),
+                        std::to_string(s.rejected_replay),
+                        std::to_string(s.rejected_expired),
+                        std::to_string(s.rejected_wrong_addressee),
+                        std::to_string(s.rejected_bad_evidence),
+                        std::to_string(s.rejected_bad_sequence)});
+  }
+  bench::print_table("defended-run rejection counters (victim actor)",
+                     counters);
+}
+
+void BM_AttackScenario(benchmark::State& state) {
+  const AttackKind kind =
+      attacks::all_attacks()[static_cast<std::size_t>(state.range(0))];
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::run_attack(kind, true, seed++));
+  }
+  state.SetLabel(attacks::attack_name(kind) + "/defended");
+}
+BENCHMARK(BM_AttackScenario)->DenseRange(0, 4);
+
+void BM_AttackScenarioWeakened(benchmark::State& state) {
+  const AttackKind kind =
+      attacks::all_attacks()[static_cast<std::size_t>(state.range(0))];
+  std::uint64_t seed = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::run_attack(kind, false, seed++));
+  }
+  state.SetLabel(attacks::attack_name(kind) + "/weakened");
+}
+BENCHMARK(BM_AttackScenarioWeakened)->DenseRange(0, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_attack_matrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared benchmark plumbing: pooled RSA identities (keygen dominates setup)
+// and a tiny fixed-width table printer for the experiment summaries each
+// bench emits before the google-benchmark timings.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "pki/identity.h"
+
+namespace tpnr::bench {
+
+/// Deterministic identity pool shared within one bench process.
+inline const pki::Identity& identity(const std::string& name,
+                                     std::size_t bits = 1024) {
+  static auto* pool = new std::map<std::string, pki::Identity>();
+  const std::string key = name + "/" + std::to_string(bits);
+  auto it = pool->find(key);
+  if (it == pool->end()) {
+    crypto::Drbg rng(crypto::sha256(common::to_bytes(key)));
+    it = pool->emplace(key, pki::Identity(name, bits, rng)).first;
+  }
+  return it->second;
+}
+
+/// Prints a fixed-width table: header row then data rows.
+inline void print_table(const std::string& title,
+                        const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return;
+  std::vector<std::size_t> widths(rows.front().size(), 0);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::string line;
+    for (std::size_t i = 0; i < rows[r].size(); ++i) {
+      std::string cell = rows[r][i];
+      cell.resize(widths[i], ' ');
+      line += cell;
+      line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule(line.size(), '-');
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+inline std::string fmt(double value, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace tpnr::bench

@@ -1,0 +1,459 @@
+#include "attacks/attacks.h"
+
+#include <memory>
+
+#include "common/serial.h"
+#include "crypto/hash.h"
+#include "net/network.h"
+#include "nr/client.h"
+#include "nr/evidence.h"
+#include "nr/provider.h"
+#include "pki/authority.h"
+#include "pki/identity.h"
+
+namespace tpnr::attacks {
+
+namespace {
+
+using common::Bytes;
+using common::BytesView;
+
+std::string attack_name_impl(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kManInTheMiddle:
+      return "man-in-the-middle";
+    case AttackKind::kReflection:
+      return "reflection";
+    case AttackKind::kInterleaving:
+      return "interleaving";
+    case AttackKind::kReplay:
+      return "replay";
+    case AttackKind::kTimeliness:
+      return "timeliness";
+  }
+  return "unknown";
+}
+
+/// RSA keygen dominates scenario setup; share one deterministic key pool
+/// across all scenarios (fresh protocol state is rebuilt per run).
+const pki::Identity& pooled_identity(const std::string& name) {
+  static const auto* pool = [] {
+    auto* identities = new std::map<std::string, pki::Identity>();
+    crypto::Drbg rng(std::uint64_t{0xa77acc});
+    for (const char* id : {"alice", "bob", "ttp", "mallory"}) {
+      identities->emplace(id, pki::Identity(id, 1024, rng));
+    }
+    return identities;
+  }();
+  return pool->at(name);
+}
+
+/// One disposable protocol world.
+struct World {
+  explicit World(std::uint64_t seed)
+      : network(seed),
+        rng(seed ^ 0x5eedf00dull),
+        alice_id(pooled_identity("alice")),
+        bob_id(pooled_identity("bob")),
+        mallory_id(pooled_identity("mallory")) {}
+
+  net::Network network;
+  crypto::Drbg rng;
+  pki::Identity alice_id;
+  pki::Identity bob_id;
+  pki::Identity mallory_id;
+  std::unique_ptr<nr::ClientActor> alice;
+  std::unique_ptr<nr::ProviderActor> bob;
+
+  void spawn_actors(nr::ClientOptions client_options = nr::ClientOptions{}) {
+    alice = std::make_unique<nr::ClientActor>("alice", network, alice_id, rng,
+                                              client_options);
+    bob = std::make_unique<nr::ProviderActor>("bob", network, bob_id, rng);
+    bob->trust_peer("alice", alice_id.public_key());
+  }
+};
+
+Bytes sample_data(crypto::Drbg& rng) { return rng.bytes(512); }
+
+// ----------------------------------------------------------------- replay --
+
+AttackReport run_replay(bool defended, std::uint64_t seed) {
+  AttackReport report;
+  report.kind = AttackKind::kReplay;
+  report.defended = defended;
+
+  World world(seed);
+  nr::ClientOptions options;
+  options.auto_resolve = false;
+  // A generous window keeps the timeliness defence (§5.5) out of the way:
+  // this scenario isolates the replay defences.
+  options.reply_window = 10 * common::kMinute;
+  world.spawn_actors(options);
+  world.alice->trust_peer("bob", world.bob_id.public_key());
+  if (!defended) {
+    // §5.4 names the nonce as the defence; the sequence check would also
+    // catch a verbatim replay, so both go off in the weakened run.
+    nr::ScreeningPolicy weak;
+    weak.check_nonce = false;
+    weak.check_sequence = false;
+    world.bob->set_screening_policy(weak);
+  }
+
+  // Record the store request off the wire.
+  Bytes recorded;
+  world.network.set_adversary(
+      "alice", "bob", [&recorded](const net::Envelope& envelope) {
+        if (recorded.empty()) recorded = envelope.payload;
+        return net::AdversaryAction{};
+      });
+
+  const Bytes data = sample_data(world.rng);
+  world.alice->store("bob", "", "obj", data);
+  world.network.run();
+  const std::uint64_t receipts_before = world.bob->stats().sent;
+
+  // Attack 1: verbatim replay.
+  world.network.send("mallory", "bob", "nr", recorded);
+  ++report.adversary_messages;
+  world.network.run();
+
+  // Attack 2 (§5.4's stronger claim): bump the plaintext sequence number so
+  // the replay looks fresh — the signed evidence must catch it.
+  nr::NrMessage doctored = nr::NrMessage::decode(recorded);
+  doctored.header.seq_no += 100;
+  doctored.header.nonce = world.rng.bytes(16);
+  world.network.send("mallory", "bob", "nr", doctored.encode());
+  ++report.adversary_messages;
+  world.network.run();
+
+  const std::uint64_t extra_receipts = world.bob->stats().sent -
+                                       receipts_before;
+  report.attack_succeeded = extra_receipts > 0;
+  report.victim_stats = world.bob->stats();
+  report.detail = defended
+                      ? "verbatim replay stopped by the nonce cache (" +
+                            std::to_string(report.victim_stats.rejected_replay) +
+                            " rejections); seq-bumped replay stopped by the "
+                            "signed header (" +
+                            std::to_string(
+                                report.victim_stats.rejected_bad_evidence) +
+                            " evidence rejections)"
+                      : "with nonce/seq screening off, the provider issued " +
+                            std::to_string(extra_receipts) +
+                            " duplicate receipt(s) for replayed traffic";
+  return report;
+}
+
+// ------------------------------------------------------------- reflection --
+
+AttackReport run_reflection(bool defended, std::uint64_t seed) {
+  AttackReport report;
+  report.kind = AttackKind::kReflection;
+  report.defended = defended;
+
+  World world(seed);
+  nr::ClientOptions options;
+  options.auto_resolve = false;
+  options.reply_window = 10 * common::kMinute;  // isolate from §5.5
+  world.spawn_actors(options);
+  world.alice->trust_peer("bob", world.bob_id.public_key());
+  // Reflection needs the victim to trust itself as a possible sender.
+  world.alice->trust_peer("alice", world.alice_id.public_key());
+  if (!defended) {
+    nr::ScreeningPolicy weak;
+    weak.check_addressee = false;
+    weak.check_nonce = false;     // the reflected copy reuses the nonce
+    weak.check_sequence = false;  // and the original sequence number
+    world.alice->set_screening_policy(weak);
+  }
+
+  Bytes recorded;
+  world.network.set_adversary(
+      "alice", "bob", [&recorded](const net::Envelope& envelope) {
+        recorded = envelope.payload;
+        net::AdversaryAction action;
+        action.kind = net::AdversaryAction::Kind::kDrop;
+        return action;
+      });
+
+  const Bytes data = sample_data(world.rng);
+  world.alice->store("bob", "", "obj", data);
+  world.network.run();
+  const std::uint64_t accepted_before = world.alice->stats().accepted;
+
+  // Bounce Alice's own message back at her.
+  world.network.send("mallory", "alice", "nr", recorded);
+  ++report.adversary_messages;
+  world.network.run();
+
+  report.victim_stats = world.alice->stats();
+  const bool penetrated =
+      world.alice->stats().accepted > accepted_before;
+  report.attack_succeeded = penetrated;
+  report.detail =
+      defended
+          ? "reflected message rejected by the addressee check (" +
+                std::to_string(report.victim_stats.rejected_wrong_addressee) +
+                " rejections); the protocol is not a symmetric "
+                "challenge-response, so nothing to reflect into"
+          : (penetrated
+                 ? "with the addressee check off the reflected message "
+                   "reached the handler (no state change: flags are "
+                   "asymmetric, but screening was penetrated)"
+                 : "reflected message had no effect even unscreened");
+  return report;
+}
+
+// ----------------------------------------------------------- interleaving --
+
+AttackReport run_interleaving(bool defended, std::uint64_t seed) {
+  AttackReport report;
+  report.kind = AttackKind::kInterleaving;
+  report.defended = defended;
+
+  World world(seed);
+  nr::ClientOptions options;
+  options.auto_resolve = false;
+  world.spawn_actors(options);
+  world.alice->trust_peer("bob", world.bob_id.public_key());
+  if (!defended) {
+    nr::ScreeningPolicy weak;
+    weak.check_sequence = false;
+    weak.check_nonce = false;
+    world.alice->set_screening_policy(weak);
+  }
+
+  // Session 1 completes normally; record Bob's receipt.
+  Bytes recorded_receipt;
+  world.network.set_adversary(
+      "bob", "alice", [&recorded_receipt](const net::Envelope& envelope) {
+        if (recorded_receipt.empty()) recorded_receipt = envelope.payload;
+        return net::AdversaryAction{};
+      });
+  const Bytes data1 = sample_data(world.rng);
+  const std::string txn1 = world.alice->store("bob", "", "obj1", data1);
+  world.network.run();
+
+  // Session 2: drop Bob's genuine receipt...
+  world.network.set_adversary("bob", "alice", [](const net::Envelope&) {
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  const Bytes data2 = sample_data(world.rng);
+  const std::string txn2 = world.alice->store("bob", "", "obj2", data2);
+
+  // ...and splice session 1's receipt in, re-labelled for session 2. The
+  // injection is scheduled ahead of Alice's own receipt timeout so the
+  // transaction is still pending when it lands.
+  nr::NrMessage spliced = nr::NrMessage::decode(recorded_receipt);
+  spliced.header.txn_id = txn2;
+  spliced.header.seq_no = 2;
+  spliced.header.nonce = world.rng.bytes(16);
+  const Bytes spliced_bytes = spliced.encode();
+  world.network.schedule(common::kSecond, [&world, spliced_bytes] {
+    world.network.send("mallory", "alice", "nr", spliced_bytes);
+  });
+  ++report.adversary_messages;
+  world.network.run();
+
+  const auto* txn2_state = world.alice->transaction(txn2);
+  report.attack_succeeded =
+      txn2_state != nullptr && txn2_state->state == nr::TxnState::kCompleted;
+  report.victim_stats = world.alice->stats();
+  report.detail =
+      report.attack_succeeded
+          ? "session-1 receipt was accepted for session 2"
+          : std::string("spliced receipt rejected (") +
+                (defended ? "header re-binding broke the signature; " : "") +
+                std::to_string(report.victim_stats.rejected_bad_evidence) +
+                " evidence rejections, " +
+                std::to_string(report.victim_stats.rejected_bad_hash) +
+                " hash mismatches)";
+  return report;
+}
+
+// ------------------------------------------------------------- timeliness --
+
+AttackReport run_timeliness(bool defended, std::uint64_t seed) {
+  AttackReport report;
+  report.kind = AttackKind::kTimeliness;
+  report.defended = defended;
+
+  World world(seed);
+  nr::ClientOptions options;
+  options.auto_resolve = false;
+  options.reply_window = 5 * common::kSecond;
+  world.spawn_actors(options);
+  world.alice->trust_peer("bob", world.bob_id.public_key());
+  if (!defended) {
+    nr::ScreeningPolicy weak;
+    weak.check_time_limit = false;
+    world.bob->set_screening_policy(weak);
+  }
+
+  // The adversary holds the store request past its deadline.
+  Bytes held;
+  world.network.set_adversary("alice", "bob",
+                              [&held](const net::Envelope& envelope) {
+                                held = envelope.payload;
+                                net::AdversaryAction action;
+                                action.kind =
+                                    net::AdversaryAction::Kind::kDrop;
+                                return action;
+                              });
+  const Bytes data = sample_data(world.rng);
+  world.alice->store("bob", "", "obj", data);
+  world.network.run();
+
+  const std::uint64_t receipts_before = world.bob->stats().sent;
+  // Re-deliver well past the 5 s window.
+  world.network.clear_adversary("alice", "bob");
+  world.network.schedule(60 * common::kSecond, [&world, &held] {
+    world.network.send("mallory", "bob", "nr", held);
+  });
+  ++report.adversary_messages;
+  world.network.run();
+
+  report.attack_succeeded = world.bob->stats().sent > receipts_before;
+  report.victim_stats = world.bob->stats();
+  report.detail =
+      defended
+          ? "stale message rejected by the time-limit field (" +
+                std::to_string(report.victim_stats.rejected_expired) +
+                " expirations); the sender regained liveness via its own "
+                "timeout"
+          : "without the time limit the provider accepted and receipted a "
+            "message delivered 55 s late";
+  return report;
+}
+
+// -------------------------------------------------------------------- mitm --
+
+AttackReport run_mitm(bool defended, std::uint64_t seed) {
+  AttackReport report;
+  report.kind = AttackKind::kManInTheMiddle;
+  report.defended = defended;
+
+  World world(seed);
+  nr::ClientOptions options;
+  options.auto_resolve = false;
+  world.spawn_actors(options);
+
+  // The defence (§5.1): authenticate the peer key through the TAC before
+  // use. Defended Alice obtains Bob's key from a CA-backed registry;
+  // undefended Alice accepts the key Mallory hands her.
+  crypto::Drbg ca_rng(seed ^ 0xcau);
+  pki::CertificateAuthority ca("root-ca", 1024, ca_rng);
+  pki::KeyRegistry registry(ca);
+  registry.enroll(ca.issue("bob", world.bob_id.public_key(),
+                           world.network.now(), common::kHour));
+  // Mallory forges a certificate for "bob" over HIS key, signed by himself.
+  crypto::Drbg mallory_rng(seed ^ 0xbadu);
+  pki::CertificateAuthority mallory_ca("root-ca", 1024, mallory_rng);
+  const pki::Certificate forged = mallory_ca.issue(
+      "bob", world.mallory_id.public_key(), world.network.now(),
+      common::kHour);
+
+  if (defended) {
+    // Alice checks the certificate against the real CA: the forgery fails,
+    // so she uses the registry's authentic key.
+    const bool forged_ok =
+        ca.check(forged, world.network.now()) == pki::CertStatus::kValid;
+    const auto authentic = registry.authenticated_key("bob",
+                                                      world.network.now());
+    world.alice->trust_peer("bob", *authentic);
+    report.detail = forged_ok ? "FORGERY ACCEPTED (bug)"
+                              : "forged certificate rejected; ";
+  } else {
+    // No authentication: Mallory's key is taken at face value.
+    world.alice->trust_peer("bob", forged.subject_key);
+  }
+
+  // Mallory relays on the alice->bob link.
+  std::vector<Bytes> captured;
+  world.network.set_adversary(
+      "alice", "bob", [&captured](const net::Envelope& envelope) {
+        captured.push_back(envelope.payload);
+        net::AdversaryAction action;
+        action.kind = net::AdversaryAction::Kind::kDrop;
+        return action;
+      });
+
+  const Bytes data = sample_data(world.rng);
+  const std::string txn = world.alice->store("bob", "", "obj", data);
+  // The adversary runs synchronously inside send(), so the capture is
+  // already populated; Mallory reacts immediately, well before Alice's
+  // receipt timeout.
+
+  bool mallory_read_evidence = false;
+  if (!captured.empty()) {
+    nr::NrMessage intercepted = nr::NrMessage::decode(captured.front());
+    // Mallory tries to open the NRO with his own key (it was encrypted for
+    // whoever Alice believes is Bob).
+    const auto opened =
+        nr::open_evidence(world.mallory_id, world.alice_id.public_key(),
+                          intercepted.header, intercepted.evidence);
+    mallory_read_evidence = opened.has_value();
+    if (mallory_read_evidence) {
+      // Impersonate Bob: forge a receipt signed with Mallory's key.
+      nr::MessageHeader receipt = intercepted.header;
+      receipt.flag = nr::MsgType::kStoreReceipt;
+      receipt.sender = "bob";
+      receipt.recipient = "alice";
+      receipt.seq_no += 1;
+      receipt.nonce = world.rng.bytes(16);
+      nr::NrMessage fake;
+      fake.header = receipt;
+      fake.evidence = nr::make_evidence(world.mallory_id,
+                                        world.alice_id.public_key(), receipt,
+                                        world.rng);
+      world.network.send("mallory", "alice", "nr", fake.encode());
+      ++report.adversary_messages;
+      world.network.run();
+    }
+  }
+
+  const auto* txn_state = world.alice->transaction(txn);
+  const bool alice_deceived =
+      txn_state != nullptr && txn_state->state == nr::TxnState::kCompleted;
+  report.attack_succeeded = mallory_read_evidence && alice_deceived;
+  report.victim_stats = world.alice->stats();
+  report.detail +=
+      report.attack_succeeded
+          ? "Mallory decrypted the NRO and Alice accepted a receipt signed "
+            "by Mallory's key — full impersonation"
+          : "Mallory could neither decrypt the NRO (wrong key) nor forge an "
+            "acceptable receipt (" +
+                std::to_string(report.victim_stats.rejected_bad_evidence) +
+                " evidence rejections)";
+  return report;
+}
+
+}  // namespace
+
+std::string attack_name(AttackKind kind) { return attack_name_impl(kind); }
+
+std::vector<AttackKind> all_attacks() {
+  return {AttackKind::kManInTheMiddle, AttackKind::kReflection,
+          AttackKind::kInterleaving, AttackKind::kReplay,
+          AttackKind::kTimeliness};
+}
+
+AttackReport run_attack(AttackKind kind, bool defended, std::uint64_t seed) {
+  switch (kind) {
+    case AttackKind::kManInTheMiddle:
+      return run_mitm(defended, seed);
+    case AttackKind::kReflection:
+      return run_reflection(defended, seed);
+    case AttackKind::kInterleaving:
+      return run_interleaving(defended, seed);
+    case AttackKind::kReplay:
+      return run_replay(defended, seed);
+    case AttackKind::kTimeliness:
+      return run_timeliness(defended, seed);
+  }
+  throw common::Error("run_attack: unknown kind");
+}
+
+}  // namespace tpnr::attacks

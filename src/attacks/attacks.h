@@ -1,0 +1,42 @@
+// §5 robustness harness: the five classic attacks, each run against the
+// full TPNR stack on the simulated network. Every scenario can also run
+// with the corresponding defence DISABLED, demonstrating that (a) the
+// attack is real, and (b) the protocol feature defeats it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nr/actor.h"
+
+namespace tpnr::attacks {
+
+enum class AttackKind {
+  kManInTheMiddle,  ///< §5.1 — key substitution + relay
+  kReflection,      ///< §5.2 — messages bounced back to their sender
+  kInterleaving,    ///< §5.3 — evidence spliced across sessions
+  kReplay,          ///< §5.4 — recorded messages re-delivered
+  kTimeliness,      ///< §5.5 — messages delayed past their deadline
+};
+
+std::string attack_name(AttackKind kind);
+
+/// All five, for sweeping.
+std::vector<AttackKind> all_attacks();
+
+struct AttackReport {
+  AttackKind kind = AttackKind::kReplay;
+  bool defended = true;       ///< protocol ran with the defence on?
+  bool attack_succeeded = false;
+  std::string detail;         ///< what happened / which defence fired
+  std::uint64_t adversary_messages = 0;  ///< traffic the attacker generated
+  nr::ActorStats victim_stats;           ///< the targeted actor's counters
+};
+
+/// Runs one attack scenario in a fresh, deterministic world.
+/// `defended == false` switches off exactly the defence §5 credits with
+/// stopping this attack (the attack is then expected to succeed).
+AttackReport run_attack(AttackKind kind, bool defended, std::uint64_t seed);
+
+}  // namespace tpnr::attacks

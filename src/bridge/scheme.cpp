@@ -1,0 +1,81 @@
+#include "bridge/scheme.h"
+
+#include "bridge/schemes_impl.h"
+
+#include "common/error.h"
+
+namespace tpnr::bridge {
+
+std::string scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kPlain:
+      return "3.1-plain-signatures";
+    case SchemeKind::kSks:
+      return "3.2-sks-only";
+    case SchemeKind::kTac:
+      return "3.3-tac-only";
+    case SchemeKind::kTacSks:
+      return "3.4-tac+sks";
+  }
+  return "unknown";
+}
+
+std::string verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kDataIntact:
+      return "data-intact";
+    case Verdict::kProviderFault:
+      return "provider-fault";
+    case Verdict::kUserFault:
+      return "user-fault";
+    case Verdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "unknown";
+}
+
+Costs& Costs::operator+=(const Costs& other) {
+  messages += other.messages;
+  tac_messages += other.tac_messages;
+  bytes += other.bytes;
+  signatures += other.signatures;
+  verifications += other.verifications;
+  hashes += other.hashes;
+  sks_ops += other.sks_ops;
+  return *this;
+}
+
+BridgingScheme::BridgingScheme(pki::Identity& user, pki::Identity& provider,
+                               providers::CloudPlatform& platform,
+                               crypto::Drbg& rng)
+    : user_(&user), provider_(&provider), platform_(&platform), rng_(&rng) {}
+
+std::unique_ptr<BridgingScheme> make_scheme(SchemeKind kind,
+                                            pki::Identity& user,
+                                            pki::Identity& provider,
+                                            providers::CloudPlatform& platform,
+                                            crypto::Drbg& rng,
+                                            pki::Identity* tac) {
+  switch (kind) {
+    case SchemeKind::kPlain:
+      return std::make_unique<PlainSignatureScheme>(user, provider, platform,
+                                                    rng);
+    case SchemeKind::kSks:
+      return std::make_unique<SksScheme>(user, provider, platform, rng);
+    case SchemeKind::kTac:
+      if (tac == nullptr) {
+        throw common::ProtocolError("make_scheme: kTac needs a TAC identity");
+      }
+      return std::make_unique<TacScheme>(user, provider, platform, rng, *tac);
+    case SchemeKind::kTacSks:
+      if (tac == nullptr) {
+        throw common::ProtocolError(
+            "make_scheme: kTacSks needs a TAC identity");
+      }
+      return std::make_unique<TacSksScheme>(user, provider, platform, rng,
+                                            *tac);
+  }
+  throw common::ProtocolError("make_scheme: unknown kind");
+}
+
+}  // namespace tpnr::bridge

@@ -1,0 +1,422 @@
+#include "bridge/schemes_impl.h"
+
+#include "common/error.h"
+#include "crypto/hash.h"
+
+namespace tpnr::bridge {
+
+namespace {
+
+/// Arbitration core shared by all schemes once the agreed digest has been
+/// established from evidence: re-fetch and compare.
+DisputeOutcome rule_on_digest(providers::CloudPlatform& platform,
+                              const std::string& user, const std::string& key,
+                              const Bytes& agreed_md5,
+                              bool user_claims_tamper, Costs costs) {
+  auto fetched = platform.download(user, key);
+  costs.messages += 2;  // arbitrator's request + provider's response
+  costs.hashes += 1;
+  DisputeOutcome outcome;
+  if (!fetched.ok) {
+    outcome.verdict = Verdict::kProviderFault;
+    outcome.rationale = "provider cannot produce the object: " +
+                        fetched.detail;
+    outcome.costs = costs;
+    return outcome;
+  }
+  const Bytes current_md5 = crypto::md5(fetched.data);
+  if (current_md5 == agreed_md5) {
+    outcome.verdict =
+        user_claims_tamper ? Verdict::kUserFault : Verdict::kDataIntact;
+    outcome.rationale = user_claims_tamper
+                            ? "served data matches the agreed digest; the "
+                              "tamper claim is false (blackmail attempt)"
+                            : "served data matches the agreed digest";
+  } else {
+    outcome.verdict = Verdict::kProviderFault;
+    outcome.rationale =
+        "served data does not match the digest both parties agreed on";
+  }
+  outcome.costs = costs;
+  return outcome;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- §3.1 ----
+
+BridgeUploadResult PlainSignatureScheme::upload(const std::string& key,
+                                                BytesView data) {
+  BridgeUploadResult result;
+  Costs& c = result.costs;
+
+  // 1: user sends data + MD5 + MD5-Signature-by-User (MSU).
+  const Bytes digest = crypto::md5(data);
+  c.hashes += 1;
+  const Bytes msu = user_->sign(digest);
+  c.signatures += 1;
+  c.messages += 1;
+  c.bytes += data.size() + digest.size() + msu.size();
+
+  // 2: provider verifies the data against the MD5...
+  const auto receipt = platform_->upload(user_->id(), key, data, digest);
+  c.hashes += 1;
+  if (!receipt.accepted) {
+    result.detail = receipt.detail;
+    return result;
+  }
+  // ...and verifies MSU before accepting it as evidence.
+  if (!pki::Identity::verify(user_->public_key(), digest, msu)) {
+    result.detail = "provider rejected MSU signature";
+    return result;
+  }
+  c.verifications += 1;
+
+  // Provider answers with MD5 + MD5-Signature-by-Provider (MSP).
+  const Bytes msp = provider_->sign(digest);
+  c.signatures += 1;
+  c.messages += 1;
+  c.bytes += digest.size() + msp.size();
+  if (!pki::Identity::verify(provider_->public_key(), digest, msp)) {
+    result.detail = "user rejected MSP signature";
+    return result;
+  }
+  c.verifications += 1;
+
+  // 3: MSU stays at the provider side, MSP at the user side.
+  user_evidence_[key] = Evidence{digest, msp};
+  provider_evidence_[key] = Evidence{digest, msu};
+  result.accepted = true;
+  return result;
+}
+
+BridgeDownloadResult PlainSignatureScheme::download(const std::string& key) {
+  BridgeDownloadResult result;
+  Costs& c = result.costs;
+
+  // 1: request with authentication code; 2: provider returns data + MD5 +
+  // MSP (the platform's own auth plays the authentication-code role).
+  c.messages += 2;
+  auto fetched = platform_->download(user_->id(), key);
+  if (!fetched.ok) {
+    result.detail = fetched.detail;
+    return result;
+  }
+  c.bytes += fetched.data.size() + fetched.md5_returned.size();
+
+  // 3: user verifies the data through the MD5 — against the digest they
+  // remember agreeing on, which is the whole point of keeping evidence.
+  const auto evidence = user_evidence_.find(key);
+  const Bytes current = crypto::md5(fetched.data);
+  c.hashes += 1;
+  result.ok = true;
+  result.integrity_ok =
+      evidence != user_evidence_.end() && current == evidence->second.md5;
+  if (!result.integrity_ok) {
+    result.detail = evidence == user_evidence_.end()
+                        ? "no local evidence for this object"
+                        : "digest mismatch against agreed MD5";
+  }
+  result.data = std::move(fetched.data);
+  return result;
+}
+
+DisputeOutcome PlainSignatureScheme::dispute(const std::string& key,
+                                             bool user_claims_tamper) {
+  Costs costs;
+  const auto user_side = user_evidence_.find(key);
+  const auto provider_side = provider_evidence_.find(key);
+
+  // Each side presents the digest + the opposite party's signature over it.
+  const bool user_ok =
+      user_side != user_evidence_.end() &&
+      pki::Identity::verify(provider_->public_key(), user_side->second.md5,
+                            user_side->second.peer_signature);
+  const bool provider_ok =
+      provider_side != provider_evidence_.end() &&
+      pki::Identity::verify(user_->public_key(), provider_side->second.md5,
+                            provider_side->second.peer_signature);
+  costs.verifications += 2;
+  costs.messages += 2;
+
+  if (!user_ok && !provider_ok) {
+    return {Verdict::kInconclusive,
+            "neither side can produce verifiable evidence", costs};
+  }
+  if (user_ok && provider_ok &&
+      user_side->second.md5 != provider_side->second.md5) {
+    return {Verdict::kInconclusive,
+            "both signatures verify but over different digests", costs};
+  }
+  const Bytes& agreed =
+      user_ok ? user_side->second.md5 : provider_side->second.md5;
+  return rule_on_digest(*platform_, user_->id(), key, agreed,
+                        user_claims_tamper, costs);
+}
+
+// ---------------------------------------------------------------- §3.2 ----
+
+BridgeUploadResult SksScheme::upload(const std::string& key, BytesView data) {
+  BridgeUploadResult result;
+  Costs& c = result.costs;
+
+  // 1: user sends data with MD5; 2: provider verifies and echoes the MD5.
+  const Bytes digest = crypto::md5(data);
+  c.hashes += 1;
+  c.messages += 1;
+  c.bytes += data.size() + digest.size();
+  const auto receipt = platform_->upload(user_->id(), key, data, digest);
+  c.hashes += 1;
+  if (!receipt.accepted) {
+    result.detail = receipt.detail;
+    return result;
+  }
+  c.messages += 1;
+  c.bytes += digest.size();
+
+  // 3: the parties share the MD5 with SKS (2-of-2).
+  auto shares = crypto::shamir_split(digest, 2, 2, *rng_);
+  c.sks_ops += 1;
+  c.messages += 1;  // share hand-off
+  user_shares_[key] = shares[0];
+  provider_shares_[key] = shares[1];
+  user_digest_cache_[key] = digest;
+  result.accepted = true;
+  return result;
+}
+
+BridgeDownloadResult SksScheme::download(const std::string& key) {
+  BridgeDownloadResult result;
+  Costs& c = result.costs;
+  c.messages += 2;
+  auto fetched = platform_->download(user_->id(), key);
+  if (!fetched.ok) {
+    result.detail = fetched.detail;
+    return result;
+  }
+  c.bytes += fetched.data.size() + fetched.md5_returned.size();
+  const auto cached = user_digest_cache_.find(key);
+  const Bytes current = crypto::md5(fetched.data);
+  c.hashes += 1;
+  result.ok = true;
+  result.integrity_ok =
+      cached != user_digest_cache_.end() && current == cached->second;
+  if (!result.integrity_ok) result.detail = "digest mismatch";
+  result.data = std::move(fetched.data);
+  return result;
+}
+
+void SksScheme::corrupt_provider_share(const std::string& key) {
+  const auto it = provider_shares_.find(key);
+  if (it != provider_shares_.end() && !it->second.data.empty()) {
+    it->second.data[0] ^= 0x55;
+  }
+}
+
+DisputeOutcome SksScheme::dispute(const std::string& key,
+                                  bool user_claims_tamper) {
+  Costs costs;
+  const auto user_share = user_shares_.find(key);
+  const auto provider_share = provider_shares_.find(key);
+  costs.messages += 2;
+  if (user_share == user_shares_.end() ||
+      provider_share == provider_shares_.end()) {
+    return {Verdict::kInconclusive,
+            "a party cannot produce its SKS share; the digest cannot be "
+            "recovered",
+            costs};
+  }
+  // "take the shared MD5 together, recover it".
+  Bytes agreed;
+  try {
+    agreed = crypto::shamir_combine(
+        {user_share->second, provider_share->second});
+  } catch (const common::CryptoError& e) {
+    return {Verdict::kInconclusive,
+            std::string("share reconstruction failed: ") + e.what(), costs};
+  }
+  costs.sks_ops += 1;
+  return rule_on_digest(*platform_, user_->id(), key, agreed,
+                        user_claims_tamper, costs);
+}
+
+// ---------------------------------------------------------------- §3.3 ----
+
+BridgeUploadResult TacScheme::upload(const std::string& key, BytesView data) {
+  BridgeUploadResult result;
+  Costs& c = result.costs;
+
+  // 1: user sends data + MD5 + MSU.
+  const Bytes digest = crypto::md5(data);
+  c.hashes += 1;
+  const Bytes msu = user_->sign(digest);
+  c.signatures += 1;
+  c.messages += 1;
+  c.bytes += data.size() + digest.size() + msu.size();
+
+  // 2: provider verifies and replies with MD5 + MSP.
+  const auto receipt = platform_->upload(user_->id(), key, data, digest);
+  c.hashes += 1;
+  if (!receipt.accepted) {
+    result.detail = receipt.detail;
+    return result;
+  }
+  const Bytes msp = provider_->sign(digest);
+  c.signatures += 1;
+  c.messages += 1;
+  c.bytes += digest.size() + msp.size();
+
+  // 3: MSU and MSP are sent to the TAC, which verifies before escrowing.
+  c.tac_messages += 2;
+  if (!pki::Identity::verify(user_->public_key(), digest, msu) ||
+      !pki::Identity::verify(provider_->public_key(), digest, msp)) {
+    result.detail = "TAC rejected the signatures";
+    return result;
+  }
+  c.verifications += 2;
+  escrow_[key] = EscrowRecord{digest, msu, msp};
+  user_digest_cache_[key] = digest;
+  result.accepted = true;
+  return result;
+}
+
+BridgeDownloadResult TacScheme::download(const std::string& key) {
+  BridgeDownloadResult result;
+  Costs& c = result.costs;
+  c.messages += 2;
+  auto fetched = platform_->download(user_->id(), key);
+  if (!fetched.ok) {
+    result.detail = fetched.detail;
+    return result;
+  }
+  c.bytes += fetched.data.size() + fetched.md5_returned.size();
+  const auto cached = user_digest_cache_.find(key);
+  const Bytes current = crypto::md5(fetched.data);
+  c.hashes += 1;
+  result.ok = true;
+  result.integrity_ok =
+      cached != user_digest_cache_.end() && current == cached->second;
+  if (!result.integrity_ok) result.detail = "digest mismatch";
+  result.data = std::move(fetched.data);
+  return result;
+}
+
+DisputeOutcome TacScheme::dispute(const std::string& key,
+                                  bool user_claims_tamper) {
+  Costs costs;
+  costs.tac_messages += 2;  // both parties query the TAC
+  const auto record = escrow_.find(key);
+  if (record == escrow_.end()) {
+    return {Verdict::kInconclusive, "TAC holds no record for this object",
+            costs};
+  }
+  // The TAC's record is self-certifying: both signatures over the digest.
+  const bool msu_ok = pki::Identity::verify(user_->public_key(),
+                                            record->second.md5,
+                                            record->second.msu);
+  const bool msp_ok = pki::Identity::verify(provider_->public_key(),
+                                            record->second.md5,
+                                            record->second.msp);
+  costs.verifications += 2;
+  if (!msu_ok || !msp_ok) {
+    return {Verdict::kInconclusive, "TAC record fails verification", costs};
+  }
+  return rule_on_digest(*platform_, user_->id(), key, record->second.md5,
+                        user_claims_tamper, costs);
+}
+
+// ---------------------------------------------------------------- §3.4 ----
+
+BridgeUploadResult TacSksScheme::upload(const std::string& key,
+                                        BytesView data) {
+  BridgeUploadResult result;
+  Costs& c = result.costs;
+
+  // 1: user sends data with MD5; 2: provider verifies.
+  const Bytes digest = crypto::md5(data);
+  c.hashes += 1;
+  c.messages += 1;
+  c.bytes += data.size() + digest.size();
+  const auto receipt = platform_->upload(user_->id(), key, data, digest);
+  c.hashes += 1;
+  if (!receipt.accepted) {
+    result.detail = receipt.detail;
+    return result;
+  }
+
+  // 3: both the user and the provider send their MD5 to the TAC.
+  c.tac_messages += 2;
+  const Bytes user_md5 = digest;
+  const Bytes provider_md5 = crypto::md5(data);  // provider's own computation
+  c.hashes += 1;
+
+  // 4: TAC verifies the two values match, then distributes shares by SKS.
+  if (user_md5 != provider_md5) {
+    result.detail = "TAC: digests from the two parties do not match";
+    return result;
+  }
+  auto shares = crypto::shamir_split(digest, 2, 2, *rng_);
+  c.sks_ops += 1;
+  c.tac_messages += 2;  // share distribution
+  user_shares_[key] = shares[0];
+  provider_shares_[key] = shares[1];
+  tac_records_[key] = digest;
+  user_digest_cache_[key] = digest;
+  result.accepted = true;
+  return result;
+}
+
+BridgeDownloadResult TacSksScheme::download(const std::string& key) {
+  BridgeDownloadResult result;
+  Costs& c = result.costs;
+  c.messages += 2;
+  auto fetched = platform_->download(user_->id(), key);
+  if (!fetched.ok) {
+    result.detail = fetched.detail;
+    return result;
+  }
+  c.bytes += fetched.data.size() + fetched.md5_returned.size();
+  const auto cached = user_digest_cache_.find(key);
+  const Bytes current = crypto::md5(fetched.data);
+  c.hashes += 1;
+  result.ok = true;
+  result.integrity_ok =
+      cached != user_digest_cache_.end() && current == cached->second;
+  if (!result.integrity_ok) result.detail = "digest mismatch";
+  result.data = std::move(fetched.data);
+  return result;
+}
+
+DisputeOutcome TacSksScheme::dispute(const std::string& key,
+                                     bool user_claims_tamper) {
+  Costs costs;
+  costs.messages += 2;
+  const auto user_share = user_shares_.find(key);
+  const auto provider_share = provider_shares_.find(key);
+
+  // First try the two-party path: check the shared MD5 together.
+  if (user_share != user_shares_.end() &&
+      provider_share != provider_shares_.end()) {
+    try {
+      const Bytes agreed = crypto::shamir_combine(
+          {user_share->second, provider_share->second});
+      costs.sks_ops += 1;
+      return rule_on_digest(*platform_, user_->id(), key, agreed,
+                            user_claims_tamper, costs);
+    } catch (const common::CryptoError&) {
+      // fall through to the TAC
+    }
+  }
+  // "If the disputation cannot be resolved, they can seek further help from
+  // the TAC for the MD5."
+  costs.tac_messages += 2;
+  const auto record = tac_records_.find(key);
+  if (record == tac_records_.end()) {
+    return {Verdict::kInconclusive,
+            "shares unavailable and TAC holds no record", costs};
+  }
+  return rule_on_digest(*platform_, user_->id(), key, record->second,
+                        user_claims_tamper, costs);
+}
+
+}  // namespace tpnr::bridge

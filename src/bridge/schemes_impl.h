@@ -1,0 +1,123 @@
+// Concrete implementations of the four §3 bridging schemes. Split from
+// scheme.h so the public surface stays small; tests may include this header
+// to poke at evidence stores directly (e.g. to model a party destroying its
+// evidence).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bridge/scheme.h"
+#include "crypto/shamir.h"
+
+namespace tpnr::bridge {
+
+/// §3.1: neither TAC nor SKS — user keeps MSP, provider keeps MSU.
+class PlainSignatureScheme final : public BridgingScheme {
+ public:
+  using BridgingScheme::BridgingScheme;
+
+  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kPlain; }
+  BridgeUploadResult upload(const std::string& key, BytesView data) override;
+  BridgeDownloadResult download(const std::string& key) override;
+  DisputeOutcome dispute(const std::string& key,
+                         bool user_claims_tamper) override;
+
+  /// Evidence a party holds: agreed digest + the OTHER party's signature.
+  struct Evidence {
+    Bytes md5;
+    Bytes peer_signature;
+  };
+  /// Test hook: simulate a party losing/destroying its evidence.
+  void erase_user_evidence(const std::string& key) {
+    user_evidence_.erase(key);
+  }
+  void erase_provider_evidence(const std::string& key) {
+    provider_evidence_.erase(key);
+  }
+
+ private:
+  std::map<std::string, Evidence> user_evidence_;      // holds MSP
+  std::map<std::string, Evidence> provider_evidence_;  // holds MSU
+};
+
+/// §3.2: SKS without TAC — the agreed digest is 2-of-2 Shamir-split.
+class SksScheme final : public BridgingScheme {
+ public:
+  using BridgingScheme::BridgingScheme;
+
+  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kSks; }
+  BridgeUploadResult upload(const std::string& key, BytesView data) override;
+  BridgeDownloadResult download(const std::string& key) override;
+  DisputeOutcome dispute(const std::string& key,
+                         bool user_claims_tamper) override;
+
+  void erase_user_share(const std::string& key) { user_shares_.erase(key); }
+  /// Test hook: a malicious party presenting a doctored share.
+  void corrupt_provider_share(const std::string& key);
+
+ private:
+  std::map<std::string, crypto::ShamirShare> user_shares_;
+  std::map<std::string, crypto::ShamirShare> provider_shares_;
+  // The downloading session still needs the plain digest for the integrity
+  // check; each party may cache it, but dispute resolution uses shares only.
+  std::map<std::string, Bytes> user_digest_cache_;
+};
+
+/// §3.3: TAC without SKS — MSU and MSP are escrowed with the TAC.
+class TacScheme final : public BridgingScheme {
+ public:
+  TacScheme(pki::Identity& user, pki::Identity& provider,
+            providers::CloudPlatform& platform, crypto::Drbg& rng,
+            pki::Identity& tac)
+      : BridgingScheme(user, provider, platform, rng), tac_(&tac) {}
+
+  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kTac; }
+  BridgeUploadResult upload(const std::string& key, BytesView data) override;
+  BridgeDownloadResult download(const std::string& key) override;
+  DisputeOutcome dispute(const std::string& key,
+                         bool user_claims_tamper) override;
+
+ private:
+  struct EscrowRecord {
+    Bytes md5;
+    Bytes msu;  ///< user's signature over the digest
+    Bytes msp;  ///< provider's signature over the digest
+  };
+  pki::Identity* tac_;
+  std::map<std::string, EscrowRecord> escrow_;
+  std::map<std::string, Bytes> user_digest_cache_;
+};
+
+/// §3.4: both — TAC verifies the two digests match, then distributes SKS
+/// shares back to the parties and keeps the agreement on file.
+class TacSksScheme final : public BridgingScheme {
+ public:
+  TacSksScheme(pki::Identity& user, pki::Identity& provider,
+               providers::CloudPlatform& platform, crypto::Drbg& rng,
+               pki::Identity& tac)
+      : BridgingScheme(user, provider, platform, rng), tac_(&tac) {}
+
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::kTacSks;
+  }
+  BridgeUploadResult upload(const std::string& key, BytesView data) override;
+  BridgeDownloadResult download(const std::string& key) override;
+  DisputeOutcome dispute(const std::string& key,
+                         bool user_claims_tamper) override;
+
+  void erase_user_share(const std::string& key) { user_shares_.erase(key); }
+  void erase_provider_share(const std::string& key) {
+    provider_shares_.erase(key);
+  }
+
+ private:
+  pki::Identity* tac_;
+  std::map<std::string, Bytes> tac_records_;  ///< agreed digest on file
+  std::map<std::string, crypto::ShamirShare> user_shares_;
+  std::map<std::string, crypto::ShamirShare> provider_shares_;
+  std::map<std::string, Bytes> user_digest_cache_;
+};
+
+}  // namespace tpnr::bridge

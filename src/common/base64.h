@@ -1,0 +1,19 @@
+// RFC 4648 base64 codec. Azure's SharedKey header and Content-MD5 values are
+// base64, so the providers module depends on an exact implementation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace tpnr::common {
+
+/// Standard alphabet with '=' padding.
+std::string base64_encode(BytesView data);
+
+/// Decodes standard-alphabet base64. Whitespace is not tolerated. Throws
+/// std::invalid_argument on bad characters, bad length or bad padding.
+Bytes base64_decode(std::string_view text);
+
+}  // namespace tpnr::common

@@ -1,0 +1,89 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace tpnr::common {
+
+Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string to_string(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+std::string to_hex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool constant_time_equal(BytesView a, BytesView b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+void secure_wipe(Bytes& data) noexcept {
+  volatile std::uint8_t* p = data.data();
+  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  data.clear();
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) append(out, p);
+  return out;
+}
+
+void xor_into(Bytes& a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_into: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+}  // namespace tpnr::common

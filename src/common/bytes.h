@@ -1,0 +1,49 @@
+// Byte-buffer utilities shared by every module: hex codecs, constant-time
+// comparison, secure wiping and small helpers over std::vector<uint8_t>.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpnr::common {
+
+/// The canonical owning byte buffer used across the library.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over immutable bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a buffer from a text string (no encoding transformation).
+Bytes to_bytes(std::string_view text);
+
+/// Interprets a buffer as text (no validation; intended for ASCII payloads).
+std::string to_string(BytesView data);
+
+/// Lower-case hexadecimal encoding ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Decodes hexadecimal input (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality: runtime depends only on the lengths, never on the
+/// position of the first mismatch. Use for MACs, digests and signatures.
+bool constant_time_equal(BytesView a, BytesView b) noexcept;
+
+/// Overwrites the buffer with zeros through a volatile pointer so the store
+/// cannot be elided, then clears it. For key material.
+void secure_wipe(Bytes& data) noexcept;
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of buffers.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// XORs `b` into `a` (sizes must match; throws std::invalid_argument otherwise).
+void xor_into(Bytes& a, BytesView b);
+
+}  // namespace tpnr::common

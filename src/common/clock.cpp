@@ -1,0 +1,4 @@
+#include "common/clock.h"
+
+// Header-only today; the translation unit anchors the library target and
+// keeps a stable place for future out-of-line members.

@@ -1,0 +1,47 @@
+// Simulated time. The whole system — network delivery, protocol time limits
+// (§5.5 timeliness), shipping delays (Fig. 2) — runs on one logical clock so
+// every test and benchmark is deterministic and can compress hours of
+// simulated time into microseconds of wall time.
+#pragma once
+
+#include <cstdint>
+#include <atomic>
+
+namespace tpnr::common {
+
+/// Microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+/// Monotonic logical clock. Thread-safe: advancing and reading are atomic.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  [[nodiscard]] SimTime now() const noexcept {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Moves time forward by `delta` (negative deltas are ignored).
+  void advance(SimTime delta) noexcept {
+    if (delta > 0) now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  /// Jumps to an absolute time if it is in the future.
+  void advance_to(SimTime t) noexcept {
+    SimTime cur = now_.load(std::memory_order_acquire);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<SimTime> now_{0};
+};
+
+}  // namespace tpnr::common

@@ -1,0 +1,54 @@
+// Exception hierarchy for the library. Every subsystem throws a subclass of
+// Error so callers can catch per-layer or catch-all.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tpnr::common {
+
+/// Root of all tpnr exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Canonical-encoding violations (truncated/overlong buffers).
+class SerialError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Cryptographic failures: bad key sizes, verification failures surfaced as
+/// exceptions, malformed ciphertext.
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Authentication/authorization failures in provider front-ends.
+class AuthError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Storage backend failures (missing objects, backend I/O).
+class StorageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulated network failures (unknown endpoint, link down).
+class NetError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Non-repudiation protocol violations (bad state transitions, malformed or
+/// inconsistent evidence).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace tpnr::common

@@ -1,0 +1,24 @@
+#include "common/id.h"
+
+#include <array>
+#include <cstdio>
+
+namespace tpnr::common {
+
+std::uint64_t IdGenerator::next_u64() noexcept {
+  // splitmix64 (Steele, Lea, Flood 2014): one round per output.
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string IdGenerator::next_id(const std::string& prefix) {
+  std::array<char, 17> hex{};
+  std::snprintf(hex.data(), hex.size(), "%016llx",
+                static_cast<unsigned long long>(next_u64()));
+  return prefix + "-" + hex.data();
+}
+
+}  // namespace tpnr::common

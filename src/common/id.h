@@ -1,0 +1,30 @@
+// Identifier generation for transactions, sessions and simulated entities.
+// Deterministic when seeded, which keeps protocol traces reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace tpnr::common {
+
+/// splitmix64-based id generator: fast, seedable, well distributed. NOT
+/// cryptographic — protocol nonces come from crypto::Drbg instead.
+class IdGenerator {
+ public:
+  explicit IdGenerator(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept
+      : state_(seed) {}
+
+  /// Next raw 64-bit identifier.
+  std::uint64_t next_u64() noexcept;
+
+  /// Identifier rendered as a 16-hex-digit string with a prefix, e.g.
+  /// "txn-0011223344556677".
+  std::string next_id(const std::string& prefix);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tpnr::common

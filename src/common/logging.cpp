@@ -1,0 +1,21 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace tpnr::common {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& module,
+                 const std::string& msg) {
+  if (level < level_) return;
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const auto idx = static_cast<int>(level);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::clog << "[" << kNames[idx] << "] [" << module << "] " << msg << '\n';
+}
+
+}  // namespace tpnr::common

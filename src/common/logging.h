@@ -1,0 +1,63 @@
+// Minimal leveled, thread-safe logger. Default level is Warn so tests and
+// benches stay quiet; examples raise it to Info to narrate protocol flows.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tpnr::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  /// Process-wide singleton.
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Writes one line (module + message) if `level` is enabled.
+  void log(LogLevel level, const std::string& module, const std::string& msg);
+
+ private:
+  Logger() = default;
+  std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const std::string& module, Args&&... args) {
+  Logger::instance().log(LogLevel::kDebug, module,
+                         detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(const std::string& module, Args&&... args) {
+  Logger::instance().log(LogLevel::kInfo, module,
+                         detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(const std::string& module, Args&&... args) {
+  Logger::instance().log(LogLevel::kWarn, module,
+                         detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(const std::string& module, Args&&... args) {
+  Logger::instance().log(LogLevel::kError, module,
+                         detail::format_parts(std::forward<Args>(args)...));
+}
+
+}  // namespace tpnr::common

@@ -1,0 +1,70 @@
+#include "crypto/aead.h"
+
+#include "common/error.h"
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+
+namespace tpnr::crypto {
+
+Aead::Aead(BytesView key) {
+  if (key.size() != kKeySize) {
+    throw common::CryptoError("Aead: key must be 32 bytes");
+  }
+  // Derive independent subkeys so a flaw in one primitive cannot leak the
+  // other's key: K_enc = HMAC(K, "enc"), K_mac = HMAC(K, "mac").
+  enc_key_ = hmac_sha256(key, common::to_bytes("tpnr-aead-enc"));
+  mac_key_ = hmac_sha256(key, common::to_bytes("tpnr-aead-mac"));
+}
+
+Bytes Aead::mac_input(BytesView nonce, BytesView aad,
+                      BytesView ciphertext) const {
+  Bytes input;
+  input.reserve(nonce.size() + 8 + aad.size() + ciphertext.size());
+  common::append(input, nonce);
+  const std::uint64_t aad_len = aad.size();
+  for (int i = 7; i >= 0; --i) {
+    input.push_back(static_cast<std::uint8_t>(aad_len >> (8 * i)));
+  }
+  common::append(input, aad);
+  common::append(input, ciphertext);
+  return input;
+}
+
+Bytes Aead::seal(BytesView plaintext, BytesView aad, Drbg& rng) const {
+  const Bytes nonce = rng.bytes(kNonceSize);
+  Bytes ciphertext(plaintext.begin(), plaintext.end());
+  AesCtr ctr(enc_key_, nonce);
+  ctr.apply(ciphertext);
+
+  const Bytes tag = hmac_sha256(mac_key_, mac_input(nonce, aad, ciphertext));
+
+  Bytes out;
+  out.reserve(kNonceSize + ciphertext.size() + kTagSize);
+  common::append(out, nonce);
+  common::append(out, ciphertext);
+  common::append(out, tag);
+  return out;
+}
+
+Bytes Aead::open(BytesView sealed, BytesView aad) const {
+  if (sealed.size() < kOverhead) {
+    throw common::CryptoError("Aead::open: input too short");
+  }
+  const BytesView nonce = sealed.subspan(0, kNonceSize);
+  const BytesView ciphertext =
+      sealed.subspan(kNonceSize, sealed.size() - kOverhead);
+  const BytesView tag = sealed.subspan(sealed.size() - kTagSize);
+
+  const Bytes expected =
+      hmac_sha256(mac_key_, mac_input(nonce, aad, ciphertext));
+  if (!common::constant_time_equal(expected, tag)) {
+    throw common::CryptoError("Aead::open: authentication failed");
+  }
+
+  Bytes plaintext(ciphertext.begin(), ciphertext.end());
+  AesCtr ctr(enc_key_, nonce);
+  ctr.apply(plaintext);
+  return plaintext;
+}
+
+}  // namespace tpnr::crypto

@@ -1,0 +1,39 @@
+// Authenticated encryption with associated data, built as
+// AES-256-CTR + HMAC-SHA256 encrypt-then-MAC. This is the record protection
+// of the simulated SSL channel and of NR evidence envelopes.
+//
+// Wire format: nonce(12) || ciphertext || tag(32)
+// MAC input:   nonce || be64(|aad|) || aad || ciphertext
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace tpnr::crypto {
+
+class Aead {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 32;
+  static constexpr std::size_t kOverhead = kNonceSize + kTagSize;
+
+  /// Throws CryptoError unless the key is 32 bytes. Internally derives
+  /// independent encryption and MAC keys from it.
+  explicit Aead(BytesView key);
+
+  /// Encrypts and authenticates; the nonce is drawn from `rng`.
+  Bytes seal(BytesView plaintext, BytesView aad, Drbg& rng) const;
+
+  /// Verifies and decrypts. Throws CryptoError on any authentication
+  /// failure (wrong key, tampered ciphertext, tampered aad, truncation).
+  Bytes open(BytesView sealed, BytesView aad) const;
+
+ private:
+  Bytes mac_input(BytesView nonce, BytesView aad, BytesView ciphertext) const;
+
+  Bytes enc_key_;
+  Bytes mac_key_;
+};
+
+}  // namespace tpnr::crypto

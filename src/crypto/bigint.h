@@ -1,0 +1,124 @@
+// Arbitrary-precision integers for RSA. Sign-magnitude over 32-bit limbs
+// (little-endian limb order), with Karatsuba multiplication, Knuth
+// Algorithm-D division, sliding-window modular exponentiation, extended
+// Euclid inverse, and Miller-Rabin primality.
+//
+// Values are normalized: no trailing zero limbs; zero is an empty limb vector
+// with positive sign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace tpnr::crypto {
+
+using common::Bytes;
+using common::BytesView;
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal interop is intended
+  BigInt(const BigInt&) = default;
+  BigInt(BigInt&&) noexcept = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt& operator=(BigInt&&) noexcept = default;
+
+  /// Big-endian unsigned bytes -> non-negative value.
+  static BigInt from_bytes(BytesView data);
+  /// Hex string (no 0x prefix, optional leading '-').
+  static BigInt from_hex(std::string_view hex);
+  /// Decimal string (optional leading '-').
+  static BigInt from_decimal(std::string_view dec);
+  /// Uniform value in [0, bound) — bound must be positive.
+  static BigInt random_below(const BigInt& bound, Drbg& rng);
+  /// Uniform value with exactly `bits` bits (msb set).
+  static BigInt random_bits(std::size_t bits, Drbg& rng);
+
+  /// Minimal big-endian encoding ("" for zero), or left-zero-padded to
+  /// `min_len` when given.
+  [[nodiscard]] Bytes to_bytes(std::size_t min_len = 0) const;
+  [[nodiscard]] std::string to_hex() const;
+  [[nodiscard]] std::string to_decimal() const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const noexcept { return negative_; }
+  [[nodiscard]] bool is_odd() const noexcept {
+    return !limbs_.empty() && (limbs_[0] & 1u);
+  }
+  /// Number of significant bits; 0 for zero.
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+
+  // Comparisons (total order).
+  [[nodiscard]] int compare(const BigInt& other) const noexcept;
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) == 0;
+  }
+  friend auto operator<=>(const BigInt& a, const BigInt& b) noexcept {
+    const int c = a.compare(b);
+    return c <=> 0;
+  }
+
+  // Arithmetic.
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  /// Truncated division (C semantics). Throws CryptoError on division by 0.
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  BigInt operator-() const;
+
+  BigInt& operator+=(const BigInt& b) { return *this = *this + b; }
+  BigInt& operator-=(const BigInt& b) { return *this = *this - b; }
+  BigInt& operator*=(const BigInt& b) { return *this = *this * b; }
+
+  /// Quotient and remainder in one pass.
+  static void div_mod(const BigInt& a, const BigInt& b, BigInt& quotient,
+                      BigInt& remainder);
+
+  [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
+  [[nodiscard]] BigInt shifted_right(std::size_t bits) const;
+
+  /// Non-negative residue in [0, m).
+  [[nodiscard]] BigInt mod(const BigInt& m) const;
+  /// (this ^ exp) mod m, exp >= 0, m > 1. 4-bit fixed-window exponentiation.
+  [[nodiscard]] BigInt mod_pow(const BigInt& exp, const BigInt& m) const;
+  /// Multiplicative inverse mod m; throws CryptoError if gcd != 1.
+  [[nodiscard]] BigInt mod_inverse(const BigInt& m) const;
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Miller-Rabin with `rounds` random bases (plus base-2 first).
+  [[nodiscard]] bool is_probable_prime(Drbg& rng, int rounds = 32) const;
+  /// Random prime with exactly `bits` bits.
+  static BigInt generate_prime(std::size_t bits, Drbg& rng);
+
+ private:
+  void normalize() noexcept;
+  [[nodiscard]] int compare_magnitude(const BigInt& other) const noexcept;
+
+  static std::vector<std::uint32_t> add_mag(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_school(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static void div_mag(const std::vector<std::uint32_t>& a,
+                      const std::vector<std::uint32_t>& b,
+                      std::vector<std::uint32_t>& quotient,
+                      std::vector<std::uint32_t>& remainder);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, normalized
+  bool negative_ = false;             // never true for zero
+};
+
+}  // namespace tpnr::crypto

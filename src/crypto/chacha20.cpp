@@ -1,0 +1,90 @@
+#include "crypto/chacha20.h"
+
+#include "common/error.h"
+
+namespace tpnr::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) noexcept {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter) {
+  if (key.size() != kKeySize) {
+    throw common::CryptoError("ChaCha20: key must be 32 bytes");
+  }
+  if (nonce.size() != kNonceSize) {
+    throw common::CryptoError("ChaCha20: nonce must be 12 bytes");
+  }
+  state_[0] = 0x61707865u;
+  state_[1] = 0x3320646eu;
+  state_[2] = 0x79622d32u;
+  state_[3] = 0x6b206574u;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() noexcept {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[static_cast<std::size_t>(i)] +
+                            state_[static_cast<std::size_t>(i)];
+    block_[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(v);
+    block_[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(v >> 8);
+    block_[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(v >> 16);
+    block_[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];
+  block_pos_ = 0;
+}
+
+void ChaCha20::apply(Bytes& data) {
+  for (auto& byte : data) {
+    if (block_pos_ == 64) refill();
+    byte ^= block_[block_pos_++];
+  }
+}
+
+Bytes ChaCha20::keystream(std::size_t n) {
+  Bytes out(n, 0);
+  apply(out);
+  return out;
+}
+
+}  // namespace tpnr::crypto

@@ -1,0 +1,37 @@
+// ChaCha20 stream cipher (RFC 8439). Used as the core of the deterministic
+// random generator and available as an alternative channel cipher.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace tpnr::crypto {
+
+using common::Bytes;
+using common::BytesView;
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  /// Throws CryptoError on wrong key/nonce sizes.
+  ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void apply(Bytes& data);
+
+  /// Produces `n` keystream bytes (consumes cipher state).
+  Bytes keystream(std::size_t n);
+
+ private:
+  void refill() noexcept;
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t block_pos_ = 64;  // empty
+};
+
+}  // namespace tpnr::crypto

@@ -1,0 +1,55 @@
+#include "crypto/hmac.h"
+
+namespace tpnr::crypto {
+
+Hmac::Hmac(HashKind kind, BytesView key)
+    : inner_(make_hash(kind)), outer_(make_hash(kind)) {
+  const std::size_t block = inner_->block_size();
+  Bytes k(key.begin(), key.end());
+  if (k.size() > block) {
+    k = digest(kind, k);
+  }
+  k.resize(block, 0);
+
+  ipad_.assign(block, 0x36);
+  opad_.assign(block, 0x5c);
+  for (std::size_t i = 0; i < block; ++i) {
+    ipad_[i] ^= k[i];
+    opad_[i] ^= k[i];
+  }
+  common::secure_wipe(k);
+  start();
+}
+
+void Hmac::start() {
+  inner_->reset();
+  inner_->update(ipad_);
+}
+
+void Hmac::update(BytesView data) { inner_->update(data); }
+
+Bytes Hmac::finish() {
+  const Bytes inner_digest = inner_->finish();
+  outer_->reset();
+  outer_->update(opad_);
+  outer_->update(inner_digest);
+  Bytes tag = outer_->finish();
+  start();
+  return tag;
+}
+
+Bytes hmac(HashKind kind, BytesView key, BytesView data) {
+  Hmac mac(kind, key);
+  mac.update(data);
+  return mac.finish();
+}
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  return hmac(HashKind::kSha256, key, data);
+}
+
+bool hmac_verify(HashKind kind, BytesView key, BytesView data, BytesView tag) {
+  return common::constant_time_equal(hmac(kind, key, data), tag);
+}
+
+}  // namespace tpnr::crypto

@@ -1,0 +1,43 @@
+// HMAC (RFC 2104) over any Hash. Azure's SharedKey authorization (Table 1)
+// is HMAC-SHA256; the secure channel's record MAC uses it too.
+#pragma once
+
+#include <memory>
+
+#include "crypto/hash.h"
+
+namespace tpnr::crypto {
+
+/// Streaming HMAC. Keys longer than the block size are hashed first, per the
+/// RFC.
+class Hmac {
+ public:
+  Hmac(HashKind kind, BytesView key);
+
+  void update(BytesView data);
+  /// Finalizes the tag and re-keys the instance for reuse.
+  Bytes finish();
+
+  [[nodiscard]] std::size_t tag_size() const noexcept {
+    return inner_->digest_size();
+  }
+
+ private:
+  void start();
+
+  std::unique_ptr<Hash> inner_;
+  std::unique_ptr<Hash> outer_;
+  Bytes ipad_;
+  Bytes opad_;
+};
+
+/// One-shot convenience.
+Bytes hmac(HashKind kind, BytesView key, BytesView data);
+
+/// One-shot HMAC-SHA256, the variant used by SharedKey and the NR channel.
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// Constant-time tag check.
+bool hmac_verify(HashKind kind, BytesView key, BytesView data, BytesView tag);
+
+}  // namespace tpnr::crypto

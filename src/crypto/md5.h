@@ -1,0 +1,39 @@
+// MD5 (RFC 1321). Present because the platforms under study (S3 Import/
+// Export, Azure Content-MD5) use MD5 checksums; the NR protocol itself uses
+// SHA-2. Do not use MD5 for new designs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace tpnr::crypto {
+
+class Md5 final : public Hash {
+ public:
+  Md5() noexcept { reset(); }
+
+  void update(BytesView data) override;
+  Bytes finish() override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t digest_size() const noexcept override { return 16; }
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 64; }
+  [[nodiscard]] HashKind kind() const noexcept override {
+    return HashKind::kMd5;
+  }
+  [[nodiscard]] std::unique_ptr<Hash> fresh() const override {
+    return std::make_unique<Md5>();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace tpnr::crypto

@@ -1,0 +1,64 @@
+// RSA keypairs, PKCS#1 v1.5 signatures (the paper's Sign(·)), and a hybrid
+// public-key encryption envelope (the paper's Encrypt{·} over evidence). The
+// envelope is RSA-KEM-style: a fresh AEAD key is RSA-encrypted with OAEP-like
+// padding and the payload travels under the AEAD — required because evidence
+// payloads exceed the RSA block size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+#include "crypto/hash.h"
+
+namespace tpnr::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  ///< modulus
+  BigInt e;  ///< public exponent
+
+  [[nodiscard]] std::size_t modulus_bytes() const {
+    return (n.bit_length() + 7) / 8;
+  }
+  /// Canonical encoding for fingerprints and transport.
+  [[nodiscard]] Bytes encode() const;
+  static RsaPublicKey decode(BytesView data);
+  /// SHA-256 of the canonical encoding; identifies the key in certificates.
+  [[nodiscard]] Bytes fingerprint() const;
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;  ///< private exponent
+  BigInt p;
+  BigInt q;
+
+  [[nodiscard]] RsaPublicKey public_key() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates an RSA keypair with modulus of `bits` bits (e = 65537).
+RsaKeyPair rsa_generate(std::size_t bits, Drbg& rng);
+
+/// PKCS#1 v1.5 signature over `message` (the message is hashed with `kind`).
+Bytes rsa_sign(const RsaPrivateKey& key, HashKind kind, BytesView message);
+
+/// Verifies a PKCS#1 v1.5 signature; returns false on any mismatch (never
+/// throws for malformed signatures).
+bool rsa_verify(const RsaPublicKey& key, HashKind kind, BytesView message,
+                BytesView signature);
+
+/// Hybrid encryption: RSA(OAEP-like) wraps a random 32-byte AEAD key, the
+/// payload is sealed under that key. Output: u16 len || wrapped key || sealed.
+Bytes rsa_encrypt(const RsaPublicKey& key, BytesView plaintext, Drbg& rng);
+
+/// Inverse of rsa_encrypt. Throws CryptoError on any failure.
+Bytes rsa_decrypt(const RsaPrivateKey& key, BytesView ciphertext);
+
+}  // namespace tpnr::crypto

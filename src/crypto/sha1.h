@@ -1,0 +1,38 @@
+// SHA-1 (FIPS 180-4). Included for completeness of the platform simulations;
+// the NR protocol uses SHA-256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace tpnr::crypto {
+
+class Sha1 final : public Hash {
+ public:
+  Sha1() noexcept { reset(); }
+
+  void update(BytesView data) override;
+  Bytes finish() override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t digest_size() const noexcept override { return 20; }
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 64; }
+  [[nodiscard]] HashKind kind() const noexcept override {
+    return HashKind::kSha1;
+  }
+  [[nodiscard]] std::unique_ptr<Hash> fresh() const override {
+    return std::make_unique<Sha1>();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace tpnr::crypto

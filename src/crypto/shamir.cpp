@@ -1,0 +1,126 @@
+#include "crypto/shamir.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace tpnr::crypto {
+
+using common::CryptoError;
+
+namespace {
+
+// GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1; log/exp tables built once.
+struct Gf256 {
+  std::array<std::uint8_t, 256> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  Gf256() {
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      const std::uint8_t x2 =
+          static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+      x = static_cast<std::uint8_t>(x2 ^ x);  // multiply by generator 3
+    }
+  }
+
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    const int s = log[a] + log[b];
+    return exp[static_cast<std::size_t>(s % 255)];
+  }
+
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const {
+    if (b == 0) throw CryptoError("GF256: division by zero");
+    if (a == 0) return 0;
+    const int s = log[a] - log[b] + 255;
+    return exp[static_cast<std::size_t>(s % 255)];
+  }
+};
+
+const Gf256& gf() {
+  static const Gf256 field;
+  return field;
+}
+
+// Evaluates the polynomial with byte coefficients at x (Horner).
+std::uint8_t poly_eval(BytesView coeffs, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = static_cast<std::uint8_t>(gf().mul(acc, x) ^ coeffs[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<ShamirShare> shamir_split(BytesView secret, int threshold,
+                                      int share_count, Drbg& rng) {
+  if (threshold < 1 || share_count < threshold || share_count > 255) {
+    throw CryptoError("shamir_split: bad threshold/share_count");
+  }
+  std::vector<ShamirShare> shares(static_cast<std::size_t>(share_count));
+  for (int i = 0; i < share_count; ++i) {
+    shares[static_cast<std::size_t>(i)].index =
+        static_cast<std::uint8_t>(i + 1);
+    shares[static_cast<std::size_t>(i)].data.resize(secret.size());
+  }
+
+  Bytes coeffs(static_cast<std::size_t>(threshold));
+  for (std::size_t byte = 0; byte < secret.size(); ++byte) {
+    // coeffs[0] = secret byte; higher coefficients random.
+    coeffs[0] = secret[byte];
+    if (threshold > 1) {
+      Bytes rnd = rng.bytes(static_cast<std::size_t>(threshold - 1));
+      std::copy(rnd.begin(), rnd.end(), coeffs.begin() + 1);
+    }
+    for (auto& share : shares) {
+      share.data[byte] = poly_eval(coeffs, share.index);
+    }
+  }
+  return shares;
+}
+
+Bytes shamir_combine(const std::vector<ShamirShare>& shares) {
+  if (shares.empty()) throw CryptoError("shamir_combine: no shares");
+  const std::size_t len = shares.front().data.size();
+  for (const auto& s : shares) {
+    if (s.index == 0) throw CryptoError("shamir_combine: share index 0");
+    if (s.data.size() != len) {
+      throw CryptoError("shamir_combine: share length mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    for (std::size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].index == shares[j].index) {
+        throw CryptoError("shamir_combine: duplicate share index");
+      }
+    }
+  }
+
+  // Lagrange interpolation at x = 0, byte-wise.
+  Bytes secret(len, 0);
+  for (std::size_t byte = 0; byte < len; ++byte) {
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      std::uint8_t num = 1;
+      std::uint8_t den = 1;
+      for (std::size_t j = 0; j < shares.size(); ++j) {
+        if (i == j) continue;
+        num = gf().mul(num, shares[j].index);
+        den = gf().mul(den,
+                       static_cast<std::uint8_t>(shares[i].index ^
+                                                 shares[j].index));
+      }
+      const std::uint8_t term =
+          gf().mul(shares[i].data[byte], gf().div(num, den));
+      acc = static_cast<std::uint8_t>(acc ^ term);
+    }
+    secret[byte] = acc;
+  }
+  return secret;
+}
+
+}  // namespace tpnr::crypto

@@ -1,0 +1,37 @@
+// Shamir secret sharing over GF(2^8), byte-wise. This is the paper's "secret
+// key sharing technique (SKS)" used by the §3.2 and §3.4 bridging schemes:
+// the agreed MD5/SHA digest is split so that neither the user nor the
+// provider alone can alter or reconstruct it; a dispute reconstructs it from
+// any `threshold` shares.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace tpnr::crypto {
+
+using common::Bytes;
+using common::BytesView;
+
+struct ShamirShare {
+  std::uint8_t index = 0;  ///< x-coordinate, never 0
+  Bytes data;              ///< y-coordinates, one byte per secret byte
+};
+
+/// Splits `secret` into `share_count` shares such that any `threshold` of
+/// them reconstruct it and fewer reveal nothing. Requires
+/// 1 <= threshold <= share_count <= 255. Throws CryptoError on bad
+/// parameters.
+std::vector<ShamirShare> shamir_split(BytesView secret, int threshold,
+                                      int share_count, Drbg& rng);
+
+/// Reconstructs the secret from at least `threshold` distinct shares (extra
+/// shares are ignored beyond consistency of length). Throws CryptoError on
+/// malformed input. Reconstruction from fewer shares than the original
+/// threshold yields garbage, not an error — secrecy, not integrity.
+Bytes shamir_combine(const std::vector<ShamirShare>& shares);
+
+}  // namespace tpnr::crypto

@@ -1,0 +1,118 @@
+#include "net/network.h"
+
+namespace tpnr::net {
+
+void Network::attach(const std::string& endpoint, Handler handler) {
+  handlers_[endpoint] = std::move(handler);
+}
+
+void Network::set_link(const std::string& from, const std::string& to,
+                       LinkConfig config) {
+  links_[{from, to}] = config;
+}
+
+void Network::set_adversary(const std::string& from, const std::string& to,
+                            Adversary adversary) {
+  adversaries_[{from, to}] = std::move(adversary);
+}
+
+void Network::clear_adversary(const std::string& from, const std::string& to) {
+  adversaries_.erase({from, to});
+}
+
+const LinkConfig& Network::link_for(const std::string& from,
+                                    const std::string& to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+std::uint64_t Network::send(const std::string& from, const std::string& to,
+                            const std::string& topic, Bytes payload) {
+  if (!handlers_.contains(to)) {
+    throw common::NetError("Network::send: unknown endpoint '" + to + "'");
+  }
+  Envelope env;
+  env.id = next_envelope_id_++;
+  env.from = from;
+  env.to = to;
+  env.topic = topic;
+  env.payload = std::move(payload);
+  env.sent_at = clock_.now();
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += env.payload.size();
+
+  // Adversary sees the message before channel effects.
+  if (const auto adv = adversaries_.find({from, to});
+      adv != adversaries_.end()) {
+    AdversaryAction action = adv->second(env);
+    switch (action.kind) {
+      case AdversaryAction::Kind::kDrop:
+        ++stats_.messages_dropped_adversary;
+        return env.id;
+      case AdversaryAction::Kind::kModify:
+        env.payload = std::move(action.modified_payload);
+        ++stats_.messages_modified;
+        break;
+      case AdversaryAction::Kind::kPass:
+        break;
+    }
+  }
+
+  const LinkConfig& link = link_for(from, to);
+  if (link.loss_probability > 0.0 && rng_.chance(link.loss_probability)) {
+    ++stats_.messages_dropped_loss;
+    return env.id;
+  }
+
+  SimTime delay = link.latency;
+  if (link.jitter > 0) {
+    delay += static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(link.jitter) + 1));
+  }
+  if (link.bandwidth_bytes_per_sec > 0) {
+    delay += static_cast<SimTime>(env.payload.size()) * common::kSecond /
+             static_cast<SimTime>(link.bandwidth_bytes_per_sec);
+  }
+  env.delivered_at = clock_.now() + delay;
+  const std::uint64_t id = env.id;
+
+  Event event;
+  event.at = env.delivered_at;
+  event.seq = next_event_seq_++;
+  event.is_timer = false;
+  event.envelope = std::move(env);
+  events_.push(std::move(event));
+  return id;
+}
+
+void Network::schedule(SimTime delay, TimerCallback callback) {
+  Event event;
+  event.at = clock_.now() + delay;
+  event.seq = next_event_seq_++;
+  event.is_timer = true;
+  event.callback = std::move(callback);
+  events_.push(std::move(event));
+}
+
+std::size_t Network::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!events_.empty() && processed < max_events) {
+    Event event = events_.top();
+    events_.pop();
+    clock_.advance_to(event.at);
+    if (event.is_timer) {
+      event.callback();
+    } else {
+      const auto it = handlers_.find(event.envelope.to);
+      if (it != handlers_.end()) {
+        ++stats_.messages_delivered;
+        it->second(event.envelope);
+      }
+    }
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace tpnr::net

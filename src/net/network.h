@@ -1,0 +1,145 @@
+// Discrete-event simulated network.
+//
+// Endpoints register handlers; send() stamps the message with link latency
+// (plus size/bandwidth serialization delay and optional jitter) and enqueues
+// a delivery event; run() drains events in timestamp order, advancing the
+// shared SimClock. Timers share the same event queue, which is how protocol
+// time limits (§5.5) are driven.
+//
+// An adversary can be interposed on any link: it sees every traversing
+// envelope and may pass, drop, modify, or inject — the basis of the §5
+// attack harness. All randomness is drawn from a seeded Drbg, so runs are
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "crypto/drbg.h"
+
+namespace tpnr::net {
+
+using common::Bytes;
+using common::BytesView;
+using common::SimTime;
+
+/// A message in flight or delivered.
+struct Envelope {
+  std::uint64_t id = 0;
+  std::string from;
+  std::string to;
+  std::string topic;  ///< free-form dispatch hint ("nr.msg", "rest.req", ...)
+  Bytes payload;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
+
+/// Per-link quality parameters.
+struct LinkConfig {
+  SimTime latency = 5 * common::kMillisecond;
+  SimTime jitter = 0;                      ///< uniform extra in [0, jitter]
+  double loss_probability = 0.0;           ///< independent per message
+  std::uint64_t bandwidth_bytes_per_sec = 0;  ///< 0 = infinite
+};
+
+/// Decision returned by an adversary for each observed envelope.
+struct AdversaryAction {
+  enum class Kind { kPass, kDrop, kModify } kind = Kind::kPass;
+  Bytes modified_payload;  ///< used when kind == kModify
+};
+
+/// Interposed man-in-the-link. `on_message` is consulted for every envelope
+/// crossing the link it is attached to; `inject` (via Network::send) can add
+/// wholly new traffic.
+using Adversary = std::function<AdversaryAction(const Envelope&)>;
+
+/// Statistics for experiments.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_loss = 0;
+  std::uint64_t messages_dropped_adversary = 0;
+  std::uint64_t messages_modified = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+  using TimerCallback = std::function<void()>;
+
+  explicit Network(std::uint64_t seed = 1)
+      : rng_(seed) {}
+
+  common::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] SimTime now() const noexcept { return clock_.now(); }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+
+  /// Registers an endpoint; replaces the handler if it already exists.
+  void attach(const std::string& endpoint, Handler handler);
+
+  /// Configures the directed link from -> to (default link otherwise).
+  void set_link(const std::string& from, const std::string& to,
+                LinkConfig config);
+
+  /// Default config for links without an explicit entry.
+  void set_default_link(LinkConfig config) { default_link_ = config; }
+
+  /// Interposes an adversary on the directed link from -> to.
+  void set_adversary(const std::string& from, const std::string& to,
+                     Adversary adversary);
+  void clear_adversary(const std::string& from, const std::string& to);
+
+  /// Queues a message; throws NetError if `to` was never attached.
+  /// Returns the envelope id (also when the message will later be dropped).
+  std::uint64_t send(const std::string& from, const std::string& to,
+                     const std::string& topic, Bytes payload);
+
+  /// Schedules `callback` to fire at now() + delay.
+  void schedule(SimTime delay, TimerCallback callback);
+
+  /// Processes events until the queue is empty (or `max_events` is hit).
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = 1 << 20);
+
+  /// True if no events are pending.
+  [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
+
+ private:
+  struct Event {
+    SimTime at = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break
+    bool is_timer = false;
+    Envelope envelope;       // valid when !is_timer
+    TimerCallback callback;  // valid when is_timer
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] const LinkConfig& link_for(const std::string& from,
+                                           const std::string& to) const;
+
+  common::SimClock clock_;
+  crypto::Drbg rng_;
+  NetworkStats stats_;
+  LinkConfig default_link_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::pair<std::string, std::string>, LinkConfig> links_;
+  std::map<std::pair<std::string, std::string>, Adversary> adversaries_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t next_envelope_id_ = 1;
+  std::uint64_t next_event_seq_ = 1;
+};
+
+}  // namespace tpnr::net

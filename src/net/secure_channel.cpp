@@ -1,0 +1,101 @@
+#include "net/secure_channel.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/hmac.h"
+
+namespace tpnr::net {
+
+namespace {
+
+Bytes derive_master(BytesView pre_master, BytesView nonce_c,
+                    BytesView nonce_s) {
+  Bytes label = common::to_bytes("tpnr-ssl-master");
+  common::append(label, nonce_c);
+  common::append(label, nonce_s);
+  return crypto::hmac_sha256(pre_master, label);
+}
+
+}  // namespace
+
+SecureChannel::SecureChannel(Role role, BytesView master_secret)
+    : role_(role), aead_(master_secret) {}
+
+SecureChannel::Pair SecureChannel::establish(
+    const pki::Identity& client, const pki::Identity& server,
+    const pki::CertificateAuthority& ca, common::SimTime now,
+    crypto::Drbg& rng) {
+  if (!client.certificate() || !server.certificate()) {
+    throw common::AuthError("SecureChannel: both parties need certificates");
+  }
+  // Mutual certificate validation — §5.1's "authenticate the validity" step.
+  if (ca.check(*client.certificate(), now) != pki::CertStatus::kValid) {
+    throw common::AuthError("SecureChannel: client certificate invalid");
+  }
+  if (ca.check(*server.certificate(), now) != pki::CertStatus::kValid) {
+    throw common::AuthError("SecureChannel: server certificate invalid");
+  }
+
+  const Bytes nonce_c = rng.bytes(32);
+  const Bytes nonce_s = rng.bytes(32);
+
+  common::BinaryWriter hello_c;
+  hello_c.bytes(nonce_c);
+  hello_c.bytes(client.certificate()->encode());
+
+  // Server generates and wraps the pre-master secret for the client's
+  // authenticated key, then signs the transcript.
+  const Bytes pre_master = rng.bytes(32);
+  const Bytes wrapped =
+      pki::Identity::seal_for(client.public_key(), pre_master, rng);
+
+  common::BinaryWriter transcript;
+  transcript.bytes(nonce_c);
+  transcript.bytes(nonce_s);
+  transcript.bytes(wrapped);
+  const Bytes server_sig = server.sign(transcript.data());
+
+  common::BinaryWriter hello_s;
+  hello_s.bytes(nonce_s);
+  hello_s.bytes(server.certificate()->encode());
+  hello_s.bytes(wrapped);
+  hello_s.bytes(server_sig);
+
+  // Client side: verify the server's signature under its certified key.
+  if (!pki::Identity::verify(server.public_key(), transcript.data(),
+                             server_sig)) {
+    throw common::AuthError("SecureChannel: bad server handshake signature");
+  }
+  const Bytes pre_master_client = client.unseal(wrapped);
+  const Bytes master = derive_master(pre_master_client, nonce_c, nonce_s);
+
+  Pair pair;
+  pair.client.reset(new SecureChannel(Role::kClient, master));
+  pair.server.reset(new SecureChannel(Role::kServer, master));
+  pair.client_hello = hello_c.take();
+  pair.server_hello = hello_s.take();
+  return pair;
+}
+
+Bytes SecureChannel::aad(bool client_to_server, std::uint64_t seq) const {
+  common::BinaryWriter w;
+  w.str(client_to_server ? "c2s" : "s2c");
+  w.u64(seq);
+  return w.take();
+}
+
+Bytes SecureChannel::seal(BytesView plaintext, crypto::Drbg& rng) {
+  const bool c2s = role_ == Role::kClient;
+  const Bytes sealed = aead_.seal(plaintext, aad(c2s, send_seq_), rng);
+  ++send_seq_;
+  return sealed;
+}
+
+Bytes SecureChannel::open(BytesView record) {
+  const bool c2s = role_ == Role::kServer;  // peer's direction
+  const Bytes plaintext = aead_.open(record, aad(c2s, recv_seq_));
+  ++recv_seq_;
+  return plaintext;
+}
+
+}  // namespace tpnr::net

@@ -1,0 +1,64 @@
+#include "net/tls_gateway.h"
+
+#include "common/error.h"
+
+namespace tpnr::net {
+
+TlsGateway::TlsGateway(pki::Identity& server,
+                       const pki::CertificateAuthority& ca,
+                       AppHandler handler)
+    : server_(&server), ca_(&ca), handler_(std::move(handler)) {
+  if (!handler_) {
+    throw common::NetError("TlsGateway: null application handler");
+  }
+}
+
+std::uint64_t TlsGateway::connect(const pki::Identity& client,
+                                  common::SimTime now, crypto::Drbg& rng) {
+  auto pair = SecureChannel::establish(client, *server_, *ca_, now, rng);
+  Connection connection;
+  connection.client_side = std::move(pair.client);
+  connection.server_side = std::move(pair.server);
+  const std::uint64_t id = next_connection_++;
+  connections_[id] = std::move(connection);
+  return id;
+}
+
+Bytes TlsGateway::client_seal(std::uint64_t connection_id, BytesView plaintext,
+                              crypto::Drbg& rng) {
+  const auto it = connections_.find(connection_id);
+  if (it == connections_.end()) {
+    throw common::NetError("TlsGateway: unknown connection");
+  }
+  return it->second.client_side->seal(plaintext, rng);
+}
+
+Bytes TlsGateway::gateway_process(std::uint64_t connection_id,
+                                  BytesView record, crypto::Drbg& rng) {
+  const auto it = connections_.find(connection_id);
+  if (it == connections_.end()) {
+    throw common::NetError("TlsGateway: unknown connection");
+  }
+  const Bytes plaintext = it->second.server_side->open(record);
+  const Bytes response = handler_(plaintext);
+  return it->second.server_side->seal(response, rng);
+}
+
+Bytes TlsGateway::client_open(std::uint64_t connection_id, BytesView record) {
+  const auto it = connections_.find(connection_id);
+  if (it == connections_.end()) {
+    throw common::NetError("TlsGateway: unknown connection");
+  }
+  return it->second.client_side->open(record);
+}
+
+Bytes TlsGateway::round_trip(std::uint64_t connection_id,
+                             BytesView plaintext_request, crypto::Drbg& rng) {
+  const Bytes request_record =
+      client_seal(connection_id, plaintext_request, rng);
+  const Bytes response_record =
+      gateway_process(connection_id, request_record, rng);
+  return client_open(connection_id, response_record);
+}
+
+}  // namespace tpnr::net

@@ -1,0 +1,99 @@
+#include "nr/actor.h"
+
+namespace tpnr::nr {
+
+NrActor::NrActor(std::string id, net::Network& network,
+                 pki::Identity& identity, crypto::Drbg& rng)
+    : network_(&network), identity_(&identity), rng_(&rng),
+      id_(std::move(id)) {
+  network_->attach(id_, [this](const net::Envelope& envelope) {
+    ++stats_.received;
+    NrMessage message;
+    try {
+      message = NrMessage::decode(envelope.payload);
+    } catch (const common::SerialError&) {
+      ++stats_.rejected_bad_hash;
+      return;
+    }
+    if (!screen(message)) return;
+    ++stats_.accepted;
+    on_message(message);
+  });
+}
+
+void NrActor::trust_peer(const std::string& peer_id,
+                         crypto::RsaPublicKey key) {
+  peers_[peer_id] = std::move(key);
+}
+
+const crypto::RsaPublicKey* NrActor::peer_key(
+    const std::string& peer_id) const {
+  const auto it = peers_.find(peer_id);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+bool NrActor::screen(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  // Reflection defence (§5.2): a message must name this actor as its
+  // recipient; our own messages bounced back are rejected here.
+  if (policy_.check_addressee && h.recipient != id_) {
+    ++stats_.rejected_wrong_addressee;
+    return false;
+  }
+  if (peer_key(h.sender) == nullptr) {
+    ++stats_.rejected_unknown_sender;
+    return false;
+  }
+  // Timeliness (§5.5): each message carries an absolute deadline.
+  if (policy_.check_time_limit && h.time_limit != 0 &&
+      network_->now() > h.time_limit) {
+    ++stats_.rejected_expired;
+    return false;
+  }
+  // Replay defence (§5.4): nonces are single-use.
+  if (policy_.check_nonce && !h.nonce.empty() &&
+      !seen_nonces_.insert(h.nonce).second) {
+    ++stats_.rejected_replay;
+    return false;
+  }
+  // Interleaving defence (§5.3): the sequence number must strictly increase
+  // per (transaction, sender) — per sender, because a lost message must not
+  // burn a number the peer will use (e.g. a dropped receipt followed by an
+  // abort request).
+  auto [it, inserted] =
+      txn_last_seq_.try_emplace(h.txn_id + "|" + h.sender, 0);
+  if (policy_.check_sequence && h.seq_no <= it->second) {
+    ++stats_.rejected_bad_sequence;
+    return false;
+  }
+  if (it->second < h.seq_no) it->second = h.seq_no;
+  // Keep our emit counter ahead of whatever we have now seen.
+  auto& next = txn_next_seq_[h.txn_id];
+  if (next < h.seq_no) next = h.seq_no;
+  return true;
+}
+
+void NrActor::send(const std::string& to, NrMessage message) {
+  ++stats_.sent;
+  network_->send(id_, to, "nr", message.encode());
+}
+
+MessageHeader NrActor::next_header(MsgType flag, const std::string& recipient,
+                                   const std::string& ttp,
+                                   const std::string& txn_id,
+                                   BytesView data_hash,
+                                   common::SimTime time_limit) {
+  MessageHeader h;
+  h.flag = flag;
+  h.sender = id_;
+  h.recipient = recipient;
+  h.ttp = ttp;
+  h.txn_id = txn_id;
+  h.seq_no = ++txn_next_seq_[txn_id];
+  h.nonce = rng_->bytes(16);
+  h.time_limit = time_limit;
+  h.data_hash = Bytes(data_hash.begin(), data_hash.end());
+  return h;
+}
+
+}  // namespace tpnr::nr

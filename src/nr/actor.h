@@ -1,0 +1,105 @@
+// Base machinery shared by the TPNR actors (client Alice, provider Bob,
+// TTP): authenticated peer-key directory, replay/uniqueness bookkeeping,
+// send helpers and counters. Actors are endpoints on the simulated network;
+// every message is an encoded NrMessage on topic "nr".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "crypto/hash.h"
+#include "net/network.h"
+#include "nr/evidence.h"
+#include "nr/message.h"
+#include "pki/identity.h"
+
+namespace tpnr::nr {
+
+/// Why an inbound message was rejected (accumulated per actor; the attack
+/// benches read these to show WHICH defence fired).
+struct ActorStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_unknown_sender = 0;
+  std::uint64_t rejected_expired = 0;       ///< past the time limit (§5.5)
+  std::uint64_t rejected_replay = 0;        ///< nonce or stale seq (§5.4)
+  std::uint64_t rejected_bad_sequence = 0;  ///< out-of-order seq (§5.3)
+  std::uint64_t rejected_bad_hash = 0;      ///< payload/hash inconsistency
+  std::uint64_t rejected_bad_evidence = 0;  ///< decryption/signature failure
+  std::uint64_t rejected_wrong_addressee = 0;  ///< reflected message (§5.2)
+};
+
+/// Which of the generic §5 defences are active. All on by default; the
+/// attack benches switch individual ones off to demonstrate that each
+/// defence is load-bearing.
+struct ScreeningPolicy {
+  bool check_addressee = true;  ///< §5.2 reflection
+  bool check_nonce = true;      ///< §5.4 replay
+  bool check_sequence = true;   ///< §5.3 interleaving
+  bool check_time_limit = true; ///< §5.5 timeliness
+};
+
+class NrActor {
+ public:
+  NrActor(std::string id, net::Network& network, pki::Identity& identity,
+          crypto::Drbg& rng);
+  virtual ~NrActor() = default;
+
+  NrActor(const NrActor&) = delete;
+  NrActor& operator=(const NrActor&) = delete;
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const ActorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] pki::Identity& identity() noexcept { return *identity_; }
+
+  /// Records an authenticated peer key (obtained via certificates out of
+  /// band; §5.1 requires keys to be authenticated before use).
+  void trust_peer(const std::string& peer_id, crypto::RsaPublicKey key);
+
+  void set_screening_policy(ScreeningPolicy policy) noexcept {
+    policy_ = policy;
+  }
+  [[nodiscard]] const ScreeningPolicy& screening_policy() const noexcept {
+    return policy_;
+  }
+
+ protected:
+  /// Subclass dispatch for an already-screened message.
+  virtual void on_message(const NrMessage& message) = 0;
+
+  /// Generic screening every inbound message passes first: addressee check
+  /// (reflection), sender known, time limit, nonce freshness, per-txn
+  /// monotone sequence. Returns false (and bumps a counter) on violation.
+  bool screen(const NrMessage& message);
+
+  void send(const std::string& to, NrMessage message);
+
+  [[nodiscard]] const crypto::RsaPublicKey* peer_key(
+      const std::string& peer_id) const;
+
+  /// Builds a header with fresh nonce and next sequence number for `txn`.
+  MessageHeader next_header(MsgType flag, const std::string& recipient,
+                            const std::string& ttp, const std::string& txn_id,
+                            BytesView data_hash, common::SimTime time_limit);
+
+  net::Network* network_;
+  pki::Identity* identity_;
+  crypto::Drbg* rng_;
+  ActorStats stats_;
+
+ private:
+  std::string id_;
+  ScreeningPolicy policy_;
+  std::map<std::string, crypto::RsaPublicKey> peers_;
+  std::set<Bytes> seen_nonces_;
+  /// Highest sequence seen, keyed "txn|sender".
+  std::map<std::string, std::uint64_t> txn_last_seq_;
+  /// Next sequence to emit, keyed by txn (advanced past anything received).
+  std::map<std::string, std::uint64_t> txn_next_seq_;
+};
+
+}  // namespace tpnr::nr

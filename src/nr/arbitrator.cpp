@@ -1,0 +1,97 @@
+#include "nr/arbitrator.h"
+
+#include "crypto/hash.h"
+
+namespace tpnr::nr {
+
+std::string ruling_name(RulingKind kind) {
+  switch (kind) {
+    case RulingKind::kDataIntact:
+      return "data-intact";
+    case RulingKind::kProviderFault:
+      return "provider-fault";
+    case RulingKind::kUserFault:
+      return "user-fault";
+    case RulingKind::kInconclusive:
+      return "inconclusive";
+  }
+  return "unknown";
+}
+
+Ruling Arbitrator::arbitrate(const DisputeCase& dispute) {
+  // 1. Validate whatever evidence each side presents. Presenting evidence
+  //    that fails verification is counted against the presenter.
+  bool alice_evidence_valid = false;
+  if (dispute.alice_nrr) {
+    const auto& [header, opened] = *dispute.alice_nrr;
+    alice_evidence_valid =
+        header.txn_id == dispute.txn_id &&
+        verify_evidence_signatures(dispute.bob_key, header, opened);
+  }
+  bool bob_evidence_valid = false;
+  if (dispute.bob_nro) {
+    const auto& [header, opened] = *dispute.bob_nro;
+    bob_evidence_valid =
+        header.txn_id == dispute.txn_id &&
+        verify_evidence_signatures(dispute.alice_key, header, opened);
+  }
+  bool ttp_verdict_valid = false;
+  if (dispute.ttp_verdict && dispute.ttp_key) {
+    ttp_verdict_valid = pki::Identity::verify(
+        *dispute.ttp_key, dispute.ttp_verdict->statement,
+        dispute.ttp_verdict->statement_signature);
+  }
+
+  // 2. A signed TTP "no-response" statement means the provider stonewalled
+  //    the Resolve procedure: the honest party must not suffer (§4.3).
+  if (ttp_verdict_valid && dispute.ttp_verdict->outcome == "no-response") {
+    return {RulingKind::kProviderFault,
+            "TTP attests the provider ignored the Resolve query"};
+  }
+
+  // 3. No verifiable digest agreement from either side: nothing to rule on.
+  if (!alice_evidence_valid && !bob_evidence_valid) {
+    return {RulingKind::kInconclusive,
+            "neither party presents verifiable evidence"};
+  }
+
+  // 4. Establish the agreed data hash. If both sides hold valid evidence
+  //    the hashes must concur — they were produced over the same exchange.
+  common::Bytes agreed_hash;
+  if (alice_evidence_valid && bob_evidence_valid) {
+    if (dispute.alice_nrr->first.data_hash !=
+        dispute.bob_nro->first.data_hash) {
+      return {RulingKind::kInconclusive,
+              "valid evidence on both sides but over different hashes"};
+    }
+    agreed_hash = dispute.alice_nrr->first.data_hash;
+  } else if (alice_evidence_valid) {
+    agreed_hash = dispute.alice_nrr->first.data_hash;
+  } else {
+    agreed_hash = dispute.bob_nro->first.data_hash;
+  }
+
+  // 5. The provider must produce the object.
+  if (!dispute.current_data) {
+    // With only Bob's NRO and no Alice complaint there is nothing against
+    // the provider... but an NRO proves he accepted custody of the object.
+    return {RulingKind::kProviderFault,
+            "provider cannot produce the object it holds evidence for"};
+  }
+
+  // 6. Compare the produced bytes against the agreement.
+  const common::Bytes current_hash = crypto::sha256(*dispute.current_data);
+  if (current_hash == agreed_hash) {
+    if (dispute.user_claims_tamper) {
+      return {RulingKind::kUserFault,
+              "served data matches the signed agreement; the tamper claim "
+              "is false (blackmail attempt)"};
+    }
+    return {RulingKind::kDataIntact,
+            "served data matches the signed agreement"};
+  }
+  return {RulingKind::kProviderFault,
+          "provider's data does not match the hash it signed in the NRR"};
+}
+
+}  // namespace tpnr::nr

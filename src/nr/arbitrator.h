@@ -1,0 +1,55 @@
+// The Arbitrator (Fig. 6(d)): asks Alice and Bob for their evidence, pulls
+// any TTP verdicts, re-examines the object the provider can produce, and
+// rules. Pure evidence evaluation — it is not a network actor, mirroring the
+// figure where arbitration sits outside the protocol proper.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/rsa.h"
+#include "nr/evidence.h"
+#include "nr/ttp.h"
+
+namespace tpnr::nr {
+
+enum class RulingKind {
+  kDataIntact,     ///< provider serves bytes matching the agreed hash
+  kProviderFault,  ///< provider signed a receipt it cannot honour
+  kUserFault,      ///< user's claim contradicts valid evidence (blackmail)
+  kInconclusive,   ///< evidence insufficient on both sides
+};
+std::string ruling_name(RulingKind kind);
+
+/// Everything laid before the arbitrator for one transaction.
+struct DisputeCase {
+  std::string txn_id;
+  crypto::RsaPublicKey alice_key;
+  crypto::RsaPublicKey bob_key;
+  std::optional<crypto::RsaPublicKey> ttp_key;
+
+  /// Alice presents her NRR (Bob's signed receipt) if she has one.
+  std::optional<std::pair<MessageHeader, OpenedEvidence>> alice_nrr;
+  /// Bob presents his NRO (Alice's signed origin) if he has one.
+  std::optional<std::pair<MessageHeader, OpenedEvidence>> bob_nro;
+  /// TTP verdict on record, if the Resolve mode ran.
+  std::optional<TtpVerdictRecord> ttp_verdict;
+  /// The object bytes Bob produces on demand (nullopt: cannot produce).
+  std::optional<common::Bytes> current_data;
+  /// Whether the user is alleging tampering (vs. a routine audit).
+  bool user_claims_tamper = false;
+};
+
+struct Ruling {
+  RulingKind kind = RulingKind::kInconclusive;
+  std::string rationale;
+};
+
+class Arbitrator {
+ public:
+  /// Evaluates the evidence per the §4 decision rules. Deterministic; the
+  /// same case always yields the same ruling.
+  [[nodiscard]] static Ruling arbitrate(const DisputeCase& dispute);
+};
+
+}  // namespace tpnr::nr

@@ -1,0 +1,217 @@
+#include "nr/baseline.h"
+
+#include "common/serial.h"
+#include "crypto/hash.h"
+
+namespace tpnr::nr {
+
+namespace {
+
+Bytes sign_triple(const pki::Identity& signer, const std::string& tag,
+                  const std::string& peer, const std::string& label,
+                  BytesView digest) {
+  common::BinaryWriter w;
+  w.str(tag);
+  w.str(peer);
+  w.str(label);
+  w.bytes(digest);
+  return signer.sign(w.data());
+}
+
+bool verify_triple(const crypto::RsaPublicKey& key, const std::string& tag,
+                   const std::string& peer, const std::string& label,
+                   BytesView digest, BytesView signature) {
+  common::BinaryWriter w;
+  w.str(tag);
+  w.str(peer);
+  w.str(label);
+  w.bytes(digest);
+  return pki::Identity::verify(key, w.data(), signature);
+}
+
+}  // namespace
+
+TraditionalNrProtocol::TraditionalNrProtocol(net::Network& network,
+                                             pki::Identity& alice,
+                                             pki::Identity& bob,
+                                             pki::Identity& ttp,
+                                             crypto::Drbg& rng)
+    : network_(&network), alice_(&alice), bob_(&bob), ttp_(&ttp), rng_(&rng) {
+  network_->attach(alice_ep(),
+                   [this](const net::Envelope& e) { on_alice(e); });
+  network_->attach(bob_ep(), [this](const net::Envelope& e) { on_bob(e); });
+  network_->attach(ttp_ep(), [this](const net::Envelope& e) { on_ttp(e); });
+}
+
+std::string TraditionalNrProtocol::exchange(BytesView message) {
+  const std::string label = "zg-" + std::to_string(next_label_++);
+  Session session;
+  session.result.started_at = network_->now();
+  session.plaintext = Bytes(message.begin(), message.end());
+  session.key = rng_->bytes(32);
+
+  const crypto::Aead aead(session.key);
+  session.ciphertext = aead.seal(message, common::to_bytes(label), *rng_);
+
+  // Step 1: A -> B : c, NRO.
+  common::BinaryWriter w;
+  w.str("msg1");
+  w.str(label);
+  w.bytes(session.ciphertext);
+  w.bytes(sign_triple(*alice_, "NRO", bob_->id(), label,
+                      crypto::sha256(session.ciphertext)));
+  session.result.messages = 1;
+  session.result.steps = 1;
+  sessions_[label] = std::move(session);
+  network_->send(alice_ep(), bob_ep(), "zg", w.take());
+  return label;
+}
+
+void TraditionalNrProtocol::on_bob(const net::Envelope& envelope) {
+  common::BinaryReader r(envelope.payload);
+  const std::string kind = r.str();
+  const std::string label = r.str();
+  const auto it = sessions_.find(label);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  if (kind == "msg1" && !session.b_sent_nrr) {
+    const Bytes ciphertext = r.bytes();
+    const Bytes nro = r.bytes();
+    if (!verify_triple(alice_->public_key(), "NRO", bob_->id(), label,
+                       crypto::sha256(ciphertext), nro)) {
+      return;
+    }
+    session.b_sent_nrr = true;
+    // Step 2: B -> A : NRR.
+    common::BinaryWriter w;
+    w.str("msg2");
+    w.str(label);
+    w.bytes(sign_triple(*bob_, "NRR", alice_->id(), label,
+                        crypto::sha256(ciphertext)));
+    ++session.result.messages;
+    session.result.steps = 2;
+    network_->send(bob_ep(), alice_ep(), "zg", w.take());
+    // Step 4b: B polls the TTP for con_k (modelled as one fetch issued as
+    // soon as B has sent the NRR; the TTP answers once the key arrives).
+    common::BinaryWriter fetch;
+    fetch.str("fetch");
+    fetch.str(label);
+    fetch.str(bob_->id());
+    ++session.result.messages;
+    network_->send(bob_ep(), ttp_ep(), "zg", fetch.take());
+  } else if (kind == "con") {
+    const Bytes key = r.bytes();
+    const Bytes con = r.bytes();
+    if (!verify_triple(ttp_->public_key(), "CON", label, label,
+                       crypto::sha256(key), con)) {
+      return;
+    }
+    session.b_has_con = true;
+    const crypto::Aead aead(key);
+    try {
+      session.result.recovered_plaintext =
+          aead.open(session.ciphertext, common::to_bytes(label));
+    } catch (const common::CryptoError&) {
+      return;
+    }
+    maybe_finish(session);
+  }
+}
+
+void TraditionalNrProtocol::on_alice(const net::Envelope& envelope) {
+  common::BinaryReader r(envelope.payload);
+  const std::string kind = r.str();
+  const std::string label = r.str();
+  const auto it = sessions_.find(label);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  if (kind == "msg2") {
+    const Bytes nrr = r.bytes();
+    if (!verify_triple(bob_->public_key(), "NRR", alice_->id(), label,
+                       crypto::sha256(session.ciphertext), nrr)) {
+      return;
+    }
+    // Step 3: A -> TTP : k, sub_k.
+    common::BinaryWriter w;
+    w.str("submit");
+    w.str(label);
+    w.bytes(session.key);
+    w.bytes(sign_triple(*alice_, "SUB", bob_->id(), label,
+                        crypto::sha256(session.key)));
+    ++session.result.messages;
+    session.result.steps = 3;
+    network_->send(alice_ep(), ttp_ep(), "zg", w.take());
+    // Step 4a: A fetches con_k.
+    common::BinaryWriter fetch;
+    fetch.str("fetch");
+    fetch.str(label);
+    fetch.str(alice_->id());
+    ++session.result.messages;
+    network_->send(alice_ep(), ttp_ep(), "zg", fetch.take());
+  } else if (kind == "con") {
+    session.a_has_con = true;
+    session.result.steps = 4;
+    maybe_finish(session);
+  }
+}
+
+void TraditionalNrProtocol::on_ttp(const net::Envelope& envelope) {
+  common::BinaryReader r(envelope.payload);
+  const std::string kind = r.str();
+  const std::string label = r.str();
+  const auto it = sessions_.find(label);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  if (kind == "submit") {
+    const Bytes key = r.bytes();
+    const Bytes sub = r.bytes();
+    if (!verify_triple(alice_->public_key(), "SUB", bob_->id(), label,
+                       crypto::sha256(key), sub)) {
+      return;
+    }
+    ttp_escrow_[label] = key;
+  } else if (kind == "fetch") {
+    const std::string who = r.str();
+    // If the key is not escrowed yet, re-poll shortly (in-line TTP latency
+    // — this is precisely the cost the TPNR design avoids).
+    if (!ttp_escrow_.contains(label)) {
+      const Bytes payload(envelope.payload.begin(), envelope.payload.end());
+      const std::string from = envelope.from;
+      ++session.result.messages;  // the re-poll is real protocol traffic
+      network_->schedule(500 * common::kMillisecond,
+                         [this, from, payload]() mutable {
+                           network_->send(from, ttp_ep(), "zg",
+                                          Bytes(payload));
+                         });
+      return;
+    }
+    const Bytes& key = ttp_escrow_[label];
+    common::BinaryWriter w;
+    w.str("con");
+    w.str(label);
+    w.bytes(key);
+    w.bytes(sign_triple(*ttp_, "CON", label, label, crypto::sha256(key)));
+    ++session.result.messages;
+    network_->send(ttp_ep(), who == alice_->id() ? alice_ep() : bob_ep(),
+                   "zg", w.take());
+  }
+}
+
+void TraditionalNrProtocol::maybe_finish(Session& session) {
+  if (session.a_has_con && session.b_has_con && !session.result.completed) {
+    session.result.completed = true;
+    session.result.completed_at = network_->now();
+  }
+}
+
+std::optional<BaselineOutcome> TraditionalNrProtocol::outcome(
+    const std::string& label) const {
+  const auto it = sessions_.find(label);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.result;
+}
+
+}  // namespace tpnr::nr

@@ -1,0 +1,86 @@
+// The traditional non-repudiation baseline the paper compares against
+// (§4.4, §6): a Zhou–Gollmann-style protocol where the message key is
+// escrowed with an IN-LINE TTP, so one store takes four protocol steps
+// (six messages once both parties fetch the key confirmation):
+//
+//   1. A -> B   : c = Enc_k(m), NRO = Sign_A(B, L, H(c))
+//   2. B -> A   : NRR = Sign_B(A, L, H(c))
+//   3. A -> TTP : k,  sub = Sign_A(B, L, H(k))
+//   4. A <- TTP : con = Sign_TTP(A, B, L, H(k))   (A fetches)
+//      B <- TTP : con                              (B fetches)
+//
+// Implemented over the same simulated network as TPNR so step counts,
+// message counts and completion latency are directly comparable
+// (bench_fig6_tpnr_modes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/aead.h"
+#include "crypto/drbg.h"
+#include "net/network.h"
+#include "pki/identity.h"
+
+namespace tpnr::nr {
+
+using common::Bytes;
+using common::BytesView;
+
+/// Observable result of one baseline exchange.
+struct BaselineOutcome {
+  bool completed = false;
+  std::uint64_t messages = 0;        ///< total protocol messages
+  std::uint64_t steps = 0;           ///< protocol steps (paper's metric)
+  common::SimTime started_at = 0;
+  common::SimTime completed_at = 0;
+  Bytes recovered_plaintext;         ///< what B decrypted after con_k
+};
+
+/// Runs Zhou–Gollmann exchanges between fixed parties over a Network.
+class TraditionalNrProtocol {
+ public:
+  TraditionalNrProtocol(net::Network& network, pki::Identity& alice,
+                        pki::Identity& bob, pki::Identity& ttp,
+                        crypto::Drbg& rng);
+
+  /// Starts one exchange of `message`; returns the label (key) identifying
+  /// it. Drive network.run() to completion, then read outcome().
+  std::string exchange(BytesView message);
+
+  [[nodiscard]] std::optional<BaselineOutcome> outcome(
+      const std::string& label) const;
+
+ private:
+  struct Session {
+    BaselineOutcome result;
+    Bytes key;         // k
+    Bytes ciphertext;  // c
+    Bytes plaintext;
+    bool a_has_con = false;
+    bool b_has_con = false;
+    bool b_sent_nrr = false;
+  };
+
+  void on_alice(const net::Envelope& envelope);
+  void on_bob(const net::Envelope& envelope);
+  void on_ttp(const net::Envelope& envelope);
+  void maybe_finish(Session& session);
+
+  [[nodiscard]] std::string alice_ep() const { return alice_->id() + ".zg"; }
+  [[nodiscard]] std::string bob_ep() const { return bob_->id() + ".zg"; }
+  [[nodiscard]] std::string ttp_ep() const { return ttp_->id() + ".zg"; }
+
+  net::Network* network_;
+  pki::Identity* alice_;
+  pki::Identity* bob_;
+  pki::Identity* ttp_;
+  crypto::Drbg* rng_;
+  std::map<std::string, Session> sessions_;
+  std::map<std::string, Bytes> ttp_escrow_;  ///< label -> (k, con)
+  std::uint64_t next_label_ = 1;
+};
+
+}  // namespace tpnr::nr

@@ -1,0 +1,30 @@
+// Chunked large-object support (extension).
+//
+// §6 notes that cloud storage is only attractive for TB-scale backup. For
+// such objects, whole-object hashing makes every integrity check a full
+// download. This extension stores an object under a Merkle root: the root
+// (not the flat hash) is what both parties sign into the NRO/NRR, so any
+// single chunk can later be verified — or audited at random — against the
+// signed agreement with one chunk + one logarithmic proof on the wire.
+//
+// Wire additions: MsgType::kChunkRequest / kChunkResponse, and a serialized
+// MerkleProof.
+#pragma once
+
+#include "crypto/merkle.h"
+#include "nr/message.h"
+
+namespace tpnr::nr {
+
+/// Canonical MerkleProof encoding used inside chunk responses.
+Bytes encode_proof(const crypto::MerkleProof& proof);
+crypto::MerkleProof decode_proof(BytesView data);
+
+/// Outcome of one chunk audit, recorded on the client transaction.
+struct ChunkAuditResult {
+  std::size_t chunk_index = 0;
+  bool verified = false;   ///< proof chains to the signed root
+  std::string detail;
+};
+
+}  // namespace tpnr::nr

@@ -1,0 +1,460 @@
+#include "nr/client.h"
+
+#include "common/serial.h"
+
+namespace tpnr::nr {
+
+std::string txn_state_name(TxnState state) {
+  switch (state) {
+    case TxnState::kStorePending:
+      return "store-pending";
+    case TxnState::kCompleted:
+      return "completed";
+    case TxnState::kAbortPending:
+      return "abort-pending";
+    case TxnState::kAborted:
+      return "aborted";
+    case TxnState::kAbortRejected:
+      return "abort-rejected";
+    case TxnState::kAbortErrored:
+      return "abort-errored";
+    case TxnState::kResolvePending:
+      return "resolve-pending";
+    case TxnState::kResolvedCompleted:
+      return "resolved-completed";
+    case TxnState::kResolvedFailed:
+      return "resolved-failed";
+    case TxnState::kTimedOut:
+      return "timed-out";
+  }
+  return "unknown";
+}
+
+ClientActor::ClientActor(std::string id, net::Network& network,
+                         pki::Identity& identity, crypto::Drbg& rng,
+                         ClientOptions options)
+    : NrActor(std::move(id), network, identity, rng),
+      options_(options),
+      txn_ids_(rng.next_u64()) {}
+
+const ClientActor::Txn* ClientActor::transaction(
+    const std::string& txn_id) const {
+  const auto it = txns_.find(txn_id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::pair<MessageHeader, OpenedEvidence>>
+ClientActor::present_nrr(const std::string& txn_id) const {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || !it->second.nrr || !it->second.nrr_header) {
+    return std::nullopt;
+  }
+  return std::make_pair(*it->second.nrr_header, *it->second.nrr);
+}
+
+std::string ClientActor::store(const std::string& provider,
+                               const std::string& ttp,
+                               const std::string& object_key, BytesView data) {
+  return store_impl(provider, ttp, object_key, data, /*chunk_size=*/0);
+}
+
+std::string ClientActor::store_chunked(const std::string& provider,
+                                       const std::string& ttp,
+                                       const std::string& object_key,
+                                       BytesView data,
+                                       std::size_t chunk_size) {
+  if (chunk_size == 0) {
+    throw common::ProtocolError(
+        "ClientActor::store_chunked: chunk_size must be > 0");
+  }
+  return store_impl(provider, ttp, object_key, data, chunk_size);
+}
+
+std::string ClientActor::store_impl(const std::string& provider,
+                                    const std::string& ttp,
+                                    const std::string& object_key,
+                                    BytesView data, std::size_t chunk_size) {
+  const crypto::RsaPublicKey* provider_key = peer_key(provider);
+  if (provider_key == nullptr) {
+    throw common::ProtocolError("ClientActor::store: provider key unknown");
+  }
+  const std::string txn_id = txn_ids_.next_id("txn");
+  // The agreed hash: flat digest, or the Merkle root for chunked objects.
+  std::size_t chunk_count = 0;
+  Bytes data_hash;
+  if (chunk_size == 0) {
+    data_hash = crypto::sha256(data);
+  } else {
+    const crypto::MerkleTree tree(data, chunk_size);
+    data_hash = tree.root();
+    chunk_count = tree.leaf_count();
+  }
+
+  MessageHeader header =
+      next_header(MsgType::kStoreRequest, provider, ttp, txn_id, data_hash,
+                  network_->now() + options_.reply_window);
+  const Bytes evidence =
+      make_evidence(*identity_, *provider_key, header, *rng_);
+
+  Txn txn;
+  txn.provider = provider;
+  txn.ttp = ttp;
+  txn.object_key = object_key;
+  txn.data_hash = data_hash;
+  txn.store_header = header;
+  txn.store_evidence = evidence;
+  txn.chunk_size = chunk_size;
+  txn.chunk_count = chunk_count;
+  txns_[txn_id] = std::move(txn);
+
+  common::BinaryWriter payload;
+  payload.str(object_key);
+  payload.bytes(data);
+  payload.u32(static_cast<std::uint32_t>(chunk_size));
+
+  NrMessage message;
+  message.header = std::move(header);
+  message.payload = payload.take();
+  message.evidence = evidence;
+  send(provider, std::move(message));
+
+  // §4.3: "if Alice has sent the NRO and has not received the NRR before
+  // the time out, she can initiate the Resolve mode."
+  network_->schedule(options_.receipt_timeout, [this, txn_id] {
+    const auto it = txns_.find(txn_id);
+    if (it == txns_.end() || it->second.state != TxnState::kStorePending) {
+      return;
+    }
+    if (options_.auto_resolve && !it->second.ttp.empty()) {
+      resolve(txn_id, "no NRR before timeout");
+    } else {
+      it->second.state = TxnState::kTimedOut;
+    }
+  });
+  return txn_id;
+}
+
+void ClientActor::abort(const std::string& txn_id) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  txn.state = TxnState::kAbortPending;
+
+  // "Alice is only required to send Bob the transaction ID with the NRO."
+  common::BinaryWriter payload;
+  payload.bytes(txn.store_header.encode());
+  payload.bytes(txn.store_evidence);
+
+  NrMessage message;
+  message.header =
+      next_header(MsgType::kAbortRequest, txn.provider, txn.ttp, txn_id,
+                  txn.data_hash, network_->now() + options_.reply_window);
+  message.payload = payload.take();
+  send(txn.provider, std::move(message));
+}
+
+void ClientActor::fetch(const std::string& txn_id) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+
+  common::BinaryWriter payload;
+  payload.str(txn.object_key);
+
+  NrMessage message;
+  message.header =
+      next_header(MsgType::kFetchRequest, txn.provider, txn.ttp, txn_id,
+                  txn.data_hash, network_->now() + options_.reply_window);
+  message.payload = payload.take();
+  send(txn.provider, std::move(message));
+}
+
+void ClientActor::audit(const std::string& txn_id, std::size_t chunk_index) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.chunk_size == 0) return;
+  Txn& txn = it->second;
+
+  common::BinaryWriter payload;
+  payload.u64(chunk_index);
+
+  NrMessage message;
+  message.header =
+      next_header(MsgType::kChunkRequest, txn.provider, txn.ttp, txn_id,
+                  txn.data_hash, network_->now() + options_.reply_window);
+  message.payload = payload.take();
+  send(txn.provider, std::move(message));
+}
+
+void ClientActor::audit_sample(const std::string& txn_id, std::size_t count) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.chunk_count == 0) return;
+  for (std::size_t i = 0; i < count; ++i) {
+    audit(txn_id, static_cast<std::size_t>(
+                      rng_->uniform(it->second.chunk_count)));
+  }
+}
+
+void ClientActor::resolve(const std::string& txn_id,
+                          const std::string& report) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  if (txn.ttp.empty()) return;
+  txn.state = TxnState::kResolvePending;
+
+  // "Alice sends the transaction ID, the NRO, and a report of anomalies to
+  // TTP." The original header travels too, plus Alice's signature over it
+  // so the TTP can check genuineness without opening the (Bob-encrypted)
+  // NRO.
+  common::BinaryWriter payload;
+  payload.str(txn.provider);
+  payload.str(report);
+  payload.bytes(txn.store_header.encode());
+  payload.bytes(identity_->sign(txn.store_header.encode()));
+  payload.bytes(txn.store_evidence);
+
+  NrMessage message;
+  message.header =
+      next_header(MsgType::kResolveRequest, txn.ttp, txn.ttp, txn_id,
+                  txn.data_hash, network_->now() + options_.reply_window);
+  message.payload = payload.take();
+  send(txn.ttp, std::move(message));
+}
+
+void ClientActor::on_message(const NrMessage& message) {
+  switch (message.header.flag) {
+    case MsgType::kStoreReceipt:
+      handle_store_receipt(message);
+      break;
+    case MsgType::kFetchResponse:
+      handle_fetch_response(message);
+      break;
+    case MsgType::kChunkResponse:
+      handle_chunk_response(message);
+      break;
+    case MsgType::kAbortAccept:
+    case MsgType::kAbortReject:
+    case MsgType::kAbortError:
+      handle_abort_reply(message);
+      break;
+    case MsgType::kResolveVerdict:
+      handle_resolve_verdict(message);
+      break;
+    case MsgType::kResolveQuery:
+      handle_resolve_query(message);
+      break;
+    default:
+      break;
+  }
+}
+
+void ClientActor::handle_resolve_query(const NrMessage& message) {
+  // Bob-initiated Resolve (§4.3): the TTP asks whether we received Bob's
+  // receipt. If we hold the NRR for that exact header, acknowledge it by
+  // signing the header; otherwise ask for a restart.
+  const MessageHeader& h = message.header;  // sender == TTP
+  MessageHeader queried_header;
+  try {
+    common::BinaryReader r(message.payload);
+    queried_header = MessageHeader::decode(r.bytes());
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    return;
+  }
+
+  const auto it = txns_.find(h.txn_id);
+  const bool acknowledged =
+      it != txns_.end() && it->second.nrr_header.has_value() &&
+      it->second.nrr_header->encode() == queried_header.encode();
+
+  common::BinaryWriter payload;
+  payload.str(acknowledged ? "continue" : "restart");
+  payload.bytes(queried_header.encode());
+  payload.bytes(acknowledged ? identity_->sign(queried_header.encode())
+                             : Bytes{});
+
+  NrMessage reply;
+  reply.header =
+      next_header(MsgType::kResolveResponse, h.sender, h.ttp, h.txn_id,
+                  queried_header.data_hash,
+                  network_->now() + options_.reply_window);
+  reply.payload = payload.take();
+  send(h.sender, std::move(reply));
+}
+
+void ClientActor::handle_store_receipt(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end() || it->second.state != TxnState::kStorePending) {
+    return;
+  }
+  Txn& txn = it->second;
+  if (h.sender != txn.provider || h.data_hash != txn.data_hash) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  const crypto::RsaPublicKey* provider_key = peer_key(txn.provider);
+  const auto nrr = open_evidence(*identity_, *provider_key, h,
+                                 message.evidence);
+  if (!nrr) {
+    ++stats_.rejected_bad_evidence;
+    return;
+  }
+  txn.nrr_header = h;
+  txn.nrr = *nrr;
+  txn.state = TxnState::kCompleted;
+}
+
+void ClientActor::handle_fetch_response(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  const crypto::RsaPublicKey* provider_key = peer_key(txn.provider);
+
+  // The response header's data_hash covers what Bob serves NOW; his
+  // evidence must verify over it (he cannot deny serving these bytes).
+  if (crypto::sha256(message.payload) != h.data_hash) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  if (!open_evidence(*identity_, *provider_key, h, message.evidence)) {
+    ++stats_.rejected_bad_evidence;
+    return;
+  }
+  txn.fetched = true;
+  txn.fetched_data = message.payload;
+  // The upload-to-download integrity link: what was served vs the hash both
+  // parties signed at store time. For chunked objects the signed hash is
+  // the Merkle root, so recompute the root over the served bytes.
+  if (txn.chunk_size == 0) {
+    txn.fetch_integrity_ok = (h.data_hash == txn.data_hash);
+  } else {
+    const crypto::MerkleTree tree(txn.fetched_data, txn.chunk_size);
+    txn.fetch_integrity_ok = (tree.root() == txn.data_hash);
+  }
+}
+
+void ClientActor::handle_chunk_response(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end() || it->second.chunk_size == 0) return;
+  Txn& txn = it->second;
+
+  ChunkAuditResult result;
+  Bytes chunk;
+  crypto::MerkleProof proof;
+  try {
+    common::BinaryReader r(message.payload);
+    result.chunk_index = r.u64();
+    chunk = r.bytes();
+    proof = decode_proof(r.bytes());
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    result.verified = false;
+    result.detail = "malformed chunk response";
+    txn.audits.push_back(std::move(result));
+    return;
+  }
+
+  // The provider signed the hash of the chunk it served.
+  const crypto::RsaPublicKey* provider_key = peer_key(txn.provider);
+  if (crypto::sha256(chunk) != h.data_hash ||
+      !open_evidence(*identity_, *provider_key, h, message.evidence)) {
+    ++stats_.rejected_bad_evidence;
+    result.verified = false;
+    result.detail = "chunk evidence failed verification";
+    txn.audits.push_back(std::move(result));
+    return;
+  }
+
+  // The audit proper: does the served chunk chain to the Merkle root both
+  // parties signed at store time?
+  result.verified = proof.leaf_index == result.chunk_index &&
+                    crypto::MerkleTree::verify(chunk, proof, txn.data_hash);
+  result.detail = result.verified
+                      ? "chunk verified against the signed root"
+                      : "proof does not chain to the signed root: chunk "
+                        "tampered or substituted";
+  txn.audits.push_back(std::move(result));
+}
+
+void ClientActor::handle_abort_reply(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  if (txn.state != TxnState::kAbortPending) return;
+
+  if (h.flag == MsgType::kAbortError) {
+    txn.state = TxnState::kAbortErrored;
+    return;
+  }
+  const crypto::RsaPublicKey* provider_key = peer_key(txn.provider);
+  const auto receipt =
+      open_evidence(*identity_, *provider_key, h, message.evidence);
+  if (!receipt) {
+    ++stats_.rejected_bad_evidence;
+    return;
+  }
+  txn.abort_receipt_header = h;
+  txn.abort_receipt = *receipt;
+  txn.state = h.flag == MsgType::kAbortAccept ? TxnState::kAborted
+                                              : TxnState::kAbortRejected;
+}
+
+void ClientActor::handle_resolve_verdict(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end() || it->second.state != TxnState::kResolvePending) {
+    return;
+  }
+  Txn& txn = it->second;
+
+  std::string outcome;
+  Bytes receipt_header_bytes;
+  Bytes receipt_evidence;
+  Bytes ttp_statement;
+  Bytes ttp_signature;
+  try {
+    common::BinaryReader r(message.payload);
+    outcome = r.str();
+    receipt_header_bytes = r.bytes();
+    receipt_evidence = r.bytes();
+    ttp_statement = r.bytes();
+    ttp_signature = r.bytes();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    return;
+  }
+
+  if (outcome == "continued" && !receipt_evidence.empty()) {
+    const crypto::RsaPublicKey* provider_key = peer_key(txn.provider);
+    MessageHeader receipt_header;
+    try {
+      receipt_header = MessageHeader::decode(receipt_header_bytes);
+    } catch (const common::SerialError&) {
+      return;
+    }
+    const auto nrr = open_evidence(*identity_, *provider_key, receipt_header,
+                                   receipt_evidence);
+    if (nrr) {
+      txn.nrr_header = receipt_header;
+      txn.nrr = *nrr;
+      txn.state = TxnState::kResolvedCompleted;
+      return;
+    }
+  }
+  // "If Bob does not reply the Resolve query ... the TTP will respond to
+  // Alice by telling her that this session is failed and Bob did not
+  // respond." The TTP statement is itself signed evidence.
+  const crypto::RsaPublicKey* ttp_key = peer_key(txn.ttp);
+  if (ttp_key != nullptr && !ttp_statement.empty() &&
+      pki::Identity::verify(*ttp_key, ttp_statement, ttp_signature)) {
+    txn.ttp_statement = ttp_statement;
+    txn.ttp_statement_signature = ttp_signature;
+  }
+  txn.state = TxnState::kResolvedFailed;
+}
+
+}  // namespace tpnr::nr

@@ -1,0 +1,123 @@
+// Alice — the client in the TPNR protocol. Drives the Normal, Abort and
+// Resolve flows, keeps the NRR evidence she collects, and verifies fetched
+// data against the hash the provider signed for.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/id.h"
+#include "nr/actor.h"
+#include "nr/chunked.h"
+
+namespace tpnr::nr {
+
+/// Client-side view of one transaction's life.
+enum class TxnState {
+  kStorePending,       ///< NRO sent, waiting for NRR
+  kCompleted,          ///< NRR held
+  kAbortPending,
+  kAborted,            ///< abort accepted (NRR-of-abort held)
+  kAbortRejected,
+  kAbortErrored,       ///< provider asked for a regenerated request
+  kResolvePending,     ///< TTP involved, waiting for verdict
+  kResolvedCompleted,  ///< NRR arrived through the TTP
+  kResolvedFailed,     ///< TTP attests the provider did not respond
+  kTimedOut,           ///< no receipt and resolve disabled
+};
+
+std::string txn_state_name(TxnState state);
+
+struct ClientOptions {
+  common::SimTime reply_window = 10 * common::kSecond;  ///< header time limit
+  common::SimTime receipt_timeout = 15 * common::kSecond;
+  bool auto_resolve = true;  ///< on timeout, escalate to the TTP
+};
+
+class ClientActor final : public NrActor {
+ public:
+  struct Txn {
+    TxnState state = TxnState::kStorePending;
+    std::string provider;
+    std::string ttp;
+    std::string object_key;
+    Bytes data_hash;
+    MessageHeader store_header;   ///< the header the NRO covered
+    Bytes store_evidence;         ///< raw NRO (replayable toward Bob/TTP)
+    std::optional<MessageHeader> nrr_header;
+    std::optional<OpenedEvidence> nrr;
+    std::optional<MessageHeader> abort_receipt_header;
+    std::optional<OpenedEvidence> abort_receipt;
+    // TTP attestation when the provider went silent.
+    Bytes ttp_statement;
+    Bytes ttp_statement_signature;
+    // Fetch results.
+    bool fetched = false;
+    bool fetch_integrity_ok = false;
+    Bytes fetched_data;
+    // Chunked-object bookkeeping (extension; see nr/chunked.h).
+    std::size_t chunk_size = 0;   ///< 0 = flat object
+    std::size_t chunk_count = 0;
+    std::vector<ChunkAuditResult> audits;
+  };
+
+  ClientActor(std::string id, net::Network& network, pki::Identity& identity,
+              crypto::Drbg& rng, ClientOptions options = ClientOptions{});
+
+  /// Normal-mode store: sends data + NRO, arms the receipt timer. Returns
+  /// the transaction id.
+  std::string store(const std::string& provider, const std::string& ttp,
+                    const std::string& object_key, BytesView data);
+
+  /// Chunked store: the evidence binds the Merkle root over
+  /// `chunk_size`-byte chunks instead of the flat hash, enabling audit()
+  /// without a full download. Throws ProtocolError on chunk_size == 0.
+  std::string store_chunked(const std::string& provider,
+                            const std::string& ttp,
+                            const std::string& object_key, BytesView data,
+                            std::size_t chunk_size);
+
+  /// Requests chunk `chunk_index` of a chunked transaction; the response is
+  /// verified against the SIGNED root and recorded in Txn::audits.
+  void audit(const std::string& txn_id, std::size_t chunk_index);
+
+  /// Audits `count` uniformly random chunks (with replacement).
+  void audit_sample(const std::string& txn_id, std::size_t count);
+
+  /// Abort an in-flight transaction (§4.2; two-party, no TTP).
+  void abort(const std::string& txn_id);
+
+  /// Fetch the object back; on response the data hash is checked against
+  /// the agreed hash from the store transaction.
+  void fetch(const std::string& txn_id);
+
+  /// Escalate to the TTP immediately (normally driven by the timer).
+  void resolve(const std::string& txn_id, const std::string& report);
+
+  [[nodiscard]] const Txn* transaction(const std::string& txn_id) const;
+
+  /// Evidence Alice presents to an arbitrator (her NRR).
+  [[nodiscard]] std::optional<std::pair<MessageHeader, OpenedEvidence>>
+  present_nrr(const std::string& txn_id) const;
+
+ protected:
+  void on_message(const NrMessage& message) override;
+
+ private:
+  std::string store_impl(const std::string& provider, const std::string& ttp,
+                         const std::string& object_key, BytesView data,
+                         std::size_t chunk_size);
+  void handle_store_receipt(const NrMessage& message);
+  void handle_fetch_response(const NrMessage& message);
+  void handle_chunk_response(const NrMessage& message);
+  void handle_abort_reply(const NrMessage& message);
+  void handle_resolve_verdict(const NrMessage& message);
+  void handle_resolve_query(const NrMessage& message);
+
+  ClientOptions options_;
+  std::map<std::string, Txn> txns_;
+  common::IdGenerator txn_ids_;
+};
+
+}  // namespace tpnr::nr

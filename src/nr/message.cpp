@@ -1,0 +1,90 @@
+#include "nr/message.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace tpnr::nr {
+
+std::string msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kStoreRequest:
+      return "store-request";
+    case MsgType::kStoreReceipt:
+      return "store-receipt";
+    case MsgType::kFetchRequest:
+      return "fetch-request";
+    case MsgType::kFetchResponse:
+      return "fetch-response";
+    case MsgType::kChunkRequest:
+      return "chunk-request";
+    case MsgType::kChunkResponse:
+      return "chunk-response";
+    case MsgType::kAbortRequest:
+      return "abort-request";
+    case MsgType::kAbortAccept:
+      return "abort-accept";
+    case MsgType::kAbortReject:
+      return "abort-reject";
+    case MsgType::kAbortError:
+      return "abort-error";
+    case MsgType::kResolveRequest:
+      return "resolve-request";
+    case MsgType::kResolveQuery:
+      return "resolve-query";
+    case MsgType::kResolveResponse:
+      return "resolve-response";
+    case MsgType::kResolveVerdict:
+      return "resolve-verdict";
+  }
+  return "unknown";
+}
+
+Bytes MessageHeader::encode() const {
+  common::BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(flag));
+  w.str(sender);
+  w.str(recipient);
+  w.str(ttp);
+  w.str(txn_id);
+  w.u64(seq_no);
+  w.bytes(nonce);
+  w.i64(time_limit);
+  w.bytes(data_hash);
+  return w.take();
+}
+
+MessageHeader MessageHeader::decode(BytesView data) {
+  common::BinaryReader r(data);
+  MessageHeader h;
+  h.flag = static_cast<MsgType>(r.u8());
+  h.sender = r.str();
+  h.recipient = r.str();
+  h.ttp = r.str();
+  h.txn_id = r.str();
+  h.seq_no = r.u64();
+  h.nonce = r.bytes();
+  h.time_limit = r.i64();
+  h.data_hash = r.bytes();
+  r.expect_done();
+  return h;
+}
+
+Bytes NrMessage::encode() const {
+  common::BinaryWriter w;
+  w.bytes(header.encode());
+  w.bytes(payload);
+  w.bytes(evidence);
+  return w.take();
+}
+
+NrMessage NrMessage::decode(BytesView data) {
+  common::BinaryReader r(data);
+  NrMessage m;
+  m.header = MessageHeader::decode(r.bytes());
+  m.payload = r.bytes();
+  m.evidence = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+}  // namespace tpnr::nr

@@ -1,0 +1,75 @@
+// TPNR wire format (§4.1).
+//
+// Every message carries, in plaintext "for convenience": a flag labelling
+// the process, the sender / recipient / TTP ids, the transaction id, a
+// sequence number that increases one by one, a random nonce, a time limit
+// (§5.5), and the hash of the data. The evidence is
+//     Encrypt_recipient{ Sign_sender(H(data)), Sign_sender(header) }
+// (§4.1: "Encrypt{Sign(HashofData), Sign(Plaintext)}").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace tpnr::nr {
+
+using common::Bytes;
+using common::BytesView;
+using common::SimTime;
+
+/// The flag field: which step of which sub-protocol this message is.
+enum class MsgType : std::uint8_t {
+  // Normal mode (off-line TTP, 2 steps).
+  kStoreRequest = 1,   ///< Alice -> Bob: data + NRO
+  kStoreReceipt = 2,   ///< Bob -> Alice: NRR
+  kFetchRequest = 3,   ///< Alice -> Bob: download request (presents NRR)
+  kFetchResponse = 4,  ///< Bob -> Alice: data + evidence
+  kChunkRequest = 5,   ///< Alice -> Bob: audit one chunk of a chunked object
+  kChunkResponse = 6,  ///< Bob -> Alice: chunk + Merkle proof + evidence
+
+  // Abort mode (§4.2, still off-line).
+  kAbortRequest = 10,  ///< Alice -> Bob: txn id + NRO
+  kAbortAccept = 11,   ///< Bob -> Alice: accept + NRR
+  kAbortReject = 12,   ///< Bob -> Alice: reject + NRR
+  kAbortError = 13,    ///< Bob -> Alice: malformed request, regenerate
+
+  // Resolve mode (§4.3, in-line TTP).
+  kResolveRequest = 20,   ///< initiator -> TTP: txn id + evidence + report
+  kResolveQuery = 21,     ///< TTP -> respondent: resolve query + timestamp
+  kResolveResponse = 22,  ///< respondent -> TTP: NRR/NRO + chosen action
+  kResolveVerdict = 23,   ///< TTP -> initiator: outcome (incl. "no response")
+};
+
+std::string msg_type_name(MsgType type);
+
+/// The plaintext header — the exact bytes Sign_sender(header) covers.
+struct MessageHeader {
+  MsgType flag = MsgType::kStoreRequest;
+  std::string sender;
+  std::string recipient;
+  std::string ttp;
+  std::string txn_id;
+  std::uint64_t seq_no = 0;
+  Bytes nonce;             ///< 16 random bytes, unique per message
+  SimTime time_limit = 0;  ///< absolute deadline for acting on this message
+  Bytes data_hash;         ///< SHA-256 of the object under discussion
+
+  /// Canonical encoding (what gets signed).
+  [[nodiscard]] Bytes encode() const;
+  static MessageHeader decode(BytesView data);
+};
+
+/// A full protocol message as it crosses the (simulated SSL) channel.
+struct NrMessage {
+  MessageHeader header;
+  Bytes payload;   ///< object bytes on store/fetch, reports elsewhere
+  Bytes evidence;  ///< Encrypt_recipient{Sign(H(data)), Sign(header)}
+
+  [[nodiscard]] Bytes encode() const;
+  static NrMessage decode(BytesView data);
+};
+
+}  // namespace tpnr::nr

@@ -1,0 +1,383 @@
+#include "nr/provider.h"
+
+#include "common/serial.h"
+#include "nr/chunked.h"
+
+namespace tpnr::nr {
+
+namespace {
+constexpr common::SimTime kReplyWindow = 30 * common::kSecond;
+}
+
+ProviderActor::ProviderActor(std::string id, net::Network& network,
+                             pki::Identity& identity, crypto::Drbg& rng)
+    : NrActor(std::move(id), network, identity, rng),
+      store_(std::make_unique<storage::MemoryBackend>()) {}
+
+const ProviderActor::TxnRecord* ProviderActor::transaction(
+    const std::string& txn_id) const {
+  const auto it = txns_.find(txn_id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+bool ProviderActor::tamper(const std::string& txn_id, BytesView new_data) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return false;
+  return store_.tamper(it->second.object_key, new_data);
+}
+
+std::optional<std::pair<MessageHeader, OpenedEvidence>>
+ProviderActor::present_nro(const std::string& txn_id) const {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return std::nullopt;
+  return std::make_pair(it->second.nro_header, it->second.nro);
+}
+
+std::optional<Bytes> ProviderActor::produce_object(const std::string& txn_id) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return std::nullopt;
+  auto record = store_.get(it->second.object_key);
+  if (!record) return std::nullopt;
+  return record->data;
+}
+
+std::pair<MessageHeader, Bytes> ProviderActor::make_receipt(
+    const std::string& txn_id, const std::string& for_whom, MsgType flag,
+    BytesView data_hash, common::SimTime time_limit) {
+  const crypto::RsaPublicKey* recipient = peer_key(for_whom);
+  MessageHeader header =
+      next_header(flag, for_whom, /*ttp=*/"", txn_id, data_hash, time_limit);
+  Bytes evidence;
+  if (recipient != nullptr) {
+    evidence = make_evidence(*identity_, *recipient, header, *rng_);
+  }
+  return {std::move(header), std::move(evidence)};
+}
+
+void ProviderActor::on_message(const NrMessage& message) {
+  switch (message.header.flag) {
+    case MsgType::kStoreRequest:
+      handle_store(message);
+      break;
+    case MsgType::kFetchRequest:
+      handle_fetch(message);
+      break;
+    case MsgType::kChunkRequest:
+      handle_chunk_request(message);
+      break;
+    case MsgType::kAbortRequest:
+      handle_abort(message);
+      break;
+    case MsgType::kResolveQuery:
+      handle_resolve_query(message);
+      break;
+    case MsgType::kResolveVerdict:
+      handle_resolve_verdict(message);
+      break;
+    default:
+      break;  // not addressed to the provider role
+  }
+}
+
+void ProviderActor::handle_store(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const crypto::RsaPublicKey* sender_key = peer_key(h.sender);
+
+  // Payload: object key + object bytes + chunk size (0 = flat object).
+  std::string object_key;
+  Bytes data;
+  std::uint32_t chunk_size = 0;
+  try {
+    common::BinaryReader r(message.payload);
+    object_key = r.str();
+    data = r.bytes();
+    chunk_size = r.u32();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  // "The peers should check the consistency between the hash of the
+  // plaintext and the plaintext at first." For chunked objects the agreed
+  // hash is the Merkle root over the declared chunking.
+  if (chunk_size == 0) {
+    if (crypto::sha256(data) != h.data_hash) {
+      ++stats_.rejected_bad_hash;
+      return;
+    }
+  } else {
+    const crypto::MerkleTree tree(data, chunk_size);
+    if (tree.root() != h.data_hash) {
+      ++stats_.rejected_bad_hash;
+      return;
+    }
+  }
+  const auto nro = open_evidence(*identity_, *sender_key, h, message.evidence);
+  if (!nro) {
+    ++stats_.rejected_bad_evidence;
+    return;
+  }
+
+  TxnRecord record;
+  record.object_key = object_key;
+  record.data_hash = h.data_hash;
+  record.chunk_size = chunk_size;
+  if (chunk_size > 0) record.original_data = data;
+  record.nro_header = h;
+  record.nro = *nro;
+  store_.put(object_key, data, crypto::md5(data), network_->now());
+  txns_[h.txn_id] = std::move(record);
+
+  if (behavior_.tamper_after_store) {
+    store_.tamper(object_key, behavior_.tamper_replacement);
+  }
+  if (!behavior_.send_store_receipts) return;  // the unfair Bob of §4.3
+
+  auto [receipt_header, evidence] =
+      make_receipt(h.txn_id, h.sender, MsgType::kStoreReceipt, h.data_hash,
+                   network_->now() + kReplyWindow);
+  txns_[h.txn_id].receipt_header = receipt_header;
+  NrMessage reply;
+  reply.header = std::move(receipt_header);
+  reply.evidence = std::move(evidence);
+  send(h.sender, std::move(reply));
+}
+
+void ProviderActor::resolve(const std::string& txn_id,
+                            const std::string& ttp) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || !it->second.receipt_header) return;
+  const MessageHeader& receipt = *it->second.receipt_header;
+
+  // Same request shape the client uses: the TTP verifies the initiator's
+  // signature over the header the resolve concerns.
+  common::BinaryWriter payload;
+  payload.str(receipt.recipient);  // respondent: the client
+  payload.str("no acknowledgment of the NRR before timeout");
+  payload.bytes(receipt.encode());
+  payload.bytes(identity_->sign(receipt.encode()));
+  payload.bytes(Bytes{});
+
+  NrMessage message;
+  message.header = next_header(MsgType::kResolveRequest, ttp, ttp, txn_id,
+                               receipt.data_hash,
+                               network_->now() + kReplyWindow);
+  message.payload = payload.take();
+  send(ttp, std::move(message));
+}
+
+void ProviderActor::handle_resolve_verdict(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end()) return;
+  TxnRecord& record = it->second;
+
+  std::string outcome;
+  Bytes acked_header_bytes;
+  Bytes ack_signature;
+  Bytes ttp_statement;
+  Bytes ttp_signature;
+  try {
+    common::BinaryReader r(message.payload);
+    outcome = r.str();
+    acked_header_bytes = r.bytes();
+    ack_signature = r.bytes();
+    ttp_statement = r.bytes();
+    ttp_signature = r.bytes();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    return;
+  }
+
+  if (outcome == "continued" && record.receipt_header) {
+    // The acknowledgment: the client's signature over Bob's receipt header.
+    const crypto::RsaPublicKey* client_key =
+        peer_key(record.receipt_header->recipient);
+    if (client_key != nullptr &&
+        acked_header_bytes == record.receipt_header->encode() &&
+        pki::Identity::verify(*client_key, acked_header_bytes,
+                              ack_signature)) {
+      record.client_acknowledged = true;
+      record.ack_signature = ack_signature;
+      return;
+    }
+  }
+  // Otherwise keep the TTP's signed statement — Bob's protection when the
+  // client goes silent.
+  const crypto::RsaPublicKey* ttp_key = peer_key(h.sender);
+  if (ttp_key != nullptr && !ttp_statement.empty() &&
+      pki::Identity::verify(*ttp_key, ttp_statement, ttp_signature)) {
+    record.ttp_statement = ttp_statement;
+    record.ttp_statement_signature = ttp_signature;
+  }
+}
+
+void ProviderActor::handle_fetch(const NrMessage& message) {
+  if (!behavior_.respond_to_fetch) return;
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end() || it->second.state != TxnRecord::State::kStored) {
+    return;  // nothing to serve
+  }
+  auto record = store_.get(it->second.object_key);
+  if (!record) return;
+
+  // The response evidence signs the hash of what is being served NOW: Bob
+  // cannot later deny having served these exact bytes.
+  const Bytes served_hash = crypto::sha256(record->data);
+  auto [response_header, evidence] =
+      make_receipt(h.txn_id, h.sender, MsgType::kFetchResponse, served_hash,
+                   network_->now() + kReplyWindow);
+  NrMessage reply;
+  reply.header = std::move(response_header);
+  reply.payload = std::move(record->data);
+  reply.evidence = std::move(evidence);
+  send(h.sender, std::move(reply));
+}
+
+void ProviderActor::handle_chunk_request(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = txns_.find(h.txn_id);
+  if (it == txns_.end() || it->second.state != TxnRecord::State::kStored ||
+      it->second.chunk_size == 0) {
+    return;  // unknown or not a chunked object
+  }
+  std::uint64_t chunk_index = 0;
+  try {
+    common::BinaryReader r(message.payload);
+    chunk_index = r.u64();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    return;
+  }
+  auto record = store_.get(it->second.object_key);
+  if (!record) return;
+
+  // Honest provider: build the tree over what is in the store NOW — any
+  // tamper anywhere makes every recomputed proof fail against the signed
+  // root. Equivocating provider: serve proofs from the ORIGINAL tree so
+  // audits of clean chunks pass; only the tampered chunks themselves fail.
+  const Bytes& proof_source = behavior_.equivocate_chunk_proofs
+                                  ? it->second.original_data
+                                  : record->data;
+  const crypto::MerkleTree tree(proof_source, it->second.chunk_size);
+  if (chunk_index >= tree.leaf_count()) return;
+  const std::size_t offset = chunk_index * it->second.chunk_size;
+  if (offset >= record->data.size()) return;
+  const std::size_t len = std::min(it->second.chunk_size,
+                                   record->data.size() - offset);
+  const Bytes chunk(record->data.begin() + static_cast<std::ptrdiff_t>(offset),
+                    record->data.begin() +
+                        static_cast<std::ptrdiff_t>(offset + len));
+
+  // Evidence signs the served chunk's hash: Bob cannot later deny what he
+  // served for this audit.
+  auto [response_header, evidence] = make_receipt(
+      h.txn_id, h.sender, MsgType::kChunkResponse, crypto::sha256(chunk),
+      network_->now() + kReplyWindow);
+  common::BinaryWriter payload;
+  payload.u64(chunk_index);
+  payload.bytes(chunk);
+  payload.bytes(encode_proof(tree.prove(chunk_index)));
+
+  NrMessage reply;
+  reply.header = std::move(response_header);
+  reply.payload = payload.take();
+  reply.evidence = std::move(evidence);
+  send(h.sender, std::move(reply));
+}
+
+void ProviderActor::handle_abort(const NrMessage& message) {
+  if (!behavior_.respond_to_abort) return;
+  const MessageHeader& h = message.header;
+  const crypto::RsaPublicKey* sender_key = peer_key(h.sender);
+
+  // Payload: the original store header + the NRO evidence, so consistency
+  // can be verified even if the store request itself never arrived.
+  MessageHeader original_header;
+  Bytes nro_evidence;
+  bool well_formed = true;
+  try {
+    common::BinaryReader r(message.payload);
+    original_header = MessageHeader::decode(r.bytes());
+    nro_evidence = r.bytes();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    well_formed = false;
+  }
+  if (well_formed) {
+    well_formed = original_header.txn_id == h.txn_id &&
+                  original_header.sender == h.sender &&
+                  open_evidence(*identity_, *sender_key, original_header,
+                                nro_evidence)
+                      .has_value();
+  }
+  if (!well_formed) {
+    // "Bob will send an Error message that requests Alice double check the
+    // parameters ... regenerate it, and re-submit the request."
+    MessageHeader error_header =
+        next_header(MsgType::kAbortError, h.sender, "", h.txn_id, {},
+                    network_->now() + kReplyWindow);
+    NrMessage reply;
+    reply.header = std::move(error_header);
+    send(h.sender, std::move(reply));
+    return;
+  }
+
+  const auto it = txns_.find(h.txn_id);
+  const bool can_abort =
+      it == txns_.end() || it->second.state == TxnRecord::State::kStored;
+  MsgType verdict = can_abort ? MsgType::kAbortAccept : MsgType::kAbortReject;
+  if (can_abort && it != txns_.end()) {
+    it->second.state = TxnRecord::State::kAborted;
+    store_.remove(it->second.object_key);
+  }
+  auto [reply_header, evidence] =
+      make_receipt(h.txn_id, h.sender, verdict, original_header.data_hash,
+                   network_->now() + kReplyWindow);
+  NrMessage reply;
+  reply.header = std::move(reply_header);
+  reply.evidence = std::move(evidence);
+  send(h.sender, std::move(reply));
+}
+
+void ProviderActor::handle_resolve_query(const NrMessage& message) {
+  if (!behavior_.respond_to_resolve) return;  // malicious silence
+  const MessageHeader& h = message.header;  // sender == TTP
+
+  MessageHeader original_header;
+  try {
+    common::BinaryReader r(message.payload);
+    original_header = MessageHeader::decode(r.bytes());
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    return;
+  }
+  const auto it = txns_.find(h.txn_id);
+  const std::string action =
+      it != txns_.end() ? "continue" : "restart";  // §4.3's two outcomes
+
+  // Bob's receipt travels to Alice through the TTP; it is encrypted for
+  // Alice (the initiator), not for the TTP.
+  const std::string initiator = original_header.sender;
+  auto [receipt_header, evidence] =
+      make_receipt(h.txn_id, initiator, MsgType::kStoreReceipt,
+                   original_header.data_hash,
+                   network_->now() + kReplyWindow);
+  // If Bob never saw the transaction he still answers, but with no receipt
+  // evidence — the TTP reports "restart".
+  common::BinaryWriter payload;
+  payload.str(action);
+  payload.bytes(receipt_header.encode());
+  payload.bytes(it != txns_.end() ? evidence : Bytes{});
+
+  MessageHeader reply_header =
+      next_header(MsgType::kResolveResponse, h.sender, h.ttp, h.txn_id,
+                  original_header.data_hash, network_->now() + kReplyWindow);
+  NrMessage reply;
+  reply.header = std::move(reply_header);
+  reply.payload = payload.take();
+  send(h.sender, std::move(reply));
+}
+
+}  // namespace tpnr::nr

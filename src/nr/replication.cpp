@@ -1,0 +1,110 @@
+#include "nr/replication.h"
+
+#include "common/error.h"
+
+namespace tpnr::nr {
+
+ReplicationCoordinator::ReplicationCoordinator(
+    ClientActor& client, std::vector<std::string> providers, std::string ttp)
+    : client_(&client), providers_(std::move(providers)),
+      ttp_(std::move(ttp)) {
+  if (providers_.empty()) {
+    throw common::ProtocolError("ReplicationCoordinator: no providers");
+  }
+}
+
+std::string ReplicationCoordinator::store_replicated(
+    const std::string& object_key, BytesView data) {
+  Group group;
+  group.object_key = object_key;
+  for (const std::string& provider : providers_) {
+    group.txns[provider] = client_->store(provider, ttp_, object_key, data);
+  }
+  const std::string group_id = "grp-" + std::to_string(next_group_++);
+  groups_[group_id] = std::move(group);
+  return group_id;
+}
+
+void ReplicationCoordinator::fetch_all(const std::string& group_id) {
+  const auto it = groups_.find(group_id);
+  if (it == groups_.end()) return;
+  for (const auto& [provider, txn] : it->second.txns) {
+    client_->fetch(txn);
+  }
+}
+
+std::vector<ReplicaReport> ReplicationCoordinator::report(
+    const std::string& group_id) const {
+  std::vector<ReplicaReport> reports;
+  const auto it = groups_.find(group_id);
+  if (it == groups_.end()) return reports;
+  for (const auto& [provider, txn_id] : it->second.txns) {
+    ReplicaReport report;
+    report.provider = provider;
+    report.txn_id = txn_id;
+    if (const ClientActor::Txn* txn = client_->transaction(txn_id)) {
+      report.receipt_held = txn->nrr.has_value();
+      report.fetched = txn->fetched;
+      report.integrity_ok = txn->fetched && txn->fetch_integrity_ok;
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+GroupStatus ReplicationCoordinator::status(const std::string& group_id) const {
+  GroupStatus aggregate;
+  for (const ReplicaReport& replica : report(group_id)) {
+    ++aggregate.replicas;
+    if (replica.receipt_held) ++aggregate.acknowledged;
+    if (replica.integrity_ok) {
+      ++aggregate.healthy;
+    } else if (replica.fetched) {
+      ++aggregate.faulty;
+    } else {
+      ++aggregate.unresponsive;
+    }
+  }
+  return aggregate;
+}
+
+std::optional<Bytes> ReplicationCoordinator::healthy_copy(
+    const std::string& group_id) const {
+  const auto it = groups_.find(group_id);
+  if (it == groups_.end()) return std::nullopt;
+  for (const auto& [provider, txn_id] : it->second.txns) {
+    const ClientActor::Txn* txn = client_->transaction(txn_id);
+    if (txn != nullptr && txn->fetched && txn->fetch_integrity_ok) {
+      return txn->fetched_data;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t ReplicationCoordinator::repair(const std::string& group_id) {
+  const auto copy = healthy_copy(group_id);
+  if (!copy) {
+    throw common::ProtocolError(
+        "ReplicationCoordinator::repair: no healthy replica to repair from");
+  }
+  auto it = groups_.find(group_id);
+  std::size_t repairs = 0;
+  for (auto& [provider, txn_id] : it->second.txns) {
+    const ClientActor::Txn* txn = client_->transaction(txn_id);
+    const bool healthy =
+        txn != nullptr && txn->fetched && txn->fetch_integrity_ok;
+    if (healthy) continue;
+    // A fresh transaction (and fresh evidence) replaces the bad replica.
+    txn_id = client_->store(provider, ttp_, it->second.object_key, *copy);
+    ++repairs;
+  }
+  return repairs;
+}
+
+const std::map<std::string, std::string>* ReplicationCoordinator::transactions(
+    const std::string& group_id) const {
+  const auto it = groups_.find(group_id);
+  return it == groups_.end() ? nullptr : &it->second.txns;
+}
+
+}  // namespace tpnr::nr

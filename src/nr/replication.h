@@ -1,0 +1,81 @@
+// Multi-provider replication (extension, after the paper's reference to
+// secure MULTI-party non-repudiation). One client stores the same object at
+// N providers, holding an independent NRR from each; fetches compare every
+// replica against the signed hash, so a tampering replica is not merely
+// detected but IDENTIFIED (its own receipt convicts it), and the object is
+// repaired from any healthy replica.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nr/client.h"
+
+namespace tpnr::nr {
+
+/// Health of one replica after a fetch round.
+struct ReplicaReport {
+  std::string provider;
+  std::string txn_id;
+  bool receipt_held = false;   ///< NRR obtained at store time
+  bool fetched = false;
+  bool integrity_ok = false;   ///< served data matches the signed hash
+};
+
+/// Aggregate state of one replicated object.
+struct GroupStatus {
+  std::size_t replicas = 0;
+  std::size_t acknowledged = 0;  ///< replicas whose NRR the client holds
+  std::size_t healthy = 0;       ///< fetched + integrity ok
+  std::size_t faulty = 0;        ///< fetched but integrity violated
+  std::size_t unresponsive = 0;  ///< no usable fetch
+};
+
+/// Thin orchestration over a ClientActor: one store()/fetch() per provider,
+/// plus cross-replica bookkeeping. Drive the network between calls.
+class ReplicationCoordinator {
+ public:
+  ReplicationCoordinator(ClientActor& client, std::vector<std::string>
+                             providers,
+                         std::string ttp);
+
+  /// Stores `data` at every provider. Returns a group id.
+  std::string store_replicated(const std::string& object_key, BytesView data);
+
+  /// Issues a fetch to every replica of the group.
+  void fetch_all(const std::string& group_id);
+
+  /// Per-replica health, computed from the client's transaction states.
+  [[nodiscard]] std::vector<ReplicaReport> report(
+      const std::string& group_id) const;
+  [[nodiscard]] GroupStatus status(const std::string& group_id) const;
+
+  /// Returns data from any replica that fetched with integrity intact, or
+  /// nullopt when every replica failed.
+  [[nodiscard]] std::optional<Bytes> healthy_copy(
+      const std::string& group_id) const;
+
+  /// Re-stores a healthy copy at every faulty/unresponsive replica (new
+  /// transactions). Returns the number of repairs issued; run the network
+  /// afterwards. Throws ProtocolError if no healthy copy exists.
+  std::size_t repair(const std::string& group_id);
+
+  /// The provider -> txn map of a group (for dispute preparation).
+  [[nodiscard]] const std::map<std::string, std::string>* transactions(
+      const std::string& group_id) const;
+
+ private:
+  struct Group {
+    std::string object_key;
+    std::map<std::string, std::string> txns;  ///< provider -> txn id
+  };
+
+  ClientActor* client_;
+  std::vector<std::string> providers_;
+  std::string ttp_;
+  std::map<std::string, Group> groups_;
+  std::uint64_t next_group_ = 1;
+};
+
+}  // namespace tpnr::nr

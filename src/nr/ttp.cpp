@@ -1,0 +1,180 @@
+#include "nr/ttp.h"
+
+#include "common/serial.h"
+
+namespace tpnr::nr {
+
+TtpActor::TtpActor(std::string id, net::Network& network,
+                   pki::Identity& identity, crypto::Drbg& rng,
+                   TtpOptions options)
+    : NrActor(std::move(id), network, identity, rng), options_(options) {}
+
+std::optional<TtpVerdictRecord> TtpActor::verdict_for(
+    const std::string& txn_id) const {
+  // Search from the back: the most recent verdict governs.
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->txn_id == txn_id) return *it;
+  }
+  return std::nullopt;
+}
+
+void TtpActor::on_message(const NrMessage& message) {
+  switch (message.header.flag) {
+    case MsgType::kResolveRequest:
+      handle_resolve_request(message);
+      break;
+    case MsgType::kResolveResponse:
+      handle_resolve_response(message);
+      break;
+    default:
+      break;
+  }
+}
+
+void TtpActor::handle_resolve_request(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+
+  std::string respondent;
+  std::string report;
+  Bytes original_header_bytes;
+  Bytes header_signature;
+  Bytes nro_evidence;
+  try {
+    common::BinaryReader r(message.payload);
+    respondent = r.str();
+    report = r.str();
+    original_header_bytes = r.bytes();
+    header_signature = r.bytes();
+    nro_evidence = r.bytes();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    return;
+  }
+
+  // Genuineness: the initiator must prove the original header is theirs.
+  const crypto::RsaPublicKey* initiator_key = peer_key(h.sender);
+  MessageHeader original_header;
+  bool genuine = initiator_key != nullptr &&
+                 pki::Identity::verify(*initiator_key, original_header_bytes,
+                                       header_signature);
+  if (genuine) {
+    try {
+      original_header = MessageHeader::decode(original_header_bytes);
+    } catch (const common::SerialError&) {
+      genuine = false;
+    }
+  }
+  // Consistency: the resolve must concern a transaction between the
+  // initiator and the named respondent.
+  if (genuine) {
+    genuine = original_header.txn_id == h.txn_id &&
+              original_header.sender == h.sender &&
+              original_header.recipient == respondent &&
+              peer_key(respondent) != nullptr;
+  }
+  if (!genuine) {
+    PendingResolve bad;
+    bad.initiator = h.sender;
+    bad.respondent = respondent;
+    bad.settled = false;
+    pending_[h.txn_id] = bad;
+    deliver_verdict(h.txn_id, "invalid-request", {}, {});
+    return;
+  }
+
+  PendingResolve pending;
+  pending.initiator = h.sender;
+  pending.respondent = respondent;
+  pending.original_header = original_header;
+  pending.report = report;
+  pending_[h.txn_id] = std::move(pending);
+
+  // "the TTP will generate the Resolve request to the recipient along with
+  // a time stamp" — the header's time_limit carries the deadline.
+  common::BinaryWriter payload;
+  payload.bytes(original_header_bytes);
+
+  NrMessage query;
+  query.header = next_header(MsgType::kResolveQuery, respondent, id(),
+                             h.txn_id, original_header.data_hash,
+                             network_->now() + options_.reply_window);
+  query.payload = payload.take();
+  send(respondent, std::move(query));
+
+  const std::string txn_id = h.txn_id;
+  network_->schedule(options_.respondent_timeout, [this, txn_id] {
+    const auto it = pending_.find(txn_id);
+    if (it == pending_.end() || it->second.settled) return;
+    deliver_verdict(txn_id, "no-response", {}, {});
+  });
+}
+
+void TtpActor::handle_resolve_response(const NrMessage& message) {
+  const MessageHeader& h = message.header;
+  const auto it = pending_.find(h.txn_id);
+  if (it == pending_.end() || it->second.settled) return;
+  if (h.sender != it->second.respondent) return;
+
+  std::string action;
+  Bytes receipt_header;
+  Bytes receipt_evidence;
+  try {
+    common::BinaryReader r(message.payload);
+    action = r.str();
+    receipt_header = r.bytes();
+    receipt_evidence = r.bytes();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    return;
+  }
+  const std::string outcome =
+      (action == "continue" && !receipt_evidence.empty()) ? "continued"
+                                                          : "restart";
+  deliver_verdict(h.txn_id, outcome, receipt_header, receipt_evidence);
+}
+
+void TtpActor::deliver_verdict(const std::string& txn_id,
+                               const std::string& outcome,
+                               BytesView receipt_header,
+                               BytesView receipt_evidence) {
+  auto it = pending_.find(txn_id);
+  if (it == pending_.end()) return;
+  it->second.settled = true;
+
+  // The signed statement: outcome bound to txn, parties and time.
+  common::BinaryWriter statement;
+  statement.str(outcome);
+  statement.str(txn_id);
+  statement.str(it->second.initiator);
+  statement.str(it->second.respondent);
+  statement.i64(network_->now());
+  const Bytes statement_bytes = statement.take();
+  const Bytes signature = identity_->sign(statement_bytes);
+
+  TtpVerdictRecord record;
+  record.txn_id = txn_id;
+  record.initiator = it->second.initiator;
+  record.respondent = it->second.respondent;
+  record.outcome = outcome;
+  record.decided_at = network_->now();
+  record.statement = statement_bytes;
+  record.statement_signature = signature;
+  log_.push_back(record);
+
+  common::BinaryWriter payload;
+  payload.str(outcome);
+  payload.bytes(receipt_header);
+  payload.bytes(receipt_evidence);
+  payload.bytes(statement_bytes);
+  payload.bytes(signature);
+
+  NrMessage verdict;
+  verdict.header = next_header(
+      MsgType::kResolveVerdict, it->second.initiator, id(), txn_id,
+      it->second.original_header.data_hash,
+      network_->now() + options_.reply_window);
+  verdict.payload = payload.take();
+  send(it->second.initiator, std::move(verdict));
+}
+
+}  // namespace tpnr::nr

@@ -1,0 +1,69 @@
+// The Trusted Third Party (§4.3, Fig. 6(c)): invoked only when the two-party
+// exchange stalls ("initiated as the last course"). On a resolve request it
+// verifies genuineness, queries the respondent with a timestamped query, and
+// either relays the receipt back or — on timeout — issues a signed
+// "session failed, respondent did not respond" statement. All verdicts are
+// logged for the arbitrator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nr/actor.h"
+
+namespace tpnr::nr {
+
+/// A logged TTP decision, queryable by the arbitrator.
+struct TtpVerdictRecord {
+  std::string txn_id;
+  std::string initiator;
+  std::string respondent;
+  std::string outcome;  ///< "continued" / "restart" / "no-response" / "invalid-request"
+  common::SimTime decided_at = 0;
+  Bytes statement;            ///< canonical statement bytes
+  Bytes statement_signature;  ///< Sign_TTP(statement)
+};
+
+struct TtpOptions {
+  common::SimTime respondent_timeout = 10 * common::kSecond;
+  common::SimTime reply_window = 10 * common::kSecond;
+};
+
+class TtpActor final : public NrActor {
+ public:
+  TtpActor(std::string id, net::Network& network, pki::Identity& identity,
+           crypto::Drbg& rng, TtpOptions options = TtpOptions{});
+
+  [[nodiscard]] const std::vector<TtpVerdictRecord>& log() const noexcept {
+    return log_;
+  }
+  /// Latest verdict for a transaction, if any.
+  [[nodiscard]] std::optional<TtpVerdictRecord> verdict_for(
+      const std::string& txn_id) const;
+
+ protected:
+  void on_message(const NrMessage& message) override;
+
+ private:
+  struct PendingResolve {
+    std::string initiator;
+    std::string respondent;
+    MessageHeader original_header;
+    std::string report;
+    bool settled = false;
+  };
+
+  void handle_resolve_request(const NrMessage& message);
+  void handle_resolve_response(const NrMessage& message);
+  void deliver_verdict(const std::string& txn_id, const std::string& outcome,
+                       BytesView receipt_header, BytesView receipt_evidence);
+
+  TtpOptions options_;
+  std::map<std::string, PendingResolve> pending_;
+  std::vector<TtpVerdictRecord> log_;
+};
+
+}  // namespace tpnr::nr

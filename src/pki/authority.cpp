@@ -1,0 +1,57 @@
+#include "pki/authority.h"
+
+namespace tpnr::pki {
+
+std::string cert_status_name(CertStatus status) {
+  switch (status) {
+    case CertStatus::kValid:
+      return "valid";
+    case CertStatus::kBadSignature:
+      return "bad-signature";
+    case CertStatus::kExpired:
+      return "expired";
+    case CertStatus::kNotYetValid:
+      return "not-yet-valid";
+    case CertStatus::kRevoked:
+      return "revoked";
+    case CertStatus::kUnknownIssuer:
+      return "unknown-issuer";
+  }
+  return "unknown";
+}
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           std::size_t key_bits,
+                                           crypto::Drbg& rng)
+    : name_(std::move(name)), keys_(crypto::rsa_generate(key_bits, rng)) {}
+
+Certificate CertificateAuthority::issue(
+    const std::string& subject, const crypto::RsaPublicKey& subject_key,
+    SimTime now, SimTime lifetime) {
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.subject_key = subject_key;
+  cert.valid_from = now;
+  cert.valid_to = now + lifetime;
+  cert.signature = crypto::rsa_sign(keys_.priv, crypto::HashKind::kSha256,
+                                    cert.tbs_encode());
+  return cert;
+}
+
+void CertificateAuthority::revoke(std::uint64_t serial) {
+  revoked_.insert(serial);
+}
+
+CertStatus CertificateAuthority::check(const Certificate& cert,
+                                       SimTime now) const {
+  if (cert.issuer != name_) return CertStatus::kUnknownIssuer;
+  if (!cert.verify_signature(keys_.pub)) return CertStatus::kBadSignature;
+  if (is_revoked(cert.serial)) return CertStatus::kRevoked;
+  if (now < cert.valid_from) return CertStatus::kNotYetValid;
+  if (now > cert.valid_to) return CertStatus::kExpired;
+  return CertStatus::kValid;
+}
+
+}  // namespace tpnr::pki

@@ -1,0 +1,61 @@
+// The certificate authority: the paper's "third authorities certified (TAC)"
+// party. Issues certificates, maintains a revocation list, and validates
+// presented certificates (signature + window + revocation).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "pki/certificate.h"
+
+namespace tpnr::pki {
+
+enum class CertStatus {
+  kValid,
+  kBadSignature,
+  kExpired,
+  kNotYetValid,
+  kRevoked,
+  kUnknownIssuer,
+};
+
+/// Human-readable status name (for logs and dispute records).
+std::string cert_status_name(CertStatus status);
+
+class CertificateAuthority {
+ public:
+  /// Creates a CA with a fresh RSA key of `key_bits`.
+  CertificateAuthority(std::string name, std::size_t key_bits,
+                       crypto::Drbg& rng);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const noexcept {
+    return keys_.pub;
+  }
+
+  /// Issues a certificate for (subject, key) valid over
+  /// [now, now + lifetime].
+  Certificate issue(const std::string& subject,
+                    const crypto::RsaPublicKey& subject_key, SimTime now,
+                    SimTime lifetime);
+
+  /// Adds the serial to the revocation list; unknown serials are accepted
+  /// idempotently.
+  void revoke(std::uint64_t serial);
+  [[nodiscard]] bool is_revoked(std::uint64_t serial) const {
+    return revoked_.contains(serial);
+  }
+
+  /// Full validation: issuer match, signature, window, revocation.
+  [[nodiscard]] CertStatus check(const Certificate& cert, SimTime now) const;
+
+ private:
+  std::string name_;
+  crypto::RsaKeyPair keys_;
+  std::uint64_t next_serial_ = 1;
+  std::set<std::uint64_t> revoked_;
+};
+
+}  // namespace tpnr::pki

@@ -1,0 +1,49 @@
+#include "pki/certificate.h"
+
+#include "common/serial.h"
+
+namespace tpnr::pki {
+
+Bytes Certificate::tbs_encode() const {
+  common::BinaryWriter w;
+  w.u64(serial);
+  w.str(subject);
+  w.str(issuer);
+  w.bytes(subject_key.encode());
+  w.i64(valid_from);
+  w.i64(valid_to);
+  return w.take();
+}
+
+Bytes Certificate::encode() const {
+  common::BinaryWriter w;
+  w.bytes(tbs_encode());
+  w.bytes(signature);
+  return w.take();
+}
+
+Certificate Certificate::decode(BytesView data) {
+  common::BinaryReader outer(data);
+  const Bytes tbs = outer.bytes();
+  Certificate cert;
+  cert.signature = outer.bytes();
+  outer.expect_done();
+
+  common::BinaryReader r(tbs);
+  cert.serial = r.u64();
+  cert.subject = r.str();
+  cert.issuer = r.str();
+  cert.subject_key = crypto::RsaPublicKey::decode(r.bytes());
+  cert.valid_from = r.i64();
+  cert.valid_to = r.i64();
+  r.expect_done();
+  return cert;
+}
+
+bool Certificate::verify_signature(
+    const crypto::RsaPublicKey& issuer_key) const {
+  return crypto::rsa_verify(issuer_key, crypto::HashKind::kSha256,
+                            tbs_encode(), signature);
+}
+
+}  // namespace tpnr::pki

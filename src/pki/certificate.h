@@ -1,0 +1,42 @@
+// X.509-flavoured (but minimal) certificates binding an actor id to an RSA
+// public key. The paper's §3.3/§3.4 "third authorities certified (TAC)"
+// schemes and the §5.1 MITM defence ("when the party gets the other's public
+// key, they should authenticate the validity") both rest on these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "crypto/rsa.h"
+
+namespace tpnr::pki {
+
+using common::Bytes;
+using common::BytesView;
+using common::SimTime;
+
+struct Certificate {
+  std::uint64_t serial = 0;
+  std::string subject;              ///< actor id, e.g. "alice"
+  std::string issuer;               ///< CA name
+  crypto::RsaPublicKey subject_key;
+  SimTime valid_from = 0;
+  SimTime valid_to = 0;
+  Bytes signature;                  ///< CA signature over tbs_encode()
+
+  /// Canonical to-be-signed encoding (everything except the signature).
+  [[nodiscard]] Bytes tbs_encode() const;
+  /// Full canonical encoding including the signature.
+  [[nodiscard]] Bytes encode() const;
+  static Certificate decode(BytesView data);
+
+  /// Signature check against the issuer key only (no validity/revocation).
+  [[nodiscard]] bool verify_signature(const crypto::RsaPublicKey& issuer_key) const;
+  [[nodiscard]] bool in_validity_window(SimTime now) const {
+    return now >= valid_from && now <= valid_to;
+  }
+};
+
+}  // namespace tpnr::pki

@@ -1,0 +1,102 @@
+// An actor identity: name + RSA keypair + (optionally) a certificate from
+// the TAC. Provides the signing/sealing operations the NR protocol uses:
+//   sign(m)            -> Sign_self(m)
+//   seal_for(peer, m)  -> Encrypt_peer{m}
+// plus a directory (KeyRegistry) that models "authenticated public keys"
+// (§5.1): only keys vouched for by a trusted CA are returned.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "pki/authority.h"
+#include "pki/certificate.h"
+
+namespace tpnr::pki {
+
+class Identity {
+ public:
+  Identity(std::string id, std::size_t key_bits, crypto::Drbg& rng)
+      : id_(std::move(id)), keys_(crypto::rsa_generate(key_bits, rng)) {}
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const noexcept {
+    return keys_.pub;
+  }
+  [[nodiscard]] const crypto::RsaPrivateKey& private_key() const noexcept {
+    return keys_.priv;
+  }
+
+  void set_certificate(Certificate cert) { cert_ = std::move(cert); }
+  [[nodiscard]] const std::optional<Certificate>& certificate() const noexcept {
+    return cert_;
+  }
+
+  /// Sign_self(message) with SHA-256/PKCS#1 v1.5.
+  [[nodiscard]] common::Bytes sign(common::BytesView message) const {
+    return crypto::rsa_sign(keys_.priv, crypto::HashKind::kSha256, message);
+  }
+
+  /// Verifies a signature allegedly by `signer_key`.
+  [[nodiscard]] static bool verify(const crypto::RsaPublicKey& signer_key,
+                                   common::BytesView message,
+                                   common::BytesView signature) {
+    return crypto::rsa_verify(signer_key, crypto::HashKind::kSha256, message,
+                              signature);
+  }
+
+  /// Encrypt_peer{message}.
+  [[nodiscard]] static common::Bytes seal_for(
+      const crypto::RsaPublicKey& peer_key, common::BytesView message,
+      crypto::Drbg& rng) {
+    return crypto::rsa_encrypt(peer_key, message, rng);
+  }
+
+  /// Decrypt_self{ciphertext}; throws CryptoError on failure.
+  [[nodiscard]] common::Bytes unseal(common::BytesView ciphertext) const {
+    return crypto::rsa_decrypt(keys_.priv, ciphertext);
+  }
+
+ private:
+  std::string id_;
+  crypto::RsaKeyPair keys_;
+  std::optional<Certificate> cert_;
+};
+
+/// Authenticated public-key directory. Lookups only succeed for identities
+/// whose certificate currently checks out against the trusted CA — the §5.1
+/// defence against man-in-the-middle key substitution.
+class KeyRegistry {
+ public:
+  explicit KeyRegistry(const CertificateAuthority& trusted_ca)
+      : ca_(&trusted_ca) {}
+
+  /// Registers (or replaces) the certificate for its subject.
+  void enroll(const Certificate& cert) { certs_[cert.subject] = cert; }
+
+  /// Returns the subject's key iff its certificate validates at `now`.
+  [[nodiscard]] std::optional<crypto::RsaPublicKey> authenticated_key(
+      const std::string& subject, common::SimTime now) const {
+    const auto it = certs_.find(subject);
+    if (it == certs_.end()) return std::nullopt;
+    if (ca_->check(it->second, now) != CertStatus::kValid) return std::nullopt;
+    return it->second.subject_key;
+  }
+
+  /// Raw certificate access (for dispute records).
+  [[nodiscard]] std::optional<Certificate> certificate(
+      const std::string& subject) const {
+    const auto it = certs_.find(subject);
+    if (it == certs_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  const CertificateAuthority* ca_;
+  std::map<std::string, Certificate> certs_;
+};
+
+}  // namespace tpnr::pki

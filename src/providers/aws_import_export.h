@@ -1,0 +1,128 @@
+// AWS Import/Export model (§2.1, Fig. 2): a user prepares a manifest file
+// (AccessKeyID, DeviceID, Destination, ...), signs it, e-mails it to the
+// provider, then ships a storage device with an attached signature file.
+// The provider validates the signature against the manifest, copies the
+// data, and e-mails back a report with byte counts and RECOMPUTED MD5s
+// (§2.4: "the Amazon AWS computes the data MD5 and emails to the user").
+// Shipping is simulated with a configurable transit delay on the shared
+// clock — the §6 observation that protocol time is trivial against
+// surface-mail time falls out of this model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "crypto/hmac.h"
+#include "providers/platform.h"
+#include "storage/object_store.h"
+
+namespace tpnr::providers {
+
+/// The import/export metadata file.
+struct Manifest {
+  std::string access_key_id;
+  std::string device_id;
+  std::string destination;  ///< S3 bucket name
+  std::string operation;    ///< "import" or "export"
+  std::string return_address;
+
+  [[nodiscard]] Bytes encode() const;
+  static Manifest decode(BytesView data);
+};
+
+/// The metadata file attached to the shipped device: identifies the job and
+/// carries the HMAC that authenticates the request ("the cipher algorithm
+/// that is adopted to encrypt the job ID and the bytes in the manifest").
+struct SignatureFile {
+  std::string job_id;
+  std::string cipher = "hmac-sha256";
+  Bytes signature;  ///< HMAC_secret(job_id || manifest bytes)
+};
+
+/// The physical device: a bag of files.
+using Device = std::map<std::string, Bytes>;
+
+/// Per-file line of the e-mailed report / import log.
+struct ReportEntry {
+  std::string key;
+  std::uint64_t bytes = 0;
+  Bytes md5;  ///< recomputed by the provider
+  std::string status;
+};
+
+struct JobReport {
+  std::string job_id;
+  bool ok = false;
+  std::string detail;
+  std::vector<ReportEntry> entries;
+  std::string log_location;  ///< S3 key of the import/export log
+};
+
+class AwsImportExport final : public CloudPlatform {
+ public:
+  AwsImportExport(common::SimClock& clock,
+                  SimTime shipping_transit = 2 * common::kHour);
+
+  /// Registers a user and returns the shared secret used for signature
+  /// files (stands in for the AWS secret access key).
+  Bytes register_user(const std::string& access_key_id, crypto::Drbg& rng);
+
+  /// Step 1 (e-mail): user sends the signed manifest; provider validates
+  /// and returns a job id, or nullopt when the signature is bad.
+  std::optional<std::string> create_job(const Manifest& manifest,
+                                        BytesView manifest_signature);
+
+  /// Steps 2-4 (shipping + load): device with attached signature file
+  /// arrives after the transit delay; the provider validates, copies data
+  /// into the destination bucket, writes the log, and "e-mails" the report.
+  JobReport receive_device(const std::string& job_id, const Device& device,
+                           const SignatureFile& signature_file);
+
+  /// Export path: provider copies bucket objects onto a device and ships it
+  /// back; the report carries the MD5 of the data written.
+  struct ExportResult {
+    JobReport report;
+    Device device;
+  };
+  ExportResult serve_export(const std::string& job_id,
+                            const SignatureFile& signature_file);
+
+  /// Computes the signature-file HMAC the way the client must.
+  static Bytes sign_job(BytesView secret, const std::string& job_id,
+                        const Manifest& manifest);
+
+  // --- CloudPlatform (direct S3-ish path used by the Fig. 5 harness) ---
+  [[nodiscard]] std::string name() const override { return "aws"; }
+  UploadReceipt upload(const std::string& user, const std::string& key,
+                       BytesView data, BytesView md5) override;
+  DownloadResult download(const std::string& user,
+                          const std::string& key) override;
+  bool tamper(const std::string& key, BytesView new_data) override;
+
+  [[nodiscard]] storage::ObjectStore& bucket_store() noexcept {
+    return bucket_;
+  }
+  [[nodiscard]] SimTime shipping_transit() const noexcept {
+    return shipping_transit_;
+  }
+
+ private:
+  struct Job {
+    Manifest manifest;
+    std::string job_id;
+    bool completed = false;
+  };
+
+  common::SimClock* clock_;
+  SimTime shipping_transit_;
+  std::map<std::string, Bytes> user_secrets_;
+  std::map<std::string, Job> jobs_;
+  storage::ObjectStore bucket_;
+  std::uint64_t next_job_ = 1;
+};
+
+}  // namespace tpnr::providers

@@ -1,0 +1,133 @@
+// Windows Azure Storage model (§2.2, Fig. 3, Table 1): Blob/Table/Queue
+// stores behind a REST front-end authenticated with SharedKey HMAC-SHA256
+// over a canonicalized request, with Content-MD5 integrity on PUT and the
+// stored MD5 echoed back on GET (§2.4: "the original MD5_1 will be sent").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "providers/platform.h"
+#include "storage/object_store.h"
+
+namespace tpnr::providers {
+
+/// An HTTP-shaped request, canonicalized and signed per the SharedKey
+/// scheme. Header names are case-sensitive lowercase internally.
+struct RestRequest {
+  std::string method;                          ///< "PUT" / "GET" / "DELETE"
+  std::string path;                            ///< "/container/blob?comp=..."
+  std::map<std::string, std::string> headers;  ///< incl. x-ms-date, x-ms-version
+  Bytes body;
+
+  /// Canonical wire encoding (for transport over a secure channel).
+  [[nodiscard]] Bytes encode() const;
+  static RestRequest decode(BytesView data);
+};
+
+struct RestResponse {
+  int status = 0;  ///< 200/201, 400, 403, 404
+  std::map<std::string, std::string> headers;
+  Bytes body;
+  std::string detail;  ///< human-readable error context
+
+  [[nodiscard]] Bytes encode() const;
+  static RestResponse decode(BytesView data);
+};
+
+/// The string-to-sign: method, content-length, content-md5, x-ms-date,
+/// x-ms-version, then the path — a faithful simplification of Azure's
+/// canonicalized-headers + canonicalized-resource construction.
+std::string canonicalize(const RestRequest& request);
+
+/// Computes the SharedKey authorization value "SharedKey account:signature".
+std::string shared_key_authorization(const std::string& account,
+                                     BytesView account_key,
+                                     const RestRequest& request);
+
+/// Attaches the Authorization header in place.
+void sign_request(RestRequest& request, const std::string& account,
+                  BytesView account_key);
+
+/// Service-side scale limits, scaled down from the real 50 GB / 8 KB for
+/// fast simulation but enforced the same way.
+struct AzureLimits {
+  std::size_t max_blob_bytes = 50ull << 20;  ///< stands in for 50 GB
+  std::size_t max_queue_message_bytes = 8 << 10;
+};
+
+class AzureRestService final : public CloudPlatform {
+ public:
+  using Limits = AzureLimits;
+
+  explicit AzureRestService(common::SimClock& clock,
+                            AzureLimits limits = AzureLimits{});
+
+  /// Creates an account and returns its fresh 256-bit secret key (what the
+  /// Azure portal hands the user).
+  Bytes create_account(const std::string& account, crypto::Drbg& rng);
+  [[nodiscard]] bool has_account(const std::string& account) const;
+
+  /// The REST front door: authenticates, then routes blob/table/queue ops.
+  RestResponse handle(const RestRequest& request);
+
+  // --- CloudPlatform (drives the blob store through the REST path) ---
+  [[nodiscard]] std::string name() const override { return "azure"; }
+  UploadReceipt upload(const std::string& user, const std::string& key,
+                       BytesView data, BytesView md5) override;
+  DownloadResult download(const std::string& user,
+                          const std::string& key) override;
+  bool tamper(const std::string& key, BytesView new_data) override;
+
+  /// Table entity operations (authenticated like blobs).
+  RestResponse put_entity(const std::string& account, const std::string& table,
+                          const std::string& row_key, BytesView entity);
+  RestResponse get_entity(const std::string& account, const std::string& table,
+                          const std::string& row_key);
+
+  /// Queue operations with the 8 KB message cap.
+  RestResponse enqueue(const std::string& account, const std::string& queue,
+                       BytesView message);
+  RestResponse dequeue(const std::string& account, const std::string& queue);
+
+  // Block-blob operations — the exact shape of Table 1's
+  // "PUT ...?comp=block&blockid=blockid1". Blocks are staged per blob and
+  // only become readable after a block-list commit.
+  /// Stages one block (authenticated caller already established).
+  RestResponse put_block(const std::string& account, const std::string& blob,
+                         const std::string& block_id, BytesView data);
+  /// Commits an ordered list of staged blocks into the blob.
+  RestResponse put_block_list(const std::string& account,
+                              const std::string& blob,
+                              const std::vector<std::string>& block_ids);
+  /// Blocks staged but not yet committed for a blob.
+  [[nodiscard]] std::vector<std::string> uncommitted_blocks(
+      const std::string& account, const std::string& blob) const;
+
+  [[nodiscard]] storage::ObjectStore& blob_store() noexcept { return blobs_; }
+
+ private:
+  /// Verifies the Authorization header; returns the account on success.
+  [[nodiscard]] std::optional<std::string> authenticate(
+      const RestRequest& request) const;
+  RestResponse handle_blob_put(const std::string& account,
+                               const RestRequest& request);
+  RestResponse handle_blob_get(const RestRequest& request);
+
+  common::SimClock* clock_;
+  Limits limits_;
+  std::map<std::string, Bytes> account_keys_;
+  storage::ObjectStore blobs_;
+  std::map<std::string, std::map<std::string, Bytes>> tables_;
+  std::map<std::string, std::deque<Bytes>> queues_;
+  /// Staged, uncommitted blocks: "account/blob" -> block_id -> bytes.
+  std::map<std::string, std::map<std::string, Bytes>> staged_blocks_;
+};
+
+}  // namespace tpnr::providers

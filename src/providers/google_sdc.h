@@ -1,0 +1,119 @@
+// Google App Engine + Secure Data Connector model (§2.3, Fig. 4).
+//
+// Pipeline, in the paper's order:
+//   user --> Apps front-end --> Tunnel Server (validates the request,
+//   establishes the encrypted tunnel) --> SDC agent (checks resource rules)
+//   --> service server (validates the signed request, checks credentials,
+//   returns data).
+//
+// The signed request carries the fields §2.3 lists: owner_id, viewer_id,
+// instance_id, app_id, public_key, consumer_key, nonce, token, signature.
+// The datastore beneath exposes only GET/PUT, like the low-level API the
+// paper cites.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "crypto/aead.h"
+#include "crypto/rsa.h"
+#include "providers/platform.h"
+#include "storage/object_store.h"
+
+namespace tpnr::providers {
+
+/// The OpenSocial-style signed request of §2.3.
+struct SignedRequest {
+  std::string owner_id;
+  std::string viewer_id;
+  std::string instance_id;
+  std::string app_id;
+  Bytes public_key_fingerprint;
+  std::string consumer_key;
+  std::uint64_t nonce = 0;
+  std::string token;
+  std::string method;    ///< "GET" or "PUT"
+  std::string resource;  ///< datastore key
+  Bytes body;            ///< PUT payload
+  Bytes signature;       ///< RSA over canonical_encode()
+
+  /// Everything except the signature, canonically encoded.
+  [[nodiscard]] Bytes canonical_encode() const;
+};
+
+/// Prefix-based access rule: who may touch which resources.
+struct ResourceRule {
+  std::string resource_prefix;
+  std::set<std::string> allowed_viewers;
+};
+
+struct SdcResponse {
+  int status = 0;  ///< 200, 400, 401, 403, 404
+  Bytes body;
+  std::string detail;
+};
+
+class GoogleSdcService final : public CloudPlatform {
+ public:
+  explicit GoogleSdcService(common::SimClock& clock);
+
+  /// Registers a consumer (an Apps domain user): stores their verified
+  /// public key and issues an access token.
+  std::string register_consumer(const std::string& consumer_key,
+                                const crypto::RsaPublicKey& key,
+                                crypto::Drbg& rng);
+
+  void add_resource_rule(ResourceRule rule);
+
+  /// The full Fig. 4 pipeline for one request. Validation order follows the
+  /// figure: tunnel (authn) -> resource rules (authz) -> service server
+  /// (signature + credentials) -> datastore.
+  SdcResponse handle(const SignedRequest& request);
+
+  /// Client-side helper: fills in token bookkeeping and signs.
+  static SignedRequest make_signed_request(
+      const std::string& consumer_key, const std::string& viewer_id,
+      const std::string& token, const crypto::RsaPrivateKey& key,
+      std::uint64_t nonce, const std::string& method,
+      const std::string& resource, BytesView body);
+
+  // --- CloudPlatform ---
+  [[nodiscard]] std::string name() const override { return "gae"; }
+  UploadReceipt upload(const std::string& user, const std::string& key,
+                       BytesView data, BytesView md5) override;
+  DownloadResult download(const std::string& user,
+                          const std::string& key) override;
+  bool tamper(const std::string& key, BytesView new_data) override;
+
+  [[nodiscard]] std::uint64_t tunnel_sessions() const noexcept {
+    return tunnel_sessions_;
+  }
+
+ private:
+  struct Consumer {
+    crypto::RsaPublicKey key;
+    std::string token;
+    std::set<std::uint64_t> seen_nonces;  ///< replay cache
+  };
+
+  [[nodiscard]] bool authorized(const std::string& viewer,
+                                const std::string& resource) const;
+
+  common::SimClock* clock_;
+  std::map<std::string, Consumer> consumers_;
+  std::vector<ResourceRule> rules_;
+  storage::ObjectStore datastore_;
+  std::uint64_t tunnel_sessions_ = 0;
+  // CloudPlatform adapter state: a keypair + nonce counter per enrolled user.
+  std::map<std::string, crypto::RsaKeyPair> adapter_keys_;
+  std::map<std::string, std::string> adapter_tokens_;
+  std::uint64_t adapter_nonce_ = 1;
+  crypto::Drbg adapter_rng_{std::uint64_t{0x5dc}};
+};
+
+}  // namespace tpnr::providers

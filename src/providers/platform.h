@@ -1,0 +1,67 @@
+// The common upload/store/download shape of all three platforms — Fig. 5 of
+// the paper. Each provider model implements this so the integrity-gap
+// experiment (bench_fig5) can drive AWS/Azure/GAE interchangeably:
+//
+//   user1 --(data + MD5_1)--> provider --(data + MD5)--> user2
+//
+// The MD5 the provider returns is either the one stored at upload (Azure) or
+// recomputed from the bytes at download (AWS) — the distinction §2.4 draws,
+// and the reason neither detects in-store tampering.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace tpnr::providers {
+
+using common::Bytes;
+using common::BytesView;
+using common::SimTime;
+
+/// Where the MD5 returned on download came from.
+enum class Md5Source {
+  kStoredAtUpload,   ///< Azure: the original MD5_1 echoes back
+  kRecomputed,       ///< AWS: MD5_2 computed from current bytes
+};
+
+struct UploadReceipt {
+  bool accepted = false;
+  std::string detail;      ///< error description when !accepted
+  Bytes md5_of_received;   ///< what the provider acknowledged
+};
+
+struct DownloadResult {
+  bool ok = false;
+  std::string detail;
+  Bytes data;
+  Bytes md5_returned;
+  Md5Source md5_source = Md5Source::kStoredAtUpload;
+};
+
+/// A cloud storage platform, as seen by a (already authenticated) user
+/// session. Authentication specifics live in each concrete provider; this
+/// interface captures only the Fig. 5 data path.
+class CloudPlatform {
+ public:
+  virtual ~CloudPlatform() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Upload session: client supplies data and its MD5; the provider verifies
+  /// and stores.
+  virtual UploadReceipt upload(const std::string& user, const std::string& key,
+                               BytesView data, BytesView md5) = 0;
+
+  /// Download session: provider returns data plus an MD5 per its policy.
+  virtual DownloadResult download(const std::string& user,
+                                  const std::string& key) = 0;
+
+  /// The Eve operation: the storage administrator silently replaces the
+  /// object bytes. Returns false if the object does not exist.
+  virtual bool tamper(const std::string& key, BytesView new_data) = 0;
+};
+
+}  // namespace tpnr::providers

@@ -1,0 +1,116 @@
+#include "storage/backend.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace tpnr::storage {
+
+namespace fs = std::filesystem;
+
+void MemoryBackend::put(const std::string& key, BytesView data) {
+  objects_[key] = Bytes(data.begin(), data.end());
+}
+
+std::optional<Bytes> MemoryBackend::get(const std::string& key) const {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryBackend::remove(const std::string& key) {
+  return objects_.erase(key) > 0;
+}
+
+bool MemoryBackend::exists(const std::string& key) const {
+  return objects_.contains(key);
+}
+
+std::vector<std::string> MemoryBackend::list() const {
+  std::vector<std::string> keys;
+  keys.reserve(objects_.size());
+  for (const auto& [key, value] : objects_) keys.push_back(key);
+  return keys;
+}
+
+std::size_t MemoryBackend::size() const { return objects_.size(); }
+
+bool MemoryBackend::corrupt(const std::string& key, std::size_t offset,
+                            std::uint8_t xor_mask) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end() || it->second.empty()) return false;
+  it->second[offset % it->second.size()] ^= xor_mask;
+  return true;
+}
+
+DiskBackend::DiskBackend(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    throw common::StorageError("DiskBackend: cannot create root " + root_ +
+                               ": " + ec.message());
+  }
+}
+
+std::string DiskBackend::path_for(const std::string& key) const {
+  return root_ + "/" +
+         common::to_hex(common::to_bytes(key)) + ".obj";
+}
+
+void DiskBackend::put(const std::string& key, BytesView data) {
+  std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
+  if (!out) throw common::StorageError("DiskBackend: cannot open for write");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw common::StorageError("DiskBackend: write failed");
+}
+
+std::optional<Bytes> DiskBackend::get(const std::string& key) const {
+  std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw common::StorageError("DiskBackend: read failed");
+  return data;
+}
+
+bool DiskBackend::remove(const std::string& key) {
+  std::error_code ec;
+  return fs::remove(path_for(key), ec) && !ec;
+}
+
+bool DiskBackend::exists(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(path_for(key), ec);
+}
+
+std::vector<std::string> DiskBackend::list() const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.ends_with(".obj")) {
+      keys.push_back(
+          common::to_string(common::from_hex(name.substr(0, name.size() - 4))));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::size_t DiskBackend::size() const { return list().size(); }
+
+bool DiskBackend::corrupt(const std::string& key, std::size_t offset,
+                          std::uint8_t xor_mask) {
+  auto data = get(key);
+  if (!data || data->empty()) return false;
+  (*data)[offset % data->size()] ^= xor_mask;
+  put(key, *data);
+  return true;
+}
+
+}  // namespace tpnr::storage

@@ -1,0 +1,78 @@
+// Storage backends: the raw byte-keeping layer underneath the provider
+// simulations. Memory- and disk-backed implementations share one interface
+// so tests run in memory and examples can persist.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace tpnr::storage {
+
+using common::Bytes;
+using common::BytesView;
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Stores (replaces) the object bytes at `key`.
+  virtual void put(const std::string& key, BytesView data) = 0;
+  /// Returns the bytes, or nullopt if absent.
+  [[nodiscard]] virtual std::optional<Bytes> get(const std::string& key) const = 0;
+  /// Removes the object; returns false if it did not exist.
+  virtual bool remove(const std::string& key) = 0;
+  [[nodiscard]] virtual bool exists(const std::string& key) const = 0;
+  /// All keys in lexicographic order.
+  [[nodiscard]] virtual std::vector<std::string> list() const = 0;
+  /// Number of stored objects.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  // Out-of-band mutation used by fault injection: modifies stored bytes
+  // WITHOUT any bookkeeping, modeling silent at-rest corruption or a
+  // malicious administrator. Returns false if the key is absent.
+  virtual bool corrupt(const std::string& key, std::size_t offset,
+                       std::uint8_t xor_mask) = 0;
+};
+
+/// std::map-backed store.
+class MemoryBackend final : public StorageBackend {
+ public:
+  void put(const std::string& key, BytesView data) override;
+  [[nodiscard]] std::optional<Bytes> get(const std::string& key) const override;
+  bool remove(const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) const override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] std::size_t size() const override;
+  bool corrupt(const std::string& key, std::size_t offset,
+               std::uint8_t xor_mask) override;
+
+ private:
+  std::map<std::string, Bytes> objects_;
+};
+
+/// Filesystem-backed store rooted at a directory; keys are hex-encoded into
+/// file names so arbitrary key strings are safe.
+class DiskBackend final : public StorageBackend {
+ public:
+  /// Creates the directory if needed. Throws StorageError on I/O failure.
+  explicit DiskBackend(std::string root);
+
+  void put(const std::string& key, BytesView data) override;
+  [[nodiscard]] std::optional<Bytes> get(const std::string& key) const override;
+  bool remove(const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) const override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] std::size_t size() const override;
+  bool corrupt(const std::string& key, std::size_t offset,
+               std::uint8_t xor_mask) override;
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+  std::string root_;
+};
+
+}  // namespace tpnr::storage

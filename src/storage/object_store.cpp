@@ -1,0 +1,137 @@
+#include "storage/object_store.h"
+
+#include "common/error.h"
+#include "crypto/hash.h"
+
+namespace tpnr::storage {
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kOverwrite:
+      return "overwrite";
+    case FaultKind::kStaleVersion:
+      return "stale-version";
+    case FaultKind::kLoss:
+      return "loss";
+  }
+  return "unknown";
+}
+
+ObjectStore::ObjectStore(std::unique_ptr<StorageBackend> backend,
+                         std::uint64_t fault_seed)
+    : backend_(std::move(backend)), fault_rng_(fault_seed) {
+  if (!backend_) {
+    throw common::StorageError("ObjectStore: null backend");
+  }
+}
+
+std::uint64_t ObjectStore::put(const std::string& key, BytesView data,
+                               BytesView client_md5, SimTime now) {
+  ObjectRecord& record = index_[key];
+  if (record.version > 0) {
+    history_[key].push_back(record.data);
+  }
+  record.data = Bytes(data.begin(), data.end());
+  record.stored_md5 = Bytes(client_md5.begin(), client_md5.end());
+  record.stored_at = now;
+  ++record.version;
+  backend_->put(key, data);
+  return record.version;
+}
+
+std::optional<ObjectRecord> ObjectStore::get(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  // Serve from the backend so out-of-band backend corruption is visible.
+  const auto raw = backend_->get(key);
+  if (!raw) return std::nullopt;
+  ObjectRecord record = it->second;
+  record.data = *raw;
+  apply_fault(key, record);
+  if (record.version == 0) return std::nullopt;  // kLoss marker
+  return record;
+}
+
+void ObjectStore::apply_fault(const std::string& key, ObjectRecord& record) {
+  if (policy_.kind == FaultKind::kNone ||
+      !fault_rng_.chance(policy_.probability)) {
+    return;
+  }
+  ++faults_injected_;
+  switch (policy_.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kBitFlip: {
+      if (record.data.empty()) break;
+      const std::size_t pos = static_cast<std::size_t>(
+          fault_rng_.uniform(record.data.size()));
+      const auto mask =
+          static_cast<std::uint8_t>(1u << fault_rng_.uniform(8));
+      record.data[pos] ^= mask;
+      break;
+    }
+    case FaultKind::kTruncate: {
+      if (record.data.size() < 2) break;
+      record.data.resize(record.data.size() / 2);
+      break;
+    }
+    case FaultKind::kOverwrite: {
+      if (record.data.empty()) break;
+      const std::size_t start = static_cast<std::size_t>(
+          fault_rng_.uniform(record.data.size()));
+      const std::size_t len = std::min<std::size_t>(
+          record.data.size() - start, 16);
+      const Bytes junk = fault_rng_.bytes(len);
+      std::copy(junk.begin(), junk.end(),
+                record.data.begin() + static_cast<std::ptrdiff_t>(start));
+      break;
+    }
+    case FaultKind::kStaleVersion: {
+      const auto hist = history_.find(key);
+      if (hist != history_.end() && !hist->second.empty()) {
+        record.data = hist->second.back();
+      }
+      break;
+    }
+    case FaultKind::kLoss: {
+      record.version = 0;  // sentinel consumed by get()
+      break;
+    }
+  }
+}
+
+bool ObjectStore::tamper(const std::string& key, BytesView new_data) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  // Deliberately leave stored_md5, version, metadata untouched: the
+  // administrator rewrites bytes behind the bookkeeping's back.
+  it->second.data = Bytes(new_data.begin(), new_data.end());
+  backend_->put(key, new_data);
+  return true;
+}
+
+bool ObjectStore::remove(const std::string& key) {
+  history_.erase(key);
+  const bool had_index = index_.erase(key) > 0;
+  const bool had_bytes = backend_->remove(key);
+  return had_index || had_bytes;
+}
+
+bool ObjectStore::exists(const std::string& key) const {
+  return index_.contains(key);
+}
+
+std::vector<std::string> ObjectStore::list() const {
+  std::vector<std::string> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, record] : index_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace tpnr::storage

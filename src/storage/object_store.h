@@ -1,0 +1,92 @@
+// ObjectStore: the provider-visible storage layer — versioned objects with
+// metadata and per-upload checksums — plus the FaultInjector that models
+// Fig. 5's threat: data silently changing INSIDE the store, between the
+// (individually secure) upload and download sessions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "crypto/drbg.h"
+#include "storage/backend.h"
+
+namespace tpnr::storage {
+
+using common::SimTime;
+
+/// Everything the provider records about one object.
+struct ObjectRecord {
+  Bytes data;
+  Bytes stored_md5;        ///< MD5 recorded at upload time (Azure keeps this)
+  std::uint64_t version = 0;
+  SimTime stored_at = 0;
+  std::map<std::string, std::string> metadata;
+};
+
+/// What can silently go wrong at rest.
+enum class FaultKind {
+  kNone,
+  kBitFlip,        ///< one random byte XORed
+  kTruncate,       ///< object loses its tail
+  kOverwrite,      ///< a range replaced with attacker bytes
+  kStaleVersion,   ///< reads serve a previous version (rollback)
+  kLoss,           ///< object disappears
+};
+
+std::string fault_kind_name(FaultKind kind);
+
+/// Deterministic fault injection driven by a seeded Drbg. `probability`
+/// applies independently per read.
+struct FaultPolicy {
+  FaultKind kind = FaultKind::kNone;
+  double probability = 0.0;
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(std::unique_ptr<StorageBackend> backend,
+                       std::uint64_t fault_seed = 7);
+
+  /// Stores a new version; records the MD5 the client supplied (the Azure
+  /// behaviour) and returns the assigned version.
+  std::uint64_t put(const std::string& key, BytesView data,
+                    BytesView client_md5, SimTime now);
+
+  /// Plain read (fault injection applies).
+  [[nodiscard]] std::optional<ObjectRecord> get(const std::string& key);
+
+  /// Direct tamper by "the administrator" (the paper's Eve): replaces the
+  /// object bytes without touching stored_md5 or version — exactly the
+  /// silent-modification the upload/download integrity checks miss.
+  bool tamper(const std::string& key, BytesView new_data);
+
+  bool remove(const std::string& key);
+  [[nodiscard]] bool exists(const std::string& key) const;
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  void set_fault_policy(FaultPolicy policy) { policy_ = policy; }
+  [[nodiscard]] const FaultPolicy& fault_policy() const noexcept {
+    return policy_;
+  }
+  /// Number of faults actually injected so far.
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return faults_injected_;
+  }
+
+ private:
+  void apply_fault(const std::string& key, ObjectRecord& record);
+
+  std::unique_ptr<StorageBackend> backend_;
+  std::map<std::string, ObjectRecord> index_;          // metadata + current
+  std::map<std::string, std::vector<Bytes>> history_;  // for kStaleVersion
+  FaultPolicy policy_;
+  crypto::Drbg fault_rng_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+}  // namespace tpnr::storage

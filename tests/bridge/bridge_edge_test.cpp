@@ -1,0 +1,123 @@
+// Failure-path coverage for the §3 bridging schemes.
+#include <gtest/gtest.h>
+
+#include "bridge/schemes_impl.h"
+#include "common/error.h"
+#include "crypto/hash.h"
+#include "providers/azure_rest.h"
+
+namespace tpnr::bridge {
+namespace {
+
+using common::to_bytes;
+
+class BridgeEdgeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new crypto::Drbg(std::uint64_t{9090});
+    user_ = new pki::Identity("alice", 1024, *rng_);
+    provider_ = new pki::Identity("prov", 1024, *rng_);
+    tac_ = new pki::Identity("tac", 1024, *rng_);
+  }
+  static void TearDownTestSuite() {
+    delete user_;
+    delete provider_;
+    delete tac_;
+    delete rng_;
+  }
+
+  void SetUp() override {
+    platform_ = std::make_unique<providers::AzureRestService>(clock_);
+    platform_->create_account("alice", *rng_);
+  }
+
+  static crypto::Drbg* rng_;
+  static pki::Identity* user_;
+  static pki::Identity* provider_;
+  static pki::Identity* tac_;
+  common::SimClock clock_;
+  std::unique_ptr<providers::AzureRestService> platform_;
+};
+
+crypto::Drbg* BridgeEdgeTest::rng_ = nullptr;
+pki::Identity* BridgeEdgeTest::user_ = nullptr;
+pki::Identity* BridgeEdgeTest::provider_ = nullptr;
+pki::Identity* BridgeEdgeTest::tac_ = nullptr;
+
+TEST_F(BridgeEdgeTest, DownloadOfMissingObjectFailsCleanly) {
+  for (const SchemeKind kind : {SchemeKind::kPlain, SchemeKind::kSks,
+                                SchemeKind::kTac, SchemeKind::kTacSks}) {
+    auto scheme =
+        make_scheme(kind, *user_, *provider_, *platform_, *rng_, tac_);
+    const auto down = scheme->download("never-stored");
+    EXPECT_FALSE(down.ok) << scheme_name(kind);
+    EXPECT_FALSE(down.integrity_ok) << scheme_name(kind);
+    EXPECT_FALSE(down.detail.empty()) << scheme_name(kind);
+  }
+}
+
+TEST_F(BridgeEdgeTest, UploadToUnknownAccountFails) {
+  // Scheme bound to a user the platform does not know.
+  pki::Identity stranger("stranger", 1024, *rng_);
+  auto scheme = make_scheme(SchemeKind::kPlain, stranger, *provider_,
+                            *platform_, *rng_, nullptr);
+  const auto up = scheme->upload("obj", to_bytes("data"));
+  EXPECT_FALSE(up.accepted);
+  EXPECT_FALSE(up.detail.empty());
+}
+
+TEST_F(BridgeEdgeTest, DownloadWithoutPriorUploadHasNoEvidence) {
+  auto scheme = make_scheme(SchemeKind::kPlain, *user_, *provider_,
+                            *platform_, *rng_, nullptr);
+  // Object exists on the platform but was never uploaded THROUGH the
+  // scheme: integrity cannot be vouched for.
+  platform_->upload("alice", "side-door", to_bytes("x"),
+                    crypto::md5(to_bytes("x")));
+  const auto down = scheme->download("side-door");
+  EXPECT_TRUE(down.ok);
+  EXPECT_FALSE(down.integrity_ok);
+}
+
+TEST_F(BridgeEdgeTest, RepeatedUploadsReplaceEvidence) {
+  auto scheme = make_scheme(SchemeKind::kPlain, *user_, *provider_,
+                            *platform_, *rng_, nullptr);
+  ASSERT_TRUE(scheme->upload("obj", to_bytes("v1")).accepted);
+  ASSERT_TRUE(scheme->upload("obj", to_bytes("v2")).accepted);
+  const auto down = scheme->download("obj");
+  EXPECT_TRUE(down.integrity_ok);  // checked against the LATEST agreement
+  EXPECT_EQ(down.data, to_bytes("v2"));
+}
+
+TEST_F(BridgeEdgeTest, DisputeCostsAreNonZero) {
+  auto scheme = make_scheme(SchemeKind::kTacSks, *user_, *provider_,
+                            *platform_, *rng_, tac_);
+  ASSERT_TRUE(scheme->upload("obj", to_bytes("data")).accepted);
+  const auto outcome = scheme->dispute("obj", false);
+  EXPECT_GT(outcome.costs.messages + outcome.costs.tac_messages, 0u);
+}
+
+TEST_F(BridgeEdgeTest, CostsAccumulateWithPlusEquals) {
+  Costs total;
+  Costs a;
+  a.messages = 2;
+  a.bytes = 100;
+  a.signatures = 1;
+  Costs b;
+  b.messages = 3;
+  b.verifications = 4;
+  b.sks_ops = 1;
+  b.tac_messages = 2;
+  b.hashes = 5;
+  total += a;
+  total += b;
+  EXPECT_EQ(total.messages, 5u);
+  EXPECT_EQ(total.bytes, 100u);
+  EXPECT_EQ(total.signatures, 1u);
+  EXPECT_EQ(total.verifications, 4u);
+  EXPECT_EQ(total.sks_ops, 1u);
+  EXPECT_EQ(total.tac_messages, 2u);
+  EXPECT_EQ(total.hashes, 5u);
+}
+
+}  // namespace
+}  // namespace tpnr::bridge

@@ -1,0 +1,238 @@
+#include "bridge/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "bridge/schemes_impl.h"
+#include "common/error.h"
+#include "crypto/hash.h"
+#include "providers/azure_rest.h"
+
+namespace tpnr::bridge {
+namespace {
+
+using common::to_bytes;
+
+class BridgeTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new crypto::Drbg(std::uint64_t{404});
+    user_ = new pki::Identity("alice", 1024, *rng_);
+    provider_ = new pki::Identity("eve-storage", 1024, *rng_);
+    tac_ = new pki::Identity("tac", 1024, *rng_);
+  }
+  static void TearDownTestSuite() {
+    delete user_;
+    delete provider_;
+    delete tac_;
+    delete rng_;
+  }
+
+  void SetUp() override {
+    platform_ = std::make_unique<providers::AzureRestService>(clock_);
+    platform_->create_account("alice", *rng_);
+    scheme_ = make_scheme(GetParam(), *user_, *provider_, *platform_, *rng_,
+                          tac_);
+  }
+
+  static crypto::Drbg* rng_;
+  static pki::Identity* user_;
+  static pki::Identity* provider_;
+  static pki::Identity* tac_;
+  common::SimClock clock_;
+  std::unique_ptr<providers::AzureRestService> platform_;
+  std::unique_ptr<BridgingScheme> scheme_;
+};
+
+crypto::Drbg* BridgeTest::rng_ = nullptr;
+pki::Identity* BridgeTest::user_ = nullptr;
+pki::Identity* BridgeTest::provider_ = nullptr;
+pki::Identity* BridgeTest::tac_ = nullptr;
+
+TEST_P(BridgeTest, UploadThenCleanDownloadPassesIntegrity) {
+  const auto data = to_bytes("quarterly financials");
+  const auto up = scheme_->upload("ledger", data);
+  ASSERT_TRUE(up.accepted) << up.detail;
+
+  const auto down = scheme_->download("ledger");
+  ASSERT_TRUE(down.ok);
+  EXPECT_TRUE(down.integrity_ok);
+  EXPECT_EQ(down.data, data);
+}
+
+TEST_P(BridgeTest, TamperingIsDetectedOnDownload) {
+  const auto data = to_bytes("original");
+  ASSERT_TRUE(scheme_->upload("obj", data).accepted);
+  ASSERT_TRUE(platform_->tamper("obj", to_bytes("evil twin")));
+
+  const auto down = scheme_->download("obj");
+  ASSERT_TRUE(down.ok);
+  EXPECT_FALSE(down.integrity_ok);  // the missing link, bridged
+}
+
+TEST_P(BridgeTest, DisputeAfterTamperingBlamesProvider) {
+  ASSERT_TRUE(scheme_->upload("obj", to_bytes("original")).accepted);
+  ASSERT_TRUE(platform_->tamper("obj", to_bytes("evil twin")));
+
+  const auto outcome = scheme_->dispute("obj", /*user_claims_tamper=*/true);
+  EXPECT_EQ(outcome.verdict, Verdict::kProviderFault) << outcome.rationale;
+}
+
+TEST_P(BridgeTest, BlackmailClaimIsExposed) {
+  // §2.4: Alice stores data, downloads it intact, then claims tampering to
+  // extort compensation. The bridged evidence proves her wrong.
+  ASSERT_TRUE(scheme_->upload("obj", to_bytes("intact data")).accepted);
+  const auto outcome = scheme_->dispute("obj", /*user_claims_tamper=*/true);
+  EXPECT_EQ(outcome.verdict, Verdict::kUserFault) << outcome.rationale;
+}
+
+TEST_P(BridgeTest, AuditWithoutClaimReportsIntact) {
+  ASSERT_TRUE(scheme_->upload("obj", to_bytes("intact data")).accepted);
+  const auto outcome = scheme_->dispute("obj", /*user_claims_tamper=*/false);
+  EXPECT_EQ(outcome.verdict, Verdict::kDataIntact);
+}
+
+TEST_P(BridgeTest, DisputeOverMissingObjectBlamesProvider) {
+  ASSERT_TRUE(scheme_->upload("obj", to_bytes("data")).accepted);
+  // Provider loses the object entirely.
+  platform_->blob_store().remove("/alice/obj");
+  const auto outcome = scheme_->dispute("obj", true);
+  EXPECT_EQ(outcome.verdict, Verdict::kProviderFault);
+}
+
+TEST_P(BridgeTest, CostsAreAccounted) {
+  const auto up = scheme_->upload("obj", to_bytes("data"));
+  ASSERT_TRUE(up.accepted);
+  EXPECT_GT(up.costs.messages + up.costs.tac_messages, 0u);
+  EXPECT_GT(up.costs.hashes, 0u);
+  const bool uses_signatures = GetParam() == SchemeKind::kPlain ||
+                               GetParam() == SchemeKind::kTac;
+  EXPECT_EQ(up.costs.signatures > 0, uses_signatures);
+  const bool uses_sks =
+      GetParam() == SchemeKind::kSks || GetParam() == SchemeKind::kTacSks;
+  EXPECT_EQ(up.costs.sks_ops > 0, uses_sks);
+  const bool uses_tac =
+      GetParam() == SchemeKind::kTac || GetParam() == SchemeKind::kTacSks;
+  EXPECT_EQ(up.costs.tac_messages > 0, uses_tac);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, BridgeTest,
+                         ::testing::Values(SchemeKind::kPlain,
+                                           SchemeKind::kSks,
+                                           SchemeKind::kTac,
+                                           SchemeKind::kTacSks),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SchemeKind::kPlain:
+                               return std::string("Plain");
+                             case SchemeKind::kSks:
+                               return std::string("Sks");
+                             case SchemeKind::kTac:
+                               return std::string("Tac");
+                             case SchemeKind::kTacSks:
+                               return std::string("TacSks");
+                           }
+                           return std::string("Unknown");
+                         });
+
+// --- scheme-specific behaviours -------------------------------------------
+
+class SchemeSpecificTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new crypto::Drbg(std::uint64_t{405});
+    user_ = new pki::Identity("alice", 1024, *rng_);
+    provider_ = new pki::Identity("eve-storage", 1024, *rng_);
+    tac_ = new pki::Identity("tac", 1024, *rng_);
+  }
+  static void TearDownTestSuite() {
+    delete user_;
+    delete provider_;
+    delete tac_;
+    delete rng_;
+  }
+
+  void SetUp() override {
+    platform_ = std::make_unique<providers::AzureRestService>(clock_);
+    platform_->create_account("alice", *rng_);
+  }
+
+  static crypto::Drbg* rng_;
+  static pki::Identity* user_;
+  static pki::Identity* provider_;
+  static pki::Identity* tac_;
+  common::SimClock clock_;
+  std::unique_ptr<providers::AzureRestService> platform_;
+};
+
+crypto::Drbg* SchemeSpecificTest::rng_ = nullptr;
+pki::Identity* SchemeSpecificTest::user_ = nullptr;
+pki::Identity* SchemeSpecificTest::provider_ = nullptr;
+pki::Identity* SchemeSpecificTest::tac_ = nullptr;
+
+// §3.1's known weakness: if a party destroys its evidence, the dispute can
+// collapse to inconclusive — the reason the TAC/SKS variants exist.
+TEST_F(SchemeSpecificTest, PlainSchemeEvidenceLossWeakensDispute) {
+  PlainSignatureScheme scheme(*user_, *provider_, *platform_, *rng_);
+  ASSERT_TRUE(scheme.upload("obj", to_bytes("data")).accepted);
+  scheme.erase_user_evidence("obj");
+  scheme.erase_provider_evidence("obj");
+  const auto outcome = scheme.dispute("obj", true);
+  EXPECT_EQ(outcome.verdict, Verdict::kInconclusive);
+}
+
+TEST_F(SchemeSpecificTest, SksSchemeMissingShareIsInconclusive) {
+  SksScheme scheme(*user_, *provider_, *platform_, *rng_);
+  ASSERT_TRUE(scheme.upload("obj", to_bytes("data")).accepted);
+  scheme.erase_user_share("obj");
+  EXPECT_EQ(scheme.dispute("obj", true).verdict, Verdict::kInconclusive);
+}
+
+// A corrupted share reconstructs a wrong digest, which reads as a mismatch
+// against the provider's (honest) data: cheating on shares backfires.
+TEST_F(SchemeSpecificTest, SksSchemeCorruptedShareChangesVerdict) {
+  SksScheme scheme(*user_, *provider_, *platform_, *rng_);
+  ASSERT_TRUE(scheme.upload("obj", to_bytes("data")).accepted);
+  scheme.corrupt_provider_share("obj");
+  EXPECT_EQ(scheme.dispute("obj", false).verdict, Verdict::kProviderFault);
+}
+
+// §3.4's robustness: even when BOTH shares are gone, the TAC's own record
+// still settles the dispute.
+TEST_F(SchemeSpecificTest, TacSksSchemeFallsBackToTacRecord) {
+  TacSksScheme scheme(*user_, *provider_, *platform_, *rng_, *tac_);
+  ASSERT_TRUE(scheme.upload("obj", to_bytes("data")).accepted);
+  scheme.erase_user_share("obj");
+  scheme.erase_provider_share("obj");
+  EXPECT_EQ(scheme.dispute("obj", false).verdict, Verdict::kDataIntact);
+
+  ASSERT_TRUE(platform_->tamper("obj", to_bytes("changed")));
+  EXPECT_EQ(scheme.dispute("obj", true).verdict, Verdict::kProviderFault);
+}
+
+TEST_F(SchemeSpecificTest, TacSchemeUnknownObjectInconclusive) {
+  TacScheme scheme(*user_, *provider_, *platform_, *rng_, *tac_);
+  EXPECT_EQ(scheme.dispute("never-uploaded", true).verdict,
+            Verdict::kInconclusive);
+}
+
+TEST_F(SchemeSpecificTest, MakeSchemeRequiresTacWhereApplicable) {
+  EXPECT_THROW(make_scheme(SchemeKind::kTac, *user_, *provider_, *platform_,
+                           *rng_, nullptr),
+               common::ProtocolError);
+  EXPECT_THROW(make_scheme(SchemeKind::kTacSks, *user_, *provider_,
+                           *platform_, *rng_, nullptr),
+               common::ProtocolError);
+  EXPECT_NO_THROW(make_scheme(SchemeKind::kPlain, *user_, *provider_,
+                              *platform_, *rng_, nullptr));
+}
+
+TEST_F(SchemeSpecificTest, SchemeNamesAreStable) {
+  EXPECT_EQ(scheme_name(SchemeKind::kPlain), "3.1-plain-signatures");
+  EXPECT_EQ(scheme_name(SchemeKind::kSks), "3.2-sks-only");
+  EXPECT_EQ(scheme_name(SchemeKind::kTac), "3.3-tac-only");
+  EXPECT_EQ(scheme_name(SchemeKind::kTacSks), "3.4-tac+sks");
+  EXPECT_EQ(verdict_name(Verdict::kProviderFault), "provider-fault");
+}
+
+}  // namespace
+}  // namespace tpnr::bridge

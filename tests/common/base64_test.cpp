@@ -1,0 +1,59 @@
+#include "common/base64.h"
+
+#include <gtest/gtest.h>
+
+namespace tpnr::common {
+namespace {
+
+// RFC 4648 §10 test vectors.
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, Rfc4648Decode) {
+  EXPECT_EQ(to_string(base64_decode("Zm9vYmFy")), "foobar");
+  EXPECT_EQ(to_string(base64_decode("Zm9vYg==")), "foob");
+  EXPECT_EQ(to_string(base64_decode("Zg==")), "f");
+  EXPECT_TRUE(base64_decode("").empty());
+}
+
+// Table 1 of the paper carries base64 values like
+// "FJXZLUNMuI/KZ5KDcJPcOA==" (a Content-MD5); they must round-trip.
+TEST(Base64Test, PaperTable1ContentMd5RoundTrips) {
+  const std::string content_md5 = "FJXZLUNMuI/KZ5KDcJPcOA==";
+  const Bytes raw = base64_decode(content_md5);
+  EXPECT_EQ(raw.size(), 16u);  // an MD5 digest
+  EXPECT_EQ(base64_encode(raw), content_md5);
+}
+
+TEST(Base64Test, BinaryRoundTrip) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  EXPECT_EQ(base64_decode(base64_encode(all)), all);
+}
+
+TEST(Base64Test, RejectsBadLength) {
+  EXPECT_THROW(base64_decode("Zg="), std::invalid_argument);
+  EXPECT_THROW(base64_decode("Z"), std::invalid_argument);
+}
+
+TEST(Base64Test, RejectsBadCharacters) {
+  EXPECT_THROW(base64_decode("Zm9v!mFy"), std::invalid_argument);
+  EXPECT_THROW(base64_decode("Zm 9"), std::invalid_argument);
+}
+
+TEST(Base64Test, RejectsMisplacedPadding) {
+  EXPECT_THROW(base64_decode("=m9v"), std::invalid_argument);
+  EXPECT_THROW(base64_decode("Zm=v"), std::invalid_argument);
+  EXPECT_THROW(base64_decode("Zg==Zg=="), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tpnr::common

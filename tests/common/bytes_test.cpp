@@ -1,0 +1,76 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace tpnr::common {
+namespace {
+
+TEST(BytesTest, RoundTripText) {
+  const Bytes b = to_bytes("hello cloud");
+  EXPECT_EQ(to_string(b), "hello cloud");
+}
+
+TEST(BytesTest, HexEncodeKnown) {
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(to_hex(Bytes{0x00, 0x01, 0xff}), "0001ff");
+}
+
+TEST(BytesTest, HexDecodeKnown) {
+  EXPECT_EQ(from_hex("deadbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexDecodeRejectsBadChars) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+TEST(BytesTest, ConstantTimeEqualBasics) {
+  EXPECT_TRUE(constant_time_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(constant_time_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(constant_time_equal(Bytes{1, 2, 3}, Bytes{1, 2}));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(BytesTest, SecureWipeClears) {
+  Bytes secret = to_bytes("top secret key material");
+  secure_wipe(secret);
+  EXPECT_TRUE(secret.empty());
+}
+
+TEST(BytesTest, AppendAndConcat) {
+  Bytes a = to_bytes("ab");
+  append(a, to_bytes("cd"));
+  EXPECT_EQ(to_string(a), "abcd");
+
+  const Bytes x = to_bytes("x"), y = to_bytes("y"), z = to_bytes("z");
+  EXPECT_EQ(to_string(concat({x, y, z})), "xyz");
+  EXPECT_TRUE(concat({}).empty());
+}
+
+TEST(BytesTest, XorInto) {
+  Bytes a{0xff, 0x00, 0x0f};
+  xor_into(a, Bytes{0x0f, 0xf0, 0x0f});
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(BytesTest, XorIntoRejectsSizeMismatch) {
+  Bytes a{1, 2};
+  EXPECT_THROW(xor_into(a, Bytes{1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tpnr::common

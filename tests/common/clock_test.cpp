@@ -1,0 +1,60 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tpnr::common {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.advance(5 * kMillisecond);
+  clock.advance(2 * kSecond);
+  EXPECT_EQ(clock.now(), 5 * kMillisecond + 2 * kSecond);
+}
+
+TEST(SimClockTest, NegativeAdvanceIgnored) {
+  SimClock clock;
+  clock.advance(kSecond);
+  clock.advance(-kSecond);
+  EXPECT_EQ(clock.now(), kSecond);
+}
+
+TEST(SimClockTest, AdvanceToIsMonotonic) {
+  SimClock clock;
+  clock.advance_to(kMinute);
+  EXPECT_EQ(clock.now(), kMinute);
+  clock.advance_to(kSecond);  // in the past: no-op
+  EXPECT_EQ(clock.now(), kMinute);
+}
+
+TEST(SimClockTest, UnitsAreConsistent) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+}
+
+TEST(SimClockTest, ConcurrentAdvanceIsLossless) {
+  SimClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&clock] {
+      for (int i = 0; i < kIters; ++i) clock.advance(1);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(clock.now(), kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace tpnr::common

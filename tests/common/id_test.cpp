@@ -1,0 +1,41 @@
+#include "common/id.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tpnr::common {
+namespace {
+
+TEST(IdGeneratorTest, DeterministicForSameSeed) {
+  IdGenerator a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(IdGeneratorTest, DifferentSeedsDiverge) {
+  IdGenerator a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(IdGeneratorTest, NoShortCycleCollisions) {
+  IdGenerator gen(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(gen.next_u64()).second) << "collision at " << i;
+  }
+}
+
+TEST(IdGeneratorTest, FormattedIdHasPrefixAndHex) {
+  IdGenerator gen(3);
+  const std::string id = gen.next_id("txn");
+  ASSERT_EQ(id.size(), 3 + 1 + 16u);
+  EXPECT_EQ(id.substr(0, 4), "txn-");
+  for (char c : id.substr(4)) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+}  // namespace
+}  // namespace tpnr::common

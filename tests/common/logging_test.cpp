@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tpnr::common {
+namespace {
+
+/// Captures std::clog for the duration of a scope.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = Logger::instance().level(); }
+  void TearDown() override { Logger::instance().set_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, RespectsLevelThreshold) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  ClogCapture capture;
+  log_debug("mod", "invisible");
+  log_info("mod", "also invisible");
+  log_warn("mod", "visible warning");
+  log_error("mod", "visible error");
+  const std::string out = capture.text();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("visible warning"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatsModuleAndLevel) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  ClogCapture capture;
+  log_info("nr.client", "txn ", 42, " completed");
+  const std::string out = capture.text();
+  EXPECT_NE(out.find("[INFO]"), std::string::npos);
+  EXPECT_NE(out.find("[nr.client]"), std::string::npos);
+  EXPECT_NE(out.find("txn 42 completed"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  ClogCapture capture;
+  log_error("mod", "even errors");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LoggingTest, SingletonIsStable) {
+  EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+}  // namespace
+}  // namespace tpnr::common

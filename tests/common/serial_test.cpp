@@ -1,0 +1,89 @@
+#include "common/serial.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tpnr::common {
+namespace {
+
+TEST(SerialTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerialTest, BytesAndStringRoundTrip) {
+  BinaryWriter w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("cloud storage");
+  w.bytes(Bytes{});
+  w.str("");
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "cloud storage");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.str().empty());
+  r.expect_done();
+}
+
+TEST(SerialTest, EncodingIsLittleEndianAndDeterministic) {
+  BinaryWriter w;
+  w.u32(0x01020304u);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(SerialTest, TruncatedScalarThrows) {
+  const Bytes short_buf{0x01, 0x02};
+  BinaryReader r(short_buf);
+  EXPECT_THROW(r.u32(), SerialError);
+}
+
+TEST(SerialTest, TruncatedBytesThrows) {
+  BinaryWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  BinaryReader r(w.data());
+  EXPECT_THROW(r.bytes(), SerialError);
+}
+
+TEST(SerialTest, NonCanonicalBoolThrows) {
+  const Bytes buf{0x02};
+  BinaryReader r(buf);
+  EXPECT_THROW(r.boolean(), SerialError);
+}
+
+TEST(SerialTest, TrailingBytesDetected) {
+  const Bytes buf{0x00, 0x01};
+  BinaryReader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerialError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(SerialTest, RemainingTracksPosition) {
+  const Bytes buf{0, 0, 0, 0, 0};
+  BinaryReader r(buf);
+  EXPECT_EQ(r.remaining(), 5u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace tpnr::common

@@ -1,0 +1,104 @@
+#include "crypto/aead.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace tpnr::crypto {
+namespace {
+
+using common::to_bytes;
+
+class AeadTest : public ::testing::Test {
+ protected:
+  Drbg rng_{std::uint64_t{42}};
+  Aead aead_{Bytes(32, 0x5a)};
+};
+
+TEST_F(AeadTest, SealOpenRoundTrip) {
+  const Bytes pt = to_bytes("non-repudiation evidence");
+  const Bytes aad = to_bytes("txn-1");
+  const Bytes sealed = aead_.seal(pt, aad, rng_);
+  EXPECT_EQ(aead_.open(sealed, aad), pt);
+}
+
+TEST_F(AeadTest, EmptyPlaintextAndAad) {
+  const Bytes sealed = aead_.seal(Bytes{}, Bytes{}, rng_);
+  EXPECT_EQ(sealed.size(), Aead::kOverhead);
+  EXPECT_TRUE(aead_.open(sealed, Bytes{}).empty());
+}
+
+TEST_F(AeadTest, TamperedCiphertextRejected) {
+  Bytes sealed = aead_.seal(to_bytes("payload"), Bytes{}, rng_);
+  sealed[Aead::kNonceSize] ^= 0x01;  // first ciphertext byte
+  EXPECT_THROW(aead_.open(sealed, Bytes{}), common::CryptoError);
+}
+
+TEST_F(AeadTest, TamperedTagRejected) {
+  Bytes sealed = aead_.seal(to_bytes("payload"), Bytes{}, rng_);
+  sealed.back() ^= 0x80;
+  EXPECT_THROW(aead_.open(sealed, Bytes{}), common::CryptoError);
+}
+
+TEST_F(AeadTest, TamperedNonceRejected) {
+  Bytes sealed = aead_.seal(to_bytes("payload"), Bytes{}, rng_);
+  sealed[0] ^= 0xff;
+  EXPECT_THROW(aead_.open(sealed, Bytes{}), common::CryptoError);
+}
+
+TEST_F(AeadTest, WrongAadRejected) {
+  const Bytes sealed = aead_.seal(to_bytes("payload"), to_bytes("ctx-a"), rng_);
+  EXPECT_THROW(aead_.open(sealed, to_bytes("ctx-b")), common::CryptoError);
+  EXPECT_THROW(aead_.open(sealed, Bytes{}), common::CryptoError);
+}
+
+TEST_F(AeadTest, WrongKeyRejected) {
+  const Bytes sealed = aead_.seal(to_bytes("payload"), Bytes{}, rng_);
+  Aead other{Bytes(32, 0x5b)};
+  EXPECT_THROW(other.open(sealed, Bytes{}), common::CryptoError);
+}
+
+TEST_F(AeadTest, TruncatedInputRejected) {
+  const Bytes sealed = aead_.seal(to_bytes("payload"), Bytes{}, rng_);
+  const Bytes truncated(sealed.begin(), sealed.begin() + 10);
+  EXPECT_THROW(aead_.open(truncated, Bytes{}), common::CryptoError);
+  EXPECT_THROW(aead_.open(Bytes{}, Bytes{}), common::CryptoError);
+}
+
+TEST_F(AeadTest, FreshNoncePerSeal) {
+  const Bytes pt = to_bytes("same message");
+  const Bytes s1 = aead_.seal(pt, Bytes{}, rng_);
+  const Bytes s2 = aead_.seal(pt, Bytes{}, rng_);
+  EXPECT_NE(s1, s2);  // randomized encryption
+  EXPECT_EQ(aead_.open(s1, Bytes{}), pt);
+  EXPECT_EQ(aead_.open(s2, Bytes{}), pt);
+}
+
+TEST_F(AeadTest, RejectsBadKeySize) {
+  EXPECT_THROW(Aead(Bytes(16, 0)), common::CryptoError);
+  EXPECT_THROW(Aead(Bytes(33, 0)), common::CryptoError);
+}
+
+TEST_F(AeadTest, LargePayloadRoundTrip) {
+  Bytes pt(1 << 20);
+  Drbg filler(std::uint64_t{7});
+  filler.fill(pt);
+  const Bytes sealed = aead_.seal(pt, to_bytes("big"), rng_);
+  EXPECT_EQ(sealed.size(), pt.size() + Aead::kOverhead);
+  EXPECT_EQ(aead_.open(sealed, to_bytes("big")), pt);
+}
+
+// Truncating the ciphertext so its tail is a valid prefix of the tag must
+// fail — guards against length-confusion bugs.
+TEST_F(AeadTest, BoundaryTruncationRejected) {
+  const Bytes sealed = aead_.seal(to_bytes("0123456789"), Bytes{}, rng_);
+  for (std::size_t cut = 1; cut <= 10; ++cut) {
+    const Bytes shorter(sealed.begin(),
+                        sealed.end() - static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(aead_.open(shorter, Bytes{}), common::CryptoError) << cut;
+  }
+}
+
+}  // namespace
+}  // namespace tpnr::crypto

@@ -1,0 +1,285 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tpnr::crypto {
+namespace {
+
+using common::CryptoError;
+
+TEST(BigIntTest, ConstructFromInt64) {
+  EXPECT_TRUE(BigInt(0).is_zero());
+  EXPECT_EQ(BigInt(1).to_decimal(), "1");
+  EXPECT_EQ(BigInt(-1).to_decimal(), "-1");
+  EXPECT_EQ(BigInt(1234567890123456789LL).to_decimal(), "1234567890123456789");
+  EXPECT_EQ(BigInt(INT64_MIN).to_decimal(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).to_decimal(), "9223372036854775807");
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const std::string big =
+      "123456789012345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_decimal(big).to_decimal(), big);
+  EXPECT_EQ(BigInt::from_decimal("-42").to_decimal(), "-42");
+  EXPECT_EQ(BigInt::from_decimal("0").to_decimal(), "0");
+  EXPECT_EQ(BigInt::from_decimal("000123").to_decimal(), "123");
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  EXPECT_EQ(BigInt::from_hex("deadbeef").to_decimal(), "3735928559");
+  EXPECT_EQ(BigInt::from_hex("-ff").to_decimal(), "-255");
+  EXPECT_EQ(BigInt::from_decimal("3735928559").to_hex(), "deadbeef");
+  EXPECT_EQ(BigInt(0).to_hex(), "0");
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  const Bytes raw{0x01, 0x02, 0x03, 0x04, 0x05};
+  const BigInt v = BigInt::from_bytes(raw);
+  EXPECT_EQ(v.to_hex(), "102030405");
+  EXPECT_EQ(v.to_bytes(), raw);
+  EXPECT_EQ(v.to_bytes(8), (Bytes{0, 0, 0, 0x01, 0x02, 0x03, 0x04, 0x05}));
+  EXPECT_TRUE(BigInt::from_bytes(Bytes{}).is_zero());
+  EXPECT_TRUE(BigInt::from_bytes(Bytes{0, 0, 0}).is_zero());
+}
+
+TEST(BigIntTest, AdditionWithSigns) {
+  EXPECT_EQ((BigInt(5) + BigInt(7)).to_decimal(), "12");
+  EXPECT_EQ((BigInt(-5) + BigInt(7)).to_decimal(), "2");
+  EXPECT_EQ((BigInt(5) + BigInt(-7)).to_decimal(), "-2");
+  EXPECT_EQ((BigInt(-5) + BigInt(-7)).to_decimal(), "-12");
+  EXPECT_TRUE((BigInt(5) + BigInt(-5)).is_zero());
+}
+
+TEST(BigIntTest, SubtractionWithSigns) {
+  EXPECT_EQ((BigInt(5) - BigInt(7)).to_decimal(), "-2");
+  EXPECT_EQ((BigInt(7) - BigInt(5)).to_decimal(), "2");
+  EXPECT_EQ((BigInt(-5) - BigInt(-7)).to_decimal(), "2");
+  EXPECT_TRUE((BigInt(7) - BigInt(7)).is_zero());
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  const BigInt max32 = BigInt::from_hex("ffffffff");
+  EXPECT_EQ((max32 + BigInt(1)).to_hex(), "100000000");
+  const BigInt max96 = BigInt::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((max96 + BigInt(1)).to_hex(), "1000000000000000000000000");
+  EXPECT_EQ((BigInt::from_hex("1000000000000000000000000") - BigInt(1)).to_hex(),
+            "ffffffffffffffffffffffff");
+}
+
+TEST(BigIntTest, MultiplicationKnown) {
+  EXPECT_EQ((BigInt(12345) * BigInt(67890)).to_decimal(), "838102050");
+  EXPECT_EQ((BigInt(-12345) * BigInt(67890)).to_decimal(), "-838102050");
+  EXPECT_EQ((BigInt(-12345) * BigInt(-67890)).to_decimal(), "838102050");
+  EXPECT_TRUE((BigInt(12345) * BigInt(0)).is_zero());
+  // 2^128 = (2^64)^2
+  const BigInt two64 = BigInt(1).shifted_left(64);
+  EXPECT_EQ((two64 * two64).to_decimal(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(BigIntTest, KaratsubaMatchesSchoolbook) {
+  // Operands large enough to trigger the Karatsuba path (>= 32 limbs =
+  // 1024 bits); verified against the identity (a+b)^2 - (a-b)^2 == 4ab.
+  Drbg rng(std::uint64_t{5});
+  for (int iter = 0; iter < 10; ++iter) {
+    const BigInt a = BigInt::random_bits(1500, rng);
+    const BigInt b = BigInt::random_bits(1400, rng);
+    const BigInt lhs = (a + b) * (a + b) - (a - b) * (a - b);
+    const BigInt rhs = BigInt(4) * a * b;
+    EXPECT_EQ(lhs.compare(rhs), 0) << "iter " << iter;
+  }
+}
+
+TEST(BigIntTest, DivisionKnown) {
+  EXPECT_EQ((BigInt(100) / BigInt(7)).to_decimal(), "14");
+  EXPECT_EQ((BigInt(100) % BigInt(7)).to_decimal(), "2");
+  EXPECT_EQ((BigInt(-100) / BigInt(7)).to_decimal(), "-14");
+  EXPECT_EQ((BigInt(-100) % BigInt(7)).to_decimal(), "-2");  // C semantics
+  EXPECT_EQ((BigInt(100) / BigInt(-7)).to_decimal(), "-14");
+}
+
+TEST(BigIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), CryptoError);
+  EXPECT_THROW(BigInt(1) % BigInt(0), CryptoError);
+}
+
+TEST(BigIntTest, DivisionReconstructionProperty) {
+  Drbg rng(std::uint64_t{11});
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t abits = 64 + rng.uniform(2000);
+    const std::size_t bbits = 32 + rng.uniform(abits);
+    const BigInt a = BigInt::random_bits(abits, rng);
+    const BigInt b = BigInt::random_bits(bbits, rng);
+    BigInt q, r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ((q * b + r).compare(a), 0) << "iter " << iter;
+    EXPECT_LT(r.compare(b), 0);
+    EXPECT_FALSE(r.is_negative());
+  }
+}
+
+TEST(BigIntTest, DivisionAddBackCase) {
+  // A divisor/dividend pair engineered to hit Knuth's rare "add back" path:
+  // u = b^2(b-1) where the top limbs force qhat correction.
+  const BigInt b32 = BigInt(1).shifted_left(32);
+  const BigInt a = (b32 * b32 * (b32 - BigInt(1)));
+  const BigInt d = b32 * b32 - BigInt(1);
+  BigInt q, r;
+  BigInt::div_mod(a, d, q, r);
+  EXPECT_EQ((q * d + r).compare(a), 0);
+}
+
+TEST(BigIntTest, ShiftsAreExact) {
+  const BigInt v = BigInt::from_hex("123456789abcdef");
+  EXPECT_EQ(v.shifted_left(4).to_hex(), "123456789abcdef0");
+  EXPECT_EQ(v.shifted_left(64).shifted_right(64).compare(v), 0);
+  EXPECT_EQ(v.shifted_right(8).to_hex(), "123456789abcd");
+  EXPECT_TRUE(v.shifted_right(100).is_zero());
+  EXPECT_EQ(BigInt(1).shifted_left(100).to_hex(),
+            "10000000000000000000000000");
+}
+
+TEST(BigIntTest, BitLengthAndBitAccess) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt(1).shifted_left(1000).bit_length(), 1001u);
+  const BigInt v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(64));
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt(5), BigInt(3));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_GT(BigInt(0), BigInt(-1));
+}
+
+TEST(BigIntTest, ModNormalizesNegatives) {
+  EXPECT_EQ(BigInt(-1).mod(BigInt(7)).to_decimal(), "6");
+  EXPECT_EQ(BigInt(-100).mod(BigInt(7)).to_decimal(), "5");
+  EXPECT_EQ(BigInt(100).mod(BigInt(7)).to_decimal(), "2");
+  EXPECT_THROW(BigInt(1).mod(BigInt(0)), CryptoError);
+  EXPECT_THROW(BigInt(1).mod(BigInt(-5)), CryptoError);
+}
+
+TEST(BigIntTest, ModPowKnownValues) {
+  EXPECT_EQ(BigInt(2).mod_pow(BigInt(10), BigInt(1000)).to_decimal(), "24");
+  EXPECT_EQ(BigInt(3).mod_pow(BigInt(0), BigInt(7)).to_decimal(), "1");
+  EXPECT_EQ(BigInt(0).mod_pow(BigInt(5), BigInt(7)).to_decimal(), "0");
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigInt p = BigInt::from_decimal("2305843009213693951");  // 2^61-1
+  EXPECT_EQ(BigInt(12345).mod_pow(p - BigInt(1), p).to_decimal(), "1");
+}
+
+TEST(BigIntTest, ModPowLargeExponent) {
+  // 1024-bit-scale sanity: (a^e)^d == a mod n for a toy RSA relation.
+  const BigInt p = BigInt::from_decimal("61"), q = BigInt::from_decimal("53");
+  const BigInt n = p * q;  // 3233
+  const BigInt e(17), d(413);  // 17*413 = 7021 = 1 mod 3120
+  const BigInt m(65);
+  const BigInt c = m.mod_pow(e, n);
+  EXPECT_EQ(c.to_decimal(), "2790");
+  EXPECT_EQ(c.mod_pow(d, n).compare(m), 0);
+}
+
+TEST(BigIntTest, ModPowRejectsBadInputs) {
+  EXPECT_THROW(BigInt(2).mod_pow(BigInt(-1), BigInt(7)), CryptoError);
+  EXPECT_THROW(BigInt(2).mod_pow(BigInt(3), BigInt(1)), CryptoError);
+}
+
+TEST(BigIntTest, GcdKnown) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(18)).to_decimal(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_decimal(), "1");
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_decimal(), "5");
+  EXPECT_EQ(BigInt::gcd(BigInt(-48), BigInt(18)).to_decimal(), "6");
+}
+
+TEST(BigIntTest, ModInverse) {
+  const BigInt inv = BigInt(3).mod_inverse(BigInt(11));
+  EXPECT_EQ(inv.to_decimal(), "4");  // 3*4 = 12 = 1 mod 11
+  EXPECT_THROW(BigInt(6).mod_inverse(BigInt(9)), CryptoError);  // gcd 3
+
+  Drbg rng(std::uint64_t{17});
+  const BigInt m = BigInt::generate_prime(128, rng);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = BigInt::random_below(m - BigInt(1), rng) + BigInt(1);
+    const BigInt ainv = a.mod_inverse(m);
+    EXPECT_EQ((a * ainv).mod(m).to_decimal(), "1");
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownPrimesAndComposites) {
+  Drbg rng(std::uint64_t{23});
+  EXPECT_TRUE(BigInt(2).is_probable_prime(rng));
+  EXPECT_TRUE(BigInt(3).is_probable_prime(rng));
+  EXPECT_TRUE(BigInt(97).is_probable_prime(rng));
+  EXPECT_TRUE(BigInt::from_decimal("2305843009213693951")
+                  .is_probable_prime(rng));  // Mersenne 2^61-1
+  EXPECT_FALSE(BigInt(1).is_probable_prime(rng));
+  EXPECT_FALSE(BigInt(0).is_probable_prime(rng));
+  EXPECT_FALSE(BigInt(-7).is_probable_prime(rng));
+  EXPECT_FALSE(BigInt(561).is_probable_prime(rng));   // Carmichael
+  EXPECT_FALSE(BigInt(41041).is_probable_prime(rng)); // Carmichael
+  EXPECT_FALSE(BigInt(100).is_probable_prime(rng));
+  EXPECT_FALSE((BigInt::from_decimal("2305843009213693951") * BigInt(3))
+                   .is_probable_prime(rng));
+}
+
+TEST(BigIntTest, GeneratePrimeHasExactBitLengthAndIsOdd) {
+  Drbg rng(std::uint64_t{31});
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = BigInt::generate_prime(bits, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(p.is_probable_prime(rng));
+  }
+}
+
+TEST(BigIntTest, RandomBelowStaysInRange) {
+  Drbg rng(std::uint64_t{37});
+  const BigInt bound = BigInt::from_decimal("1000000007");
+  for (int i = 0; i < 200; ++i) {
+    const BigInt v = BigInt::random_below(bound, rng);
+    EXPECT_LT(v.compare(bound), 0);
+    EXPECT_FALSE(v.is_negative());
+  }
+  EXPECT_THROW(BigInt::random_below(BigInt(0), rng), CryptoError);
+}
+
+TEST(BigIntTest, RandomBitsExactLength) {
+  Drbg rng(std::uint64_t{41});
+  for (std::size_t bits : {1u, 7u, 8u, 33u, 512u}) {
+    EXPECT_EQ(BigInt::random_bits(bits, rng).bit_length(), bits);
+  }
+}
+
+TEST(BigIntTest, NegationAndUnaryMinus) {
+  const BigInt v(42);
+  EXPECT_EQ((-v).to_decimal(), "-42");
+  EXPECT_EQ((-(-v)).to_decimal(), "42");
+  EXPECT_TRUE((-BigInt(0)).is_zero());
+  EXPECT_FALSE((-BigInt(0)).is_negative());
+}
+
+TEST(BigIntTest, CompoundAssignments) {
+  BigInt v(10);
+  v += BigInt(5);
+  EXPECT_EQ(v.to_decimal(), "15");
+  v -= BigInt(20);
+  EXPECT_EQ(v.to_decimal(), "-5");
+  v *= BigInt(-3);
+  EXPECT_EQ(v.to_decimal(), "15");
+}
+
+}  // namespace
+}  // namespace tpnr::crypto

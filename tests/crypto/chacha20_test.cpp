@@ -1,0 +1,93 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace tpnr::crypto {
+namespace {
+
+using common::from_hex;
+using common::to_bytes;
+using common::to_hex;
+
+// RFC 8439 §2.4.2 encryption test vector.
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  Bytes plaintext = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.");
+  ChaCha20 cipher(key, nonce, /*counter=*/1);
+  cipher.apply(plaintext);
+  EXPECT_EQ(to_hex(plaintext),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+// RFC 8439 §2.3.2 block function vector, exercised via the keystream.
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  ChaCha20 cipher(key, nonce, /*counter=*/1);
+  const Bytes keystream = cipher.keystream(64);
+  EXPECT_EQ(to_hex(keystream),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  const Bytes key(32, 0x42);
+  const Bytes nonce(12, 0x24);
+  Bytes data = to_bytes("evidence payload for the NR protocol");
+  const Bytes original = data;
+  ChaCha20 enc(key, nonce);
+  enc.apply(data);
+  EXPECT_NE(data, original);
+  ChaCha20 dec(key, nonce);
+  dec.apply(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20Test, KeystreamIsPositionDependent) {
+  const Bytes key(32, 1);
+  const Bytes nonce(12, 2);
+  ChaCha20 a(key, nonce);
+  const Bytes k1 = a.keystream(32);
+  const Bytes k2 = a.keystream(32);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(ChaCha20Test, DifferentNoncesDiverge) {
+  const Bytes key(32, 1);
+  Bytes n1(12, 0), n2(12, 0);
+  n2[0] = 1;
+  EXPECT_NE(ChaCha20(key, n1).keystream(64), ChaCha20(key, n2).keystream(64));
+}
+
+TEST(ChaCha20Test, RejectsBadKeyAndNonceSizes) {
+  const Bytes key(32, 0), nonce(12, 0);
+  EXPECT_THROW(ChaCha20(Bytes(16, 0), nonce), common::CryptoError);
+  EXPECT_THROW(ChaCha20(key, Bytes(8, 0)), common::CryptoError);
+}
+
+TEST(ChaCha20Test, CrossesBlockBoundaryCleanly) {
+  const Bytes key(32, 9);
+  const Bytes nonce(12, 7);
+  // One shot vs. split at a non-multiple of 64.
+  ChaCha20 one(key, nonce);
+  const Bytes full = one.keystream(200);
+  ChaCha20 two(key, nonce);
+  Bytes part = two.keystream(77);
+  const Bytes rest = two.keystream(123);
+  common::append(part, rest);
+  EXPECT_EQ(part, full);
+}
+
+}  // namespace
+}  // namespace tpnr::crypto

@@ -1,0 +1,102 @@
+#include "crypto/md5.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/hash.h"
+
+namespace tpnr::crypto {
+namespace {
+
+using common::from_hex;
+using common::to_bytes;
+using common::to_hex;
+
+std::string md5_hex(const std::string& input) {
+  return to_hex(md5(to_bytes(input)));
+}
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(md5_hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5_hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5_hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5_hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5_hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(md5_hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123"
+                    "456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5_hex("1234567890123456789012345678901234567890123456789012345"
+                    "6789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, QuickBrownFox) {
+  EXPECT_EQ(md5_hex("The quick brown fox jumps over the lazy dog"),
+            "9e107d9d372bb6826bd81d3542a419d6");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string text =
+      "Amazon will email management information back to the user including "
+      "the number of bytes saved, the MD5 of the bytes, the status of the "
+      "load, and the location on Amazon S3 of the AWS Import Export Log.";
+  Md5 h;
+  // Feed one byte at a time.
+  for (char c : text) {
+    h.update(common::BytesView(reinterpret_cast<const std::uint8_t*>(&c), 1));
+  }
+  EXPECT_EQ(h.finish(), md5(to_bytes(text)));
+}
+
+TEST(Md5Test, IncrementalAcrossBlockBoundaries) {
+  // Exercise buffering with chunks straddling the 64-byte block boundary.
+  common::Bytes data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  for (std::size_t split = 1; split < data.size(); split += 13) {
+    Md5 h;
+    h.update(common::BytesView(data).subspan(0, split));
+    h.update(common::BytesView(data).subspan(split));
+    EXPECT_EQ(h.finish(), md5(data)) << "split=" << split;
+  }
+}
+
+TEST(Md5Test, ResetAllowsReuse) {
+  Md5 h;
+  h.update(to_bytes("garbage state"));
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(to_hex(h.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, FinishResetsAutomatically) {
+  Md5 h;
+  h.update(to_bytes("abc"));
+  (void)h.finish();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(to_hex(h.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, ExactBlockLengths) {
+  // 55/56/57 bytes bracket the padding edge; 64 and 128 are exact blocks.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const common::Bytes data(n, 'x');
+    Md5 a;
+    a.update(data);
+    EXPECT_EQ(a.finish(), md5(data)) << n;
+  }
+}
+
+TEST(Md5Test, MetadataIsCorrect) {
+  Md5 h;
+  EXPECT_EQ(h.digest_size(), 16u);
+  EXPECT_EQ(h.block_size(), 64u);
+  EXPECT_EQ(h.kind(), HashKind::kMd5);
+  EXPECT_EQ(h.fresh()->digest_size(), 16u);
+}
+
+}  // namespace
+}  // namespace tpnr::crypto

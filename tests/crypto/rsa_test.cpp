@@ -1,0 +1,158 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tpnr::crypto {
+namespace {
+
+using common::CryptoError;
+using common::to_bytes;
+
+// Key generation is the slow part; share one deterministic keypair across
+// the suite.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Drbg rng(std::uint64_t{2026});
+    key_ = new RsaKeyPair(rsa_generate(1024, rng));
+    other_ = new RsaKeyPair(rsa_generate(1024, rng));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    delete other_;
+    key_ = nullptr;
+    other_ = nullptr;
+  }
+
+  static RsaKeyPair* key_;
+  static RsaKeyPair* other_;
+  Drbg rng_{std::uint64_t{99}};
+};
+
+RsaKeyPair* RsaTest::key_ = nullptr;
+RsaKeyPair* RsaTest::other_ = nullptr;
+
+TEST_F(RsaTest, KeyGenerationProducesValidRsaRelation) {
+  const BigInt& n = key_->priv.n;
+  EXPECT_EQ(n.bit_length(), 1024u);
+  EXPECT_EQ((key_->priv.p * key_->priv.q).compare(n), 0);
+  // ed = 1 mod phi(n) => m^(ed) == m mod n.
+  const BigInt m(123456789);
+  EXPECT_EQ(m.mod_pow(key_->priv.e, n).mod_pow(key_->priv.d, n).compare(m), 0);
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const Bytes msg = to_bytes("MD5 Signature by User (MSU)");
+  const Bytes sig = rsa_sign(key_->priv, HashKind::kSha256, msg);
+  EXPECT_EQ(sig.size(), key_->pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(key_->pub, HashKind::kSha256, msg, sig));
+}
+
+TEST_F(RsaTest, SignatureIsDeterministicPkcs1) {
+  const Bytes msg = to_bytes("deterministic");
+  EXPECT_EQ(rsa_sign(key_->priv, HashKind::kSha256, msg),
+            rsa_sign(key_->priv, HashKind::kSha256, msg));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedMessage) {
+  const Bytes sig = rsa_sign(key_->priv, HashKind::kSha256, to_bytes("data"));
+  EXPECT_FALSE(rsa_verify(key_->pub, HashKind::kSha256, to_bytes("Data"), sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  const Bytes msg = to_bytes("data");
+  Bytes sig = rsa_sign(key_->priv, HashKind::kSha256, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(key_->pub, HashKind::kSha256, msg, sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+  const Bytes msg = to_bytes("data");
+  const Bytes sig = rsa_sign(key_->priv, HashKind::kSha256, msg);
+  EXPECT_FALSE(rsa_verify(other_->pub, HashKind::kSha256, msg, sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongHashKind) {
+  const Bytes msg = to_bytes("data");
+  const Bytes sig = rsa_sign(key_->priv, HashKind::kSha256, msg);
+  EXPECT_FALSE(rsa_verify(key_->pub, HashKind::kSha512, msg, sig));
+  EXPECT_FALSE(rsa_verify(key_->pub, HashKind::kMd5, msg, sig));
+}
+
+TEST_F(RsaTest, VerifyRejectsMalformedSignatureSizes) {
+  const Bytes msg = to_bytes("data");
+  EXPECT_FALSE(rsa_verify(key_->pub, HashKind::kSha256, msg, Bytes{}));
+  EXPECT_FALSE(rsa_verify(key_->pub, HashKind::kSha256, msg, Bytes(10, 0)));
+  EXPECT_FALSE(
+      rsa_verify(key_->pub, HashKind::kSha256, msg, Bytes(256, 0xff)));
+}
+
+TEST_F(RsaTest, SignSupportsAllHashKinds) {
+  const Bytes msg = to_bytes("multi-hash");
+  for (HashKind kind : {HashKind::kMd5, HashKind::kSha1, HashKind::kSha224,
+                        HashKind::kSha256, HashKind::kSha384,
+                        HashKind::kSha512}) {
+    const Bytes sig = rsa_sign(key_->priv, kind, msg);
+    EXPECT_TRUE(rsa_verify(key_->pub, kind, msg, sig)) << hash_name(kind);
+  }
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  const Bytes pt = to_bytes("Encrypt{Sign(HashofData), Sign(Plaintext)}");
+  const Bytes ct = rsa_encrypt(key_->pub, pt, rng_);
+  EXPECT_EQ(rsa_decrypt(key_->priv, ct), pt);
+}
+
+TEST_F(RsaTest, EncryptionIsRandomized) {
+  const Bytes pt = to_bytes("same plaintext");
+  EXPECT_NE(rsa_encrypt(key_->pub, pt, rng_), rsa_encrypt(key_->pub, pt, rng_));
+}
+
+TEST_F(RsaTest, DecryptRejectsWrongKey) {
+  const Bytes ct = rsa_encrypt(key_->pub, to_bytes("secret"), rng_);
+  EXPECT_THROW(rsa_decrypt(other_->priv, ct), CryptoError);
+}
+
+TEST_F(RsaTest, DecryptRejectsTamperedCiphertext) {
+  Bytes ct = rsa_encrypt(key_->pub, to_bytes("secret"), rng_);
+  ct[ct.size() - 1] ^= 1;  // payload tail
+  EXPECT_THROW(rsa_decrypt(key_->priv, ct), CryptoError);
+  Bytes ct2 = rsa_encrypt(key_->pub, to_bytes("secret"), rng_);
+  ct2[6] ^= 1;  // inside the wrapped key
+  EXPECT_THROW(rsa_decrypt(key_->priv, ct2), CryptoError);
+}
+
+TEST_F(RsaTest, DecryptRejectsGarbage) {
+  EXPECT_THROW(rsa_decrypt(key_->priv, Bytes{}), CryptoError);
+  EXPECT_THROW(rsa_decrypt(key_->priv, Bytes(64, 0xab)), CryptoError);
+}
+
+TEST_F(RsaTest, EncryptLargePayload) {
+  Bytes pt(100000);
+  Drbg filler(std::uint64_t{3});
+  filler.fill(pt);
+  const Bytes ct = rsa_encrypt(key_->pub, pt, rng_);
+  EXPECT_EQ(rsa_decrypt(key_->priv, ct), pt);
+}
+
+TEST_F(RsaTest, PublicKeyEncodeDecodeRoundTrip) {
+  const Bytes encoded = key_->pub.encode();
+  const RsaPublicKey decoded = RsaPublicKey::decode(encoded);
+  EXPECT_EQ(decoded.n.compare(key_->pub.n), 0);
+  EXPECT_EQ(decoded.e.compare(key_->pub.e), 0);
+  EXPECT_EQ(decoded.fingerprint(), key_->pub.fingerprint());
+}
+
+TEST_F(RsaTest, FingerprintsDifferAcrossKeys) {
+  EXPECT_NE(key_->pub.fingerprint(), other_->pub.fingerprint());
+}
+
+TEST_F(RsaTest, GenerateRejectsTinyModulus) {
+  Drbg rng(std::uint64_t{1});
+  EXPECT_THROW(rsa_generate(128, rng), CryptoError);
+}
+
+}  // namespace
+}  // namespace tpnr::crypto

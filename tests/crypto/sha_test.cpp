@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/hash.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace tpnr::crypto {
+namespace {
+
+using common::to_bytes;
+using common::to_hex;
+
+std::string hex_digest(HashKind kind, const std::string& input) {
+  return to_hex(digest(kind, to_bytes(input)));
+}
+
+// FIPS 180-4 / NIST CAVS short-message vectors.
+TEST(ShaTest, Sha1Known) {
+  EXPECT_EQ(hex_digest(HashKind::kSha1, ""),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(hex_digest(HashKind::kSha1, "abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(hex_digest(HashKind::kSha1,
+                       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(ShaTest, Sha256Known) {
+  EXPECT_EQ(
+      hex_digest(HashKind::kSha256, ""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      hex_digest(HashKind::kSha256, "abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex_digest(HashKind::kSha256,
+                 "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(ShaTest, Sha224Known) {
+  EXPECT_EQ(hex_digest(HashKind::kSha224, "abc"),
+            "23097d223405d8228642a477bda255b32aadbce4bda0b3f7e36c9da7");
+  EXPECT_EQ(hex_digest(HashKind::kSha224, ""),
+            "d14a028c2a3a2bc9476102bb288234c415a2b01f828ea62ac5b3e42f");
+}
+
+TEST(ShaTest, Sha512Known) {
+  EXPECT_EQ(hex_digest(HashKind::kSha512, "abc"),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+  EXPECT_EQ(hex_digest(HashKind::kSha512, ""),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(ShaTest, Sha384Known) {
+  EXPECT_EQ(hex_digest(HashKind::kSha384, "abc"),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(ShaTest, MillionAs) {
+  // FIPS 180-4 long vector: one million repetitions of 'a'.
+  const common::Bytes data(1000000, 'a');
+  EXPECT_EQ(
+      to_hex(digest(HashKind::kSha256, data)),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+  EXPECT_EQ(to_hex(digest(HashKind::kSha1, data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(ShaTest, IncrementalMatchesOneShotAllVariants) {
+  common::Bytes data(517);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 1);
+  }
+  for (HashKind kind : {HashKind::kSha1, HashKind::kSha224, HashKind::kSha256,
+                        HashKind::kSha384, HashKind::kSha512}) {
+    auto h = make_hash(kind);
+    h->update(common::BytesView(data).subspan(0, 100));
+    h->update(common::BytesView(data).subspan(100, 200));
+    h->update(common::BytesView(data).subspan(300));
+    EXPECT_EQ(h->finish(), digest(kind, data)) << hash_name(kind);
+  }
+}
+
+TEST(ShaTest, BlockAndDigestSizes) {
+  EXPECT_EQ(make_hash(HashKind::kSha1)->digest_size(), 20u);
+  EXPECT_EQ(make_hash(HashKind::kSha224)->digest_size(), 28u);
+  EXPECT_EQ(make_hash(HashKind::kSha256)->digest_size(), 32u);
+  EXPECT_EQ(make_hash(HashKind::kSha384)->digest_size(), 48u);
+  EXPECT_EQ(make_hash(HashKind::kSha512)->digest_size(), 64u);
+  EXPECT_EQ(make_hash(HashKind::kSha256)->block_size(), 64u);
+  EXPECT_EQ(make_hash(HashKind::kSha512)->block_size(), 128u);
+}
+
+TEST(ShaTest, HashNames) {
+  EXPECT_EQ(hash_name(HashKind::kMd5), "md5");
+  EXPECT_EQ(hash_name(HashKind::kSha256), "sha256");
+  EXPECT_EQ(hash_name(HashKind::kSha512), "sha512");
+}
+
+TEST(ShaTest, PaddingEdgeLengths) {
+  // SHA-512 pads to 112 mod 128; exercise the wrap-around path.
+  for (std::size_t n : {111u, 112u, 113u, 127u, 128u, 129u, 255u, 256u}) {
+    const common::Bytes data(n, 'q');
+    auto h = make_hash(HashKind::kSha512);
+    h->update(data);
+    EXPECT_EQ(h->finish(), digest(HashKind::kSha512, data)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace tpnr::crypto

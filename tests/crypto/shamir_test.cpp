@@ -1,0 +1,127 @@
+#include "crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/hash.h"
+
+namespace tpnr::crypto {
+namespace {
+
+using common::CryptoError;
+using common::to_bytes;
+
+class ShamirTest : public ::testing::Test {
+ protected:
+  Drbg rng_{std::uint64_t{314}};
+};
+
+TEST_F(ShamirTest, SplitCombineRoundTrip) {
+  const Bytes secret = md5(to_bytes("the agreed MD5 digest"));
+  const auto shares = shamir_split(secret, 3, 5, rng_);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(shamir_combine({shares[0], shares[1], shares[2]}), secret);
+}
+
+TEST_F(ShamirTest, AnyThresholdSubsetReconstructs) {
+  const Bytes secret = to_bytes("secret");
+  const auto shares = shamir_split(secret, 2, 4, rng_);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_EQ(shamir_combine({shares[i], shares[j]}), secret)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST_F(ShamirTest, MoreThanThresholdAlsoWorks) {
+  const Bytes secret = to_bytes("s");
+  const auto shares = shamir_split(secret, 2, 5, rng_);
+  EXPECT_EQ(shamir_combine(shares), secret);
+}
+
+TEST_F(ShamirTest, BelowThresholdYieldsGarbageNotSecret) {
+  const Bytes secret = to_bytes("the sensitive digest value!");
+  const auto shares = shamir_split(secret, 3, 5, rng_);
+  const Bytes guess = shamir_combine({shares[0], shares[1]});
+  EXPECT_NE(guess, secret);
+}
+
+TEST_F(ShamirTest, SingleShareLeaksNothingStatistically) {
+  // With threshold 2, one share's bytes should look uniform: split a
+  // constant secret many times and check the share byte varies.
+  const Bytes secret(1, 0x42);
+  std::set<std::uint8_t> observed;
+  for (int i = 0; i < 64; ++i) {
+    const auto shares = shamir_split(secret, 2, 2, rng_);
+    observed.insert(shares[0].data[0]);
+  }
+  EXPECT_GT(observed.size(), 16u);
+}
+
+TEST_F(ShamirTest, ThresholdOneIsPlainCopy) {
+  const Bytes secret = to_bytes("public");
+  const auto shares = shamir_split(secret, 1, 3, rng_);
+  for (const auto& share : shares) {
+    EXPECT_EQ(shamir_combine({share}), secret);
+  }
+}
+
+TEST_F(ShamirTest, EmptySecretSupported) {
+  const auto shares = shamir_split(Bytes{}, 2, 3, rng_);
+  EXPECT_TRUE(shamir_combine({shares[0], shares[2]}).empty());
+}
+
+TEST_F(ShamirTest, ShareIndicesAreDistinctAndNonZero) {
+  const auto shares = shamir_split(to_bytes("x"), 3, 255, rng_);
+  std::set<std::uint8_t> indices;
+  for (const auto& share : shares) {
+    EXPECT_NE(share.index, 0);
+    EXPECT_TRUE(indices.insert(share.index).second);
+  }
+}
+
+TEST_F(ShamirTest, RejectsBadParameters) {
+  const Bytes secret = to_bytes("x");
+  EXPECT_THROW(shamir_split(secret, 0, 3, rng_), CryptoError);
+  EXPECT_THROW(shamir_split(secret, 4, 3, rng_), CryptoError);
+  EXPECT_THROW(shamir_split(secret, 1, 256, rng_), CryptoError);
+}
+
+TEST_F(ShamirTest, CombineRejectsMalformedShares) {
+  EXPECT_THROW(shamir_combine({}), CryptoError);
+
+  auto shares = shamir_split(to_bytes("ab"), 2, 3, rng_);
+  auto bad_len = shares;
+  bad_len[1].data.pop_back();
+  EXPECT_THROW(shamir_combine({bad_len[0], bad_len[1]}), CryptoError);
+
+  auto dup = shares;
+  dup[1].index = dup[0].index;
+  EXPECT_THROW(shamir_combine({dup[0], dup[1]}), CryptoError);
+
+  auto zero = shares;
+  zero[0].index = 0;
+  EXPECT_THROW(shamir_combine({zero[0], zero[1]}), CryptoError);
+}
+
+TEST_F(ShamirTest, TamperedShareChangesResult) {
+  const Bytes secret = to_bytes("integrity matters");
+  auto shares = shamir_split(secret, 2, 3, rng_);
+  shares[0].data[3] ^= 0x10;
+  EXPECT_NE(shamir_combine({shares[0], shares[1]}), secret);
+}
+
+// The paper's §3.2 use case: user and provider each hold a share of the
+// agreed digest; a dispute reconstructs and compares.
+TEST_F(ShamirTest, DigestEscrowScenario) {
+  const Bytes digest = sha256(to_bytes("uploaded object"));
+  const auto shares = shamir_split(digest, 2, 2, rng_);
+  const ShamirShare& user_share = shares[0];
+  const ShamirShare& provider_share = shares[1];
+  EXPECT_EQ(shamir_combine({user_share, provider_share}), digest);
+  EXPECT_EQ(shamir_combine({provider_share, user_share}), digest);
+}
+
+}  // namespace
+}  // namespace tpnr::crypto

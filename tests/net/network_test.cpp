@@ -1,0 +1,219 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpnr::net {
+namespace {
+
+using common::kMillisecond;
+using common::kSecond;
+using common::to_bytes;
+
+TEST(NetworkTest, DeliversInTimestampOrder) {
+  Network network(1);
+  std::vector<std::string> received;
+  network.attach("sink", [&received](const Envelope& envelope) {
+    received.push_back(common::to_string(envelope.payload));
+  });
+
+  LinkConfig slow;
+  slow.latency = 100 * kMillisecond;
+  network.set_link("a", "sink", slow);
+  LinkConfig fast;
+  fast.latency = 1 * kMillisecond;
+  network.set_link("b", "sink", fast);
+
+  network.send("a", "sink", "t", to_bytes("slow"));
+  network.send("b", "sink", "t", to_bytes("fast"));
+  network.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "fast");
+  EXPECT_EQ(received[1], "slow");
+}
+
+TEST(NetworkTest, ClockAdvancesToDeliveryTime) {
+  Network network(1);
+  network.attach("sink", [](const Envelope&) {});
+  LinkConfig link;
+  link.latency = 250 * kMillisecond;
+  network.set_default_link(link);
+  network.send("a", "sink", "t", to_bytes("x"));
+  network.run();
+  EXPECT_EQ(network.now(), 250 * kMillisecond);
+}
+
+TEST(NetworkTest, FifoTieBreakAtSameTimestamp) {
+  Network network(1);
+  std::vector<std::string> received;
+  network.attach("sink", [&received](const Envelope& envelope) {
+    received.push_back(common::to_string(envelope.payload));
+  });
+  network.send("a", "sink", "t", to_bytes("first"));
+  network.send("a", "sink", "t", to_bytes("second"));
+  network.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "first");
+  EXPECT_EQ(received[1], "second");
+}
+
+TEST(NetworkTest, UnknownEndpointThrows) {
+  Network network(1);
+  EXPECT_THROW(network.send("a", "nowhere", "t", {}),
+               common::NetError);
+}
+
+TEST(NetworkTest, BandwidthAddsSerializationDelay) {
+  Network network(1);
+  network.attach("sink", [](const Envelope&) {});
+  LinkConfig link;
+  link.latency = 0;
+  link.bandwidth_bytes_per_sec = 1000;  // 1 KB/s
+  network.set_default_link(link);
+  network.send("a", "sink", "t", common::Bytes(500, 0));  // 0.5 s
+  network.run();
+  EXPECT_EQ(network.now(), kSecond / 2);
+}
+
+TEST(NetworkTest, LossDropsStatistically) {
+  Network network(42);
+  int delivered = 0;
+  network.attach("sink", [&delivered](const Envelope&) { ++delivered; });
+  LinkConfig lossy;
+  lossy.loss_probability = 0.5;
+  network.set_default_link(lossy);
+  for (int i = 0; i < 1000; ++i) network.send("a", "sink", "t", {});
+  network.run();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+  EXPECT_EQ(network.stats().messages_dropped_loss,
+            1000u - static_cast<unsigned>(delivered));
+}
+
+TEST(NetworkTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Network network(seed);
+    int delivered = 0;
+    network.attach("sink", [&delivered](const Envelope&) { ++delivered; });
+    LinkConfig lossy;
+    lossy.loss_probability = 0.3;
+    lossy.jitter = 10 * kMillisecond;
+    network.set_default_link(lossy);
+    for (int i = 0; i < 200; ++i) network.send("a", "sink", "t", {});
+    network.run();
+    return std::make_pair(delivered, network.now());
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(NetworkTest, AdversaryCanDrop) {
+  Network network(1);
+  int delivered = 0;
+  network.attach("sink", [&delivered](const Envelope&) { ++delivered; });
+  network.set_adversary("a", "sink", [](const Envelope&) {
+    AdversaryAction action;
+    action.kind = AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  network.send("a", "sink", "t", to_bytes("x"));
+  network.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network.stats().messages_dropped_adversary, 1u);
+}
+
+TEST(NetworkTest, AdversaryCanModify) {
+  Network network(1);
+  std::string seen;
+  network.attach("sink", [&seen](const Envelope& envelope) {
+    seen = common::to_string(envelope.payload);
+  });
+  network.set_adversary("a", "sink", [](const Envelope&) {
+    AdversaryAction action;
+    action.kind = AdversaryAction::Kind::kModify;
+    action.modified_payload = to_bytes("evil");
+    return action;
+  });
+  network.send("a", "sink", "t", to_bytes("good"));
+  network.run();
+  EXPECT_EQ(seen, "evil");
+  EXPECT_EQ(network.stats().messages_modified, 1u);
+}
+
+TEST(NetworkTest, AdversaryOnlyAffectsItsLink) {
+  Network network(1);
+  int delivered = 0;
+  network.attach("sink", [&delivered](const Envelope&) { ++delivered; });
+  network.set_adversary("a", "sink", [](const Envelope&) {
+    AdversaryAction action;
+    action.kind = AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  network.send("b", "sink", "t", to_bytes("x"));  // different link
+  network.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkTest, ClearAdversaryRestoresDelivery) {
+  Network network(1);
+  int delivered = 0;
+  network.attach("sink", [&delivered](const Envelope&) { ++delivered; });
+  network.set_adversary("a", "sink", [](const Envelope&) {
+    AdversaryAction action;
+    action.kind = AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  network.send("a", "sink", "t", {});
+  network.clear_adversary("a", "sink");
+  network.send("a", "sink", "t", {});
+  network.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkTest, TimersFireAtScheduledTime) {
+  Network network(1);
+  common::SimTime fired_at = -1;
+  network.schedule(3 * kSecond, [&] { fired_at = network.now(); });
+  network.run();
+  EXPECT_EQ(fired_at, 3 * kSecond);
+}
+
+TEST(NetworkTest, HandlersCanSendMoreMessages) {
+  Network network(1);
+  int hops = 0;
+  network.attach("ping", [&](const Envelope&) {
+    if (++hops < 5) network.send("ping", "pong", "t", {});
+  });
+  network.attach("pong", [&](const Envelope&) {
+    if (++hops < 5) network.send("pong", "ping", "t", {});
+  });
+  network.send("start", "ping", "t", {});
+  network.run();
+  EXPECT_EQ(hops, 5);
+}
+
+TEST(NetworkTest, RunHonoursMaxEvents) {
+  Network network(1);
+  network.attach("loop", [&](const Envelope&) {
+    network.send("loop", "loop", "t", {});
+  });
+  network.send("x", "loop", "t", {});
+  const std::size_t processed = network.run(10);
+  EXPECT_EQ(processed, 10u);
+  EXPECT_FALSE(network.idle());
+}
+
+TEST(NetworkTest, StatsCountSentAndDelivered) {
+  Network network(1);
+  network.attach("sink", [](const Envelope&) {});
+  network.send("a", "sink", "t", common::Bytes(100, 0));
+  network.send("a", "sink", "t", common::Bytes(50, 0));
+  network.run();
+  EXPECT_EQ(network.stats().messages_sent, 2u);
+  EXPECT_EQ(network.stats().messages_delivered, 2u);
+  EXPECT_EQ(network.stats().bytes_sent, 150u);
+}
+
+}  // namespace
+}  // namespace tpnr::net

@@ -1,0 +1,202 @@
+// Fig. 6(d): the arbitrator's decision table, driven end-to-end — evidence
+// is produced by real protocol runs, then laid before the arbitrator.
+#include "nr/arbitrator.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "nr/client.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+
+namespace tpnr::nr {
+namespace {
+
+using common::to_bytes;
+
+class ArbitratorTest : public ::testing::Test {
+ protected:
+  static const pki::Identity& pooled(const std::string& name) {
+    static const auto* pool = [] {
+      auto* identities = new std::map<std::string, pki::Identity>();
+      crypto::Drbg rng(std::uint64_t{808});
+      for (const char* id : {"alice", "bob", "ttp"}) {
+        identities->emplace(id, pki::Identity(id, 1024, rng));
+      }
+      return identities;
+    }();
+    return pool->at(name);
+  }
+
+  ArbitratorTest()
+      : network_(5),
+        rng_(std::uint64_t{6}),
+        alice_id_(pooled("alice")),
+        bob_id_(pooled("bob")),
+        ttp_id_(pooled("ttp")),
+        alice_("alice", network_, alice_id_, rng_),
+        bob_("bob", network_, bob_id_, rng_),
+        ttp_("ttp", network_, ttp_id_, rng_) {
+    alice_.trust_peer("bob", bob_id_.public_key());
+    alice_.trust_peer("ttp", ttp_id_.public_key());
+    bob_.trust_peer("alice", alice_id_.public_key());
+    bob_.trust_peer("ttp", ttp_id_.public_key());
+    ttp_.trust_peer("alice", alice_id_.public_key());
+    ttp_.trust_peer("bob", bob_id_.public_key());
+  }
+
+  /// Runs a store to completion and assembles the dispute case skeleton.
+  DisputeCase stored_case(const Bytes& data, bool user_claims_tamper) {
+    const std::string txn = alice_.store("bob", "ttp", "obj", data);
+    network_.run();
+    DisputeCase dispute;
+    dispute.txn_id = txn;
+    dispute.alice_key = alice_id_.public_key();
+    dispute.bob_key = bob_id_.public_key();
+    dispute.ttp_key = ttp_id_.public_key();
+    dispute.alice_nrr = alice_.present_nrr(txn);
+    dispute.bob_nro = bob_.present_nro(txn);
+    dispute.ttp_verdict = ttp_.verdict_for(txn);
+    dispute.current_data = bob_.produce_object(txn);
+    dispute.user_claims_tamper = user_claims_tamper;
+    return dispute;
+  }
+
+  net::Network network_;
+  crypto::Drbg rng_;
+  pki::Identity alice_id_;
+  pki::Identity bob_id_;
+  pki::Identity ttp_id_;
+  ClientActor alice_;
+  ProviderActor bob_;
+  TtpActor ttp_;
+};
+
+TEST_F(ArbitratorTest, IntactDataRulesDataIntact) {
+  const auto dispute = stored_case(to_bytes("clean"), false);
+  const Ruling ruling = Arbitrator::arbitrate(dispute);
+  EXPECT_EQ(ruling.kind, RulingKind::kDataIntact) << ruling.rationale;
+}
+
+// §2.4's blackmail scenario: Alice claims tampering against intact data.
+TEST_F(ArbitratorTest, BlackmailClaimRulesUserFault) {
+  const auto dispute = stored_case(to_bytes("clean"), true);
+  const Ruling ruling = Arbitrator::arbitrate(dispute);
+  EXPECT_EQ(ruling.kind, RulingKind::kUserFault) << ruling.rationale;
+}
+
+// §2.4's tampering scenario: Eve rewrote the data; Bob's own signed receipt
+// convicts him.
+TEST_F(ArbitratorTest, TamperedDataRulesProviderFault) {
+  DisputeCase dispute = stored_case(to_bytes("original"), true);
+  bob_.tamper(dispute.txn_id, to_bytes("rewritten"));
+  dispute.current_data = bob_.produce_object(dispute.txn_id);
+  const Ruling ruling = Arbitrator::arbitrate(dispute);
+  EXPECT_EQ(ruling.kind, RulingKind::kProviderFault) << ruling.rationale;
+}
+
+TEST_F(ArbitratorTest, LostObjectRulesProviderFault) {
+  DisputeCase dispute = stored_case(to_bytes("data"), false);
+  dispute.current_data.reset();  // Bob cannot produce the object
+  EXPECT_EQ(Arbitrator::arbitrate(dispute).kind, RulingKind::kProviderFault);
+}
+
+TEST_F(ArbitratorTest, NoEvidenceAtAllIsInconclusive) {
+  DisputeCase dispute = stored_case(to_bytes("data"), true);
+  dispute.alice_nrr.reset();
+  dispute.bob_nro.reset();
+  EXPECT_EQ(Arbitrator::arbitrate(dispute).kind, RulingKind::kInconclusive);
+}
+
+TEST_F(ArbitratorTest, AliceEvidenceAloneSuffices) {
+  DisputeCase dispute = stored_case(to_bytes("data"), false);
+  dispute.bob_nro.reset();  // Bob destroys his copy — doesn't help him
+  bob_.tamper(dispute.txn_id, to_bytes("changed"));
+  dispute.current_data = bob_.produce_object(dispute.txn_id);
+  EXPECT_EQ(Arbitrator::arbitrate(dispute).kind, RulingKind::kProviderFault);
+}
+
+TEST_F(ArbitratorTest, ForgedNrrIsDisregarded) {
+  DisputeCase dispute = stored_case(to_bytes("data"), true);
+  // Alice doctors her NRR's hash to frame Bob: signature no longer matches.
+  auto forged = *dispute.alice_nrr;
+  forged.first.data_hash = crypto::sha256(to_bytes("framed"));
+  dispute.alice_nrr = forged;
+  dispute.bob_nro.reset();
+  EXPECT_EQ(Arbitrator::arbitrate(dispute).kind, RulingKind::kInconclusive);
+}
+
+TEST_F(ArbitratorTest, EvidenceFromDifferentTxnRejected) {
+  DisputeCase dispute = stored_case(to_bytes("data"), true);
+  dispute.txn_id = "some-other-txn";
+  EXPECT_EQ(Arbitrator::arbitrate(dispute).kind, RulingKind::kInconclusive);
+}
+
+// A signed TTP "no-response" verdict convicts the stonewalling provider
+// even when he later produces intact-looking data.
+TEST_F(ArbitratorTest, TtpNoResponseStatementConvictsProvider) {
+  ProviderBehavior behavior;
+  behavior.send_store_receipts = false;
+  behavior.respond_to_resolve = false;
+  bob_.set_behavior(behavior);
+
+  const std::string txn = alice_.store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+
+  DisputeCase dispute;
+  dispute.txn_id = txn;
+  dispute.alice_key = alice_id_.public_key();
+  dispute.bob_key = bob_id_.public_key();
+  dispute.ttp_key = ttp_id_.public_key();
+  dispute.alice_nrr = alice_.present_nrr(txn);  // she has none
+  dispute.bob_nro = bob_.present_nro(txn);
+  dispute.ttp_verdict = ttp_.verdict_for(txn);
+  dispute.current_data = bob_.produce_object(txn);
+  dispute.user_claims_tamper = false;
+
+  const Ruling ruling = Arbitrator::arbitrate(dispute);
+  EXPECT_EQ(ruling.kind, RulingKind::kProviderFault) << ruling.rationale;
+}
+
+TEST_F(ArbitratorTest, TamperedTtpStatementIsIgnored) {
+  ProviderBehavior behavior;
+  behavior.send_store_receipts = false;
+  behavior.respond_to_resolve = false;
+  bob_.set_behavior(behavior);
+  const std::string txn = alice_.store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+
+  DisputeCase dispute;
+  dispute.txn_id = txn;
+  dispute.alice_key = alice_id_.public_key();
+  dispute.bob_key = bob_id_.public_key();
+  dispute.ttp_key = ttp_id_.public_key();
+  auto verdict = ttp_.verdict_for(txn);
+  ASSERT_TRUE(verdict.has_value());
+  verdict->statement[0] ^= 1;  // forged statement
+  dispute.ttp_verdict = verdict;
+  dispute.bob_nro = bob_.present_nro(txn);
+  dispute.current_data = bob_.produce_object(txn);
+
+  // The forged statement carries no weight; Bob's NRO + intact data remain.
+  const Ruling ruling = Arbitrator::arbitrate(dispute);
+  EXPECT_EQ(ruling.kind, RulingKind::kDataIntact) << ruling.rationale;
+}
+
+TEST_F(ArbitratorTest, RulingNamesAreStable) {
+  EXPECT_EQ(ruling_name(RulingKind::kDataIntact), "data-intact");
+  EXPECT_EQ(ruling_name(RulingKind::kProviderFault), "provider-fault");
+  EXPECT_EQ(ruling_name(RulingKind::kUserFault), "user-fault");
+  EXPECT_EQ(ruling_name(RulingKind::kInconclusive), "inconclusive");
+}
+
+TEST_F(ArbitratorTest, DeterministicRulings) {
+  const auto dispute = stored_case(to_bytes("data"), true);
+  const Ruling first = Arbitrator::arbitrate(dispute);
+  const Ruling second = Arbitrator::arbitrate(dispute);
+  EXPECT_EQ(first.kind, second.kind);
+  EXPECT_EQ(first.rationale, second.rationale);
+}
+
+}  // namespace
+}  // namespace tpnr::nr

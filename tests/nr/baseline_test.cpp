@@ -1,0 +1,86 @@
+#include "nr/baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace tpnr::nr {
+namespace {
+
+using common::to_bytes;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static const pki::Identity& pooled(const std::string& name) {
+    static const auto* pool = [] {
+      auto* identities = new std::map<std::string, pki::Identity>();
+      crypto::Drbg rng(std::uint64_t{909});
+      for (const char* id : {"alice", "bob", "ttp"}) {
+        identities->emplace(id, pki::Identity(id, 1024, rng));
+      }
+      return identities;
+    }();
+    return pool->at(name);
+  }
+
+  BaselineTest()
+      : network_(3),
+        rng_(std::uint64_t{4}),
+        alice_(pooled("alice")),
+        bob_(pooled("bob")),
+        ttp_(pooled("ttp")),
+        protocol_(network_, alice_, bob_, ttp_, rng_) {}
+
+  net::Network network_;
+  crypto::Drbg rng_;
+  pki::Identity alice_;
+  pki::Identity bob_;
+  pki::Identity ttp_;
+  TraditionalNrProtocol protocol_;
+};
+
+TEST_F(BaselineTest, ExchangeCompletesAndRecoversPlaintext) {
+  const auto label = protocol_.exchange(to_bytes("backup blob"));
+  network_.run();
+  const auto outcome = protocol_.outcome(label);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->completed);
+  EXPECT_EQ(outcome->recovered_plaintext, to_bytes("backup blob"));
+}
+
+// The paper's §4.4 comparison: the traditional protocol needs FOUR steps
+// (and more messages) where TPNR needs two.
+TEST_F(BaselineTest, TakesFourStepsAndAtLeastSixMessages) {
+  const auto label = protocol_.exchange(to_bytes("x"));
+  network_.run();
+  const auto outcome = protocol_.outcome(label);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->steps, 4u);
+  EXPECT_GE(outcome->messages, 6u);
+}
+
+TEST_F(BaselineTest, CompletionTakesLongerThanOneRoundTrip) {
+  net::LinkConfig link;
+  link.latency = 10 * common::kMillisecond;
+  network_.set_default_link(link);
+  const auto label = protocol_.exchange(to_bytes("x"));
+  network_.run();
+  const auto outcome = protocol_.outcome(label);
+  ASSERT_TRUE(outcome.has_value());
+  // At least 3 sequential hops beyond the first: > 3 * latency.
+  EXPECT_GT(outcome->completed_at - outcome->started_at,
+            3 * 10 * common::kMillisecond);
+}
+
+TEST_F(BaselineTest, MultipleExchangesAreIndependent) {
+  const auto l1 = protocol_.exchange(to_bytes("first"));
+  const auto l2 = protocol_.exchange(to_bytes("second"));
+  network_.run();
+  EXPECT_EQ(protocol_.outcome(l1)->recovered_plaintext, to_bytes("first"));
+  EXPECT_EQ(protocol_.outcome(l2)->recovered_plaintext, to_bytes("second"));
+}
+
+TEST_F(BaselineTest, UnknownLabelHasNoOutcome) {
+  EXPECT_FALSE(protocol_.outcome("zg-999").has_value());
+}
+
+}  // namespace
+}  // namespace tpnr::nr

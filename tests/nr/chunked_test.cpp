@@ -1,0 +1,297 @@
+// Chunked large-object extension: Merkle-root evidence and sampled audits.
+#include "nr/chunked.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/serial.h"
+
+#include "net/network.h"
+#include "nr/client.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+
+namespace tpnr::nr {
+namespace {
+
+const pki::Identity& pooled(const std::string& name) {
+  static const auto* pool = [] {
+    auto* identities = new std::map<std::string, pki::Identity>();
+    crypto::Drbg rng(std::uint64_t{70707});
+    for (const char* id : {"alice", "bob", "ttp"}) {
+      identities->emplace(id, pki::Identity(id, 1024, rng));
+    }
+    return identities;
+  }();
+  return pool->at(name);
+}
+
+class ChunkedTest : public ::testing::Test {
+ protected:
+  ChunkedTest()
+      : network_(77),
+        rng_(std::uint64_t{88}),
+        alice_id_(pooled("alice")),
+        bob_id_(pooled("bob")),
+        ttp_id_(pooled("ttp")),
+        alice_("alice", network_, alice_id_, rng_),
+        bob_("bob", network_, bob_id_, rng_),
+        ttp_("ttp", network_, ttp_id_, rng_) {
+    alice_.trust_peer("bob", bob_id_.public_key());
+    alice_.trust_peer("ttp", ttp_id_.public_key());
+    bob_.trust_peer("alice", alice_id_.public_key());
+    ttp_.trust_peer("alice", alice_id_.public_key());
+    ttp_.trust_peer("bob", bob_id_.public_key());
+  }
+
+  /// Stores a 64-chunk object and returns (txn, data).
+  std::pair<std::string, Bytes> stored_object(std::size_t chunk_size = 512,
+                                              std::size_t chunks = 64) {
+    crypto::Drbg data_rng(std::uint64_t{chunks * chunk_size});
+    Bytes data = data_rng.bytes(chunk_size * chunks - chunk_size / 2);
+    const std::string txn =
+        alice_.store_chunked("bob", "ttp", "big-object", data, chunk_size);
+    network_.run();
+    return {txn, std::move(data)};
+  }
+
+  net::Network network_;
+  crypto::Drbg rng_;
+  pki::Identity alice_id_;
+  pki::Identity bob_id_;
+  pki::Identity ttp_id_;
+  ClientActor alice_;
+  ProviderActor bob_;
+  TtpActor ttp_;
+};
+
+TEST_F(ChunkedTest, ChunkedStoreCompletesWithMerkleRootEvidence) {
+  auto [txn, data] = stored_object();
+  const auto* state = alice_.transaction(txn);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->state, TxnState::kCompleted);
+  EXPECT_EQ(state->chunk_size, 512u);
+  EXPECT_EQ(state->chunk_count, 64u);
+
+  // The evidence hash is the Merkle root, not the flat hash.
+  const crypto::MerkleTree tree(data, 512);
+  EXPECT_EQ(state->data_hash, tree.root());
+  EXPECT_NE(state->data_hash, crypto::sha256(data));
+
+  const auto nrr = alice_.present_nrr(txn);
+  ASSERT_TRUE(nrr.has_value());
+  EXPECT_EQ(nrr->first.data_hash, tree.root());
+}
+
+TEST_F(ChunkedTest, ProviderValidatesDeclaredChunking) {
+  // A store request whose payload chunking does not match the claimed root
+  // is rejected — the adversary rewrites chunk_size in flight.
+  network_.set_adversary("alice", "bob", [](const net::Envelope& envelope) {
+    NrMessage message = NrMessage::decode(envelope.payload);
+    if (message.header.flag != MsgType::kStoreRequest) {
+      return net::AdversaryAction{};
+    }
+    common::BinaryReader r(message.payload);
+    const std::string key = r.str();
+    const Bytes data = r.bytes();
+    common::BinaryWriter w;
+    w.str(key);
+    w.bytes(data);
+    w.u32(1024);  // was 512
+    message.payload = w.take();
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kModify;
+    action.modified_payload = message.encode();
+    return action;
+  });
+  crypto::Drbg data_rng(std::uint64_t{5});
+  const std::string txn = alice_.store_chunked("bob", "ttp", "obj",
+                                               data_rng.bytes(8192), 512);
+  network_.run(1);
+  EXPECT_EQ(bob_.transaction(txn), nullptr);
+  EXPECT_GT(bob_.stats().rejected_bad_hash, 0u);
+}
+
+TEST_F(ChunkedTest, AuditOfCleanObjectVerifiesEveryChunk) {
+  auto [txn, data] = stored_object();
+  for (std::size_t i = 0; i < 64; ++i) alice_.audit(txn, i);
+  network_.run();
+
+  const auto* state = alice_.transaction(txn);
+  ASSERT_EQ(state->audits.size(), 64u);
+  for (const auto& audit : state->audits) {
+    EXPECT_TRUE(audit.verified) << "chunk " << audit.chunk_index << ": "
+                                << audit.detail;
+  }
+}
+
+// A provider that recomputes proofs over its (tampered) store fails EVERY
+// audit, not just the tampered chunk's: the proof siblings chain through
+// the modified region, so the recomputed root differs from the signed one.
+// One random sample therefore detects any tampering.
+TEST_F(ChunkedTest, SingleByteTamperFailsEveryRecomputedAudit) {
+  auto [txn, data] = stored_object();
+  Bytes tampered = data;
+  tampered[10 * 512 + 7] ^= 0x40;  // one byte inside chunk 10
+  ASSERT_TRUE(bob_.tamper(txn, tampered));
+
+  for (std::size_t i = 0; i < 64; ++i) alice_.audit(txn, i);
+  network_.run();
+
+  const auto* state = alice_.transaction(txn);
+  ASSERT_EQ(state->audits.size(), 64u);
+  for (const auto& audit : state->audits) {
+    EXPECT_FALSE(audit.verified) << "chunk " << audit.chunk_index;
+  }
+}
+
+// The strongest audit adversary: the provider caches the original tree and
+// serves original proofs, so audits of clean chunks pass. Only audits
+// landing ON corrupted chunks fail — random sampling with enough draws
+// still detects (the classic proof-of-retrievability argument).
+TEST_F(ChunkedTest, EquivocatingProviderDetectedBySampling) {
+  ProviderBehavior behavior;
+  behavior.equivocate_chunk_proofs = true;
+  bob_.set_behavior(behavior);
+
+  auto [txn, data] = stored_object(512, 64);
+  Bytes tampered = data;
+  const std::set<std::size_t> bad = {3, 9, 17, 25, 33, 41, 49, 57};
+  for (std::size_t c : bad) tampered[c * 512 + 1] ^= 0xff;
+  ASSERT_TRUE(bob_.tamper(txn, tampered));
+
+  // Audits of clean chunks pass despite the tamper (the equivocation)...
+  alice_.audit(txn, 0);
+  network_.run();
+  ASSERT_EQ(alice_.transaction(txn)->audits.size(), 1u);
+  EXPECT_TRUE(alice_.transaction(txn)->audits[0].verified);
+
+  // ...but a full sweep pinpoints exactly the corrupted chunks.
+  for (std::size_t i = 0; i < 64; ++i) alice_.audit(txn, i);
+  network_.run();
+  const auto* state = alice_.transaction(txn);
+  ASSERT_EQ(state->audits.size(), 65u);
+  std::set<std::size_t> failed;
+  for (std::size_t i = 1; i < state->audits.size(); ++i) {
+    if (!state->audits[i].verified) {
+      failed.insert(state->audits[i].chunk_index);
+    }
+  }
+  EXPECT_EQ(failed, bad);
+}
+
+TEST_F(ChunkedTest, OneSampleSufficesAgainstNaiveTamper) {
+  auto [txn, data] = stored_object(512, 64);
+  Bytes tampered = data;
+  tampered[33 * 512 + 1] ^= 0xff;
+  ASSERT_TRUE(bob_.tamper(txn, tampered));
+
+  alice_.audit_sample(txn, 1);
+  network_.run();
+  const auto* state = alice_.transaction(txn);
+  ASSERT_EQ(state->audits.size(), 1u);
+  EXPECT_FALSE(state->audits[0].verified);
+}
+
+TEST_F(ChunkedTest, AuditBandwidthIsLogarithmic) {
+  auto [txn, data] = stored_object(512, 64);
+  // A proof for 64 leaves has 6 siblings of 32 bytes: the audit moves ~1
+  // chunk + ~192 proof bytes instead of the whole object.
+  const crypto::MerkleTree tree(data, 512);
+  const auto proof = tree.prove(0);
+  EXPECT_EQ(proof.siblings.size(), 6u);
+  const Bytes encoded = encode_proof(proof);
+  EXPECT_LT(encoded.size(), 300u);
+  EXPECT_LT(encoded.size() + 512, data.size() / 10);
+}
+
+TEST_F(ChunkedTest, ProofEncodeDecodeRoundTrip) {
+  crypto::Drbg data_rng(std::uint64_t{6});
+  const Bytes data = data_rng.bytes(10000);
+  const crypto::MerkleTree tree(data, 256);
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{17},
+                        tree.leaf_count() - 1}) {
+    const auto proof = tree.prove(i);
+    const auto decoded = decode_proof(encode_proof(proof));
+    EXPECT_EQ(decoded.leaf_index, proof.leaf_index);
+    EXPECT_EQ(decoded.leaf_count, proof.leaf_count);
+    EXPECT_EQ(decoded.siblings, proof.siblings);
+  }
+}
+
+TEST_F(ChunkedTest, TruncatedProofRejected) {
+  crypto::Drbg data_rng(std::uint64_t{7});
+  const crypto::MerkleTree tree(data_rng.bytes(4096), 256);
+  Bytes encoded = encode_proof(tree.prove(3));
+  encoded.resize(encoded.size() - 5);
+  EXPECT_THROW(decode_proof(encoded), common::SerialError);
+}
+
+// Regression: fetching a chunked transaction must verify the served bytes
+// against the Merkle ROOT (not the flat hash, which was never signed).
+TEST_F(ChunkedTest, FullFetchOfChunkedObjectVerifiesAgainstRoot) {
+  auto [txn, data] = stored_object();
+  alice_.fetch(txn);
+  network_.run();
+  const auto* state = alice_.transaction(txn);
+  ASSERT_TRUE(state->fetched);
+  EXPECT_TRUE(state->fetch_integrity_ok);
+  EXPECT_EQ(state->fetched_data, data);
+}
+
+TEST_F(ChunkedTest, FullFetchOfTamperedChunkedObjectFails) {
+  auto [txn, data] = stored_object();
+  Bytes tampered = data;
+  tampered[100] ^= 1;
+  ASSERT_TRUE(bob_.tamper(txn, tampered));
+  alice_.fetch(txn);
+  network_.run();
+  const auto* state = alice_.transaction(txn);
+  ASSERT_TRUE(state->fetched);
+  EXPECT_FALSE(state->fetch_integrity_ok);
+}
+
+TEST_F(ChunkedTest, AuditOnFlatObjectIsIgnored) {
+  crypto::Drbg data_rng(std::uint64_t{8});
+  const std::string txn =
+      alice_.store("bob", "ttp", "flat", data_rng.bytes(1000));
+  network_.run();
+  alice_.audit(txn, 0);
+  network_.run();
+  EXPECT_TRUE(alice_.transaction(txn)->audits.empty());
+}
+
+TEST_F(ChunkedTest, OutOfRangeChunkRequestIgnored) {
+  auto [txn, data] = stored_object(512, 64);
+  alice_.audit(txn, 1000);
+  network_.run();
+  EXPECT_TRUE(alice_.transaction(txn)->audits.empty());
+}
+
+TEST_F(ChunkedTest, ZeroChunkSizeThrows) {
+  crypto::Drbg data_rng(std::uint64_t{9});
+  EXPECT_THROW(
+      alice_.store_chunked("bob", "ttp", "bad", data_rng.bytes(100), 0),
+      common::ProtocolError);
+}
+
+TEST_F(ChunkedTest, SubstitutedChunkWithValidLocalProofFails) {
+  // A malicious provider serving a DIFFERENT chunk with a proof that is
+  // internally consistent (built over the tampered object) still fails:
+  // the proof cannot chain to the root Alice holds signed.
+  auto [txn, data] = stored_object(512, 64);
+  crypto::Drbg junk(std::uint64_t{10});
+  Bytes replaced = data;
+  std::fill(replaced.begin(), replaced.begin() + 512, 0xee);
+  ASSERT_TRUE(bob_.tamper(txn, replaced));
+
+  alice_.audit(txn, 0);
+  network_.run();
+  const auto* state = alice_.transaction(txn);
+  ASSERT_EQ(state->audits.size(), 1u);
+  EXPECT_FALSE(state->audits[0].verified);
+}
+
+}  // namespace
+}  // namespace tpnr::nr

@@ -1,0 +1,161 @@
+#include "nr/evidence.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crypto/hash.h"
+
+namespace tpnr::nr {
+namespace {
+
+using common::to_bytes;
+
+class EvidenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new crypto::Drbg(std::uint64_t{112233});
+    sender_ = new pki::Identity("alice", 1024, *rng_);
+    recipient_ = new pki::Identity("bob", 1024, *rng_);
+    outsider_ = new pki::Identity("mallory", 1024, *rng_);
+  }
+  static void TearDownTestSuite() {
+    delete sender_;
+    delete recipient_;
+    delete outsider_;
+    delete rng_;
+  }
+
+  static MessageHeader make_header() {
+    MessageHeader h;
+    h.flag = MsgType::kStoreRequest;
+    h.sender = "alice";
+    h.recipient = "bob";
+    h.ttp = "ttp";
+    h.txn_id = "txn-1";
+    h.seq_no = 1;
+    h.nonce = common::Bytes(16, 0xab);
+    h.time_limit = 1000000;
+    h.data_hash = crypto::sha256(to_bytes("the object"));
+    return h;
+  }
+
+  static crypto::Drbg* rng_;
+  static pki::Identity* sender_;
+  static pki::Identity* recipient_;
+  static pki::Identity* outsider_;
+};
+
+crypto::Drbg* EvidenceTest::rng_ = nullptr;
+pki::Identity* EvidenceTest::sender_ = nullptr;
+pki::Identity* EvidenceTest::recipient_ = nullptr;
+pki::Identity* EvidenceTest::outsider_ = nullptr;
+
+TEST_F(EvidenceTest, MakeThenOpenSucceeds) {
+  const MessageHeader header = make_header();
+  const auto evidence =
+      make_evidence(*sender_, recipient_->public_key(), header, *rng_);
+  const auto opened = open_evidence(*recipient_, sender_->public_key(),
+                                    header, evidence);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(verify_evidence_signatures(sender_->public_key(), header,
+                                         *opened));
+}
+
+TEST_F(EvidenceTest, OnlyRecipientCanOpen) {
+  const MessageHeader header = make_header();
+  const auto evidence =
+      make_evidence(*sender_, recipient_->public_key(), header, *rng_);
+  EXPECT_FALSE(open_evidence(*outsider_, sender_->public_key(), header,
+                             evidence)
+                   .has_value());
+}
+
+TEST_F(EvidenceTest, WrongSenderKeyFailsVerification) {
+  const MessageHeader header = make_header();
+  const auto evidence =
+      make_evidence(*sender_, recipient_->public_key(), header, *rng_);
+  EXPECT_FALSE(open_evidence(*recipient_, outsider_->public_key(), header,
+                             evidence)
+                   .has_value());
+}
+
+TEST_F(EvidenceTest, HeaderMutationInvalidatesEvidence) {
+  const MessageHeader header = make_header();
+  const auto evidence =
+      make_evidence(*sender_, recipient_->public_key(), header, *rng_);
+
+  // Every header field is load-bearing: change each and expect rejection.
+  auto mutate = [&](auto&& fn) {
+    MessageHeader mutated = header;
+    fn(mutated);
+    return open_evidence(*recipient_, sender_->public_key(), mutated,
+                         evidence)
+        .has_value();
+  };
+  EXPECT_FALSE(mutate([](MessageHeader& h) { h.txn_id = "txn-2"; }));
+  EXPECT_FALSE(mutate([](MessageHeader& h) { h.seq_no = 99; }));
+  EXPECT_FALSE(mutate([](MessageHeader& h) { h.sender = "carol"; }));
+  EXPECT_FALSE(mutate([](MessageHeader& h) { h.recipient = "dave"; }));
+  EXPECT_FALSE(mutate([](MessageHeader& h) { h.time_limit += 1; }));
+  EXPECT_FALSE(mutate([](MessageHeader& h) { h.nonce[0] ^= 1; }));
+  EXPECT_FALSE(mutate([](MessageHeader& h) {
+    h.data_hash = crypto::sha256(common::to_bytes("other object"));
+  }));
+  EXPECT_FALSE(
+      mutate([](MessageHeader& h) { h.flag = MsgType::kStoreReceipt; }));
+}
+
+TEST_F(EvidenceTest, TamperedCiphertextRejected) {
+  const MessageHeader header = make_header();
+  auto evidence =
+      make_evidence(*sender_, recipient_->public_key(), header, *rng_);
+  evidence[evidence.size() / 2] ^= 1;
+  EXPECT_FALSE(open_evidence(*recipient_, sender_->public_key(), header,
+                             evidence)
+                   .has_value());
+}
+
+TEST_F(EvidenceTest, GarbageEvidenceRejected) {
+  const MessageHeader header = make_header();
+  EXPECT_FALSE(open_evidence(*recipient_, sender_->public_key(), header,
+                             common::Bytes(64, 0x5a))
+                   .has_value());
+  EXPECT_FALSE(open_evidence(*recipient_, sender_->public_key(), header,
+                             common::Bytes{})
+                   .has_value());
+}
+
+TEST_F(EvidenceTest, EvidenceIsConfidential) {
+  // The envelope must not leak the inner signatures in the clear: the raw
+  // signature bytes must not appear in the ciphertext.
+  const MessageHeader header = make_header();
+  const auto evidence =
+      make_evidence(*sender_, recipient_->public_key(), header, *rng_);
+  const auto opened = open_evidence(*recipient_, sender_->public_key(),
+                                    header, evidence);
+  ASSERT_TRUE(opened.has_value());
+  const auto& sig = opened->data_hash_signature;
+  const auto it = std::search(evidence.begin(), evidence.end(), sig.begin(),
+                              sig.end());
+  EXPECT_EQ(it, evidence.end());
+}
+
+TEST_F(EvidenceTest, SignaturesTransferToThirdParties) {
+  // Once opened by the recipient, the inner signatures are publicly
+  // verifiable — this is what makes arbitration possible.
+  const MessageHeader header = make_header();
+  const auto evidence =
+      make_evidence(*sender_, recipient_->public_key(), header, *rng_);
+  const auto opened = open_evidence(*recipient_, sender_->public_key(),
+                                    header, evidence);
+  ASSERT_TRUE(opened.has_value());
+  // An arbitrator holding only public keys re-verifies.
+  EXPECT_TRUE(pki::Identity::verify(sender_->public_key(), header.data_hash,
+                                    opened->data_hash_signature));
+  EXPECT_TRUE(pki::Identity::verify(sender_->public_key(), header.encode(),
+                                    opened->header_signature));
+}
+
+}  // namespace
+}  // namespace tpnr::nr

@@ -1,0 +1,495 @@
+// End-to-end tests of the TPNR protocol: Normal, Abort and Resolve modes
+// (Fig. 6(b)/(c)) plus message/evidence mechanics.
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "net/network.h"
+#include "nr/client.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+
+namespace tpnr::nr {
+namespace {
+
+using common::kSecond;
+using common::to_bytes;
+
+/// Shared deterministic identities (RSA keygen is the slow part).
+const pki::Identity& test_identity(const std::string& name) {
+  static const auto* pool = [] {
+    auto* identities = new std::map<std::string, pki::Identity>();
+    crypto::Drbg rng(std::uint64_t{60606});
+    for (const char* id : {"alice", "bob", "ttp"}) {
+      identities->emplace(id, pki::Identity(id, 1024, rng));
+    }
+    return identities;
+  }();
+  return pool->at(name);
+}
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest()
+      : network_(99),
+        rng_(std::uint64_t{1000}),
+        alice_id_(test_identity("alice")),
+        bob_id_(test_identity("bob")),
+        ttp_id_(test_identity("ttp")) {}
+
+  void spawn(ClientOptions options = ClientOptions{}) {
+    alice_ = std::make_unique<ClientActor>("alice", network_, alice_id_, rng_,
+                                           options);
+    bob_ = std::make_unique<ProviderActor>("bob", network_, bob_id_, rng_);
+    ttp_ = std::make_unique<TtpActor>("ttp", network_, ttp_id_, rng_);
+    alice_->trust_peer("bob", bob_id_.public_key());
+    alice_->trust_peer("ttp", ttp_id_.public_key());
+    bob_->trust_peer("alice", alice_id_.public_key());
+    bob_->trust_peer("ttp", ttp_id_.public_key());
+    ttp_->trust_peer("alice", alice_id_.public_key());
+    ttp_->trust_peer("bob", bob_id_.public_key());
+  }
+
+  net::Network network_;
+  crypto::Drbg rng_;
+  pki::Identity alice_id_;
+  pki::Identity bob_id_;
+  pki::Identity ttp_id_;
+  std::unique_ptr<ClientActor> alice_;
+  std::unique_ptr<ProviderActor> bob_;
+  std::unique_ptr<TtpActor> ttp_;
+};
+
+// --- Normal mode (Fig. 6(b)): two steps, no TTP ---------------------------
+
+TEST_F(ProtocolTest, NormalStoreCompletesInTwoMessages) {
+  spawn();
+  const Bytes data = to_bytes("company financial data");
+  const std::string txn = alice_->store("bob", "ttp", "ledger", data);
+  network_.run();
+
+  const auto* txn_state = alice_->transaction(txn);
+  ASSERT_NE(txn_state, nullptr);
+  EXPECT_EQ(txn_state->state, TxnState::kCompleted);
+
+  // Exactly two protocol messages: the store and the receipt.
+  EXPECT_EQ(alice_->stats().sent, 1u);
+  EXPECT_EQ(bob_->stats().sent, 1u);
+  EXPECT_EQ(ttp_->stats().received, 0u);  // off-line TTP: never contacted
+}
+
+TEST_F(ProtocolTest, BothSidesHoldVerifiableEvidenceAfterStore) {
+  spawn();
+  const Bytes data = to_bytes("payload");
+  const std::string txn = alice_->store("bob", "ttp", "obj", data);
+  network_.run();
+
+  // Alice holds the NRR, signed by Bob.
+  const auto nrr = alice_->present_nrr(txn);
+  ASSERT_TRUE(nrr.has_value());
+  EXPECT_TRUE(verify_evidence_signatures(bob_id_.public_key(), nrr->first,
+                                         nrr->second));
+  EXPECT_EQ(nrr->first.data_hash, crypto::sha256(data));
+
+  // Bob holds the NRO, signed by Alice.
+  const auto nro = bob_->present_nro(txn);
+  ASSERT_TRUE(nro.has_value());
+  EXPECT_TRUE(verify_evidence_signatures(alice_id_.public_key(), nro->first,
+                                         nro->second));
+  EXPECT_EQ(nro->first.data_hash, crypto::sha256(data));
+}
+
+TEST_F(ProtocolTest, StoredObjectLandsInProviderStore) {
+  spawn();
+  const Bytes data = to_bytes("bytes at rest");
+  const std::string txn = alice_->store("bob", "ttp", "obj-key", data);
+  network_.run();
+  const auto object = bob_->produce_object(txn);
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(*object, data);
+}
+
+TEST_F(ProtocolTest, FetchReturnsDataAndPassesIntegrity) {
+  spawn();
+  const Bytes data = to_bytes("round trip");
+  const std::string txn = alice_->store("bob", "ttp", "obj", data);
+  network_.run();
+  alice_->fetch(txn);
+  network_.run();
+
+  const auto* txn_state = alice_->transaction(txn);
+  ASSERT_NE(txn_state, nullptr);
+  EXPECT_TRUE(txn_state->fetched);
+  EXPECT_TRUE(txn_state->fetch_integrity_ok);
+  EXPECT_EQ(txn_state->fetched_data, data);
+}
+
+// The headline property: tampering INSIDE the store is detected at fetch,
+// because the upload and download sessions are bridged by signed evidence.
+TEST_F(ProtocolTest, InStoreTamperingIsDetectedOnFetch) {
+  spawn();
+  const Bytes data = to_bytes("honest bytes");
+  const std::string txn = alice_->store("bob", "ttp", "obj", data);
+  network_.run();
+  ASSERT_TRUE(bob_->tamper(txn, to_bytes("evil bytes")));
+
+  alice_->fetch(txn);
+  network_.run();
+  const auto* txn_state = alice_->transaction(txn);
+  ASSERT_NE(txn_state, nullptr);
+  EXPECT_TRUE(txn_state->fetched);
+  EXPECT_FALSE(txn_state->fetch_integrity_ok);
+  EXPECT_EQ(txn_state->fetched_data, to_bytes("evil bytes"));
+}
+
+TEST_F(ProtocolTest, MultipleConcurrentTransactions) {
+  spawn();
+  std::vector<std::string> txns;
+  for (int i = 0; i < 10; ++i) {
+    txns.push_back(alice_->store("bob", "ttp", "obj-" + std::to_string(i),
+                                 to_bytes("data-" + std::to_string(i))));
+  }
+  network_.run();
+  for (const auto& txn : txns) {
+    EXPECT_EQ(alice_->transaction(txn)->state, TxnState::kCompleted) << txn;
+  }
+}
+
+TEST_F(ProtocolTest, CorruptedPayloadInFlightIsRejected) {
+  spawn();
+  network_.set_adversary("alice", "bob", [](const net::Envelope& envelope) {
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kModify;
+    action.modified_payload = envelope.payload;
+    action.modified_payload[action.modified_payload.size() / 2] ^= 1;
+    return action;
+  });
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("some data"));
+  network_.run(3);  // deliver the (corrupted) store only
+  EXPECT_EQ(bob_->transaction(txn), nullptr);
+  EXPECT_GT(bob_->stats().rejected_bad_hash +
+                bob_->stats().rejected_bad_evidence,
+            0u);
+}
+
+// --- Abort mode (§4.2): off-line, two-party -------------------------------
+
+TEST_F(ProtocolTest, AbortAcceptedForPendingTransaction) {
+  spawn();
+  // Drop Bob's receipt so the transaction stays pending from Alice's view.
+  network_.set_adversary("bob", "alice", [](const net::Envelope&) {
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  const Bytes data = to_bytes("to be cancelled");
+  const std::string txn = alice_->store("bob", "ttp", "obj", data);
+  network_.run(1);  // deliver the store only; the receipt timer stays queued
+
+  network_.clear_adversary("bob", "alice");
+  alice_->abort(txn);
+  network_.run();
+
+  const auto* txn_state = alice_->transaction(txn);
+  ASSERT_NE(txn_state, nullptr);
+  EXPECT_EQ(txn_state->state, TxnState::kAborted);
+  // Alice holds a signed abort receipt.
+  ASSERT_TRUE(txn_state->abort_receipt.has_value());
+  EXPECT_TRUE(verify_evidence_signatures(bob_id_.public_key(),
+                                         *txn_state->abort_receipt_header,
+                                         *txn_state->abort_receipt));
+  // Bob deleted the object.
+  EXPECT_FALSE(bob_->produce_object(txn).has_value());
+  // No TTP involvement: "A TTP is not necessary to finish the abort."
+  EXPECT_EQ(ttp_->stats().received, 0u);
+}
+
+TEST_F(ProtocolTest, MalformedAbortGetsErrorReply) {
+  spawn();
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+
+  // Hand-craft an abort whose embedded header belongs to a different txn.
+  // (Reach into the wire format the same way an implementation bug would.)
+  network_.set_adversary("alice", "bob", [](const net::Envelope& envelope) {
+    NrMessage message = NrMessage::decode(envelope.payload);
+    if (message.header.flag != MsgType::kAbortRequest) {
+      return net::AdversaryAction{};
+    }
+    common::BinaryReader r(message.payload);
+    MessageHeader original = MessageHeader::decode(r.bytes());
+    const Bytes evidence = r.bytes();
+    original.txn_id = "txn-forged";
+    common::BinaryWriter w;
+    w.bytes(original.encode());
+    w.bytes(evidence);
+    message.payload = w.take();
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kModify;
+    action.modified_payload = message.encode();
+    return action;
+  });
+  alice_->abort(txn);
+  network_.run();
+  EXPECT_EQ(alice_->transaction(txn)->state, TxnState::kAbortErrored);
+}
+
+TEST_F(ProtocolTest, AbortOfUnknownTransactionStillAccepted) {
+  spawn();
+  // Store request never reaches Bob at all.
+  network_.set_adversary("alice", "bob", [](const net::Envelope& envelope) {
+    if (NrMessage::decode(envelope.payload).header.flag ==
+        MsgType::kStoreRequest) {
+      net::AdversaryAction action;
+      action.kind = net::AdversaryAction::Kind::kDrop;
+      return action;
+    }
+    return net::AdversaryAction{};
+  });
+  ClientOptions options;
+  options.auto_resolve = false;
+  spawn(options);
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("lost"));
+  network_.run(1);
+  alice_->abort(txn);
+  network_.run();
+  EXPECT_EQ(alice_->transaction(txn)->state, TxnState::kAborted);
+}
+
+// --- Resolve mode (Fig. 6(c)): in-line TTP --------------------------------
+
+TEST_F(ProtocolTest, ResolveRecoversReceiptWhenReceiptWasLost) {
+  spawn();
+  // Bob's direct receipt is lost in transit; everything else flows.
+  network_.set_adversary("bob", "alice", [](const net::Envelope&) {
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  const Bytes data = to_bytes("needs the TTP");
+  const std::string txn = alice_->store("bob", "ttp", "obj", data);
+  network_.run();
+
+  const auto* txn_state = alice_->transaction(txn);
+  ASSERT_NE(txn_state, nullptr);
+  EXPECT_EQ(txn_state->state, TxnState::kResolvedCompleted);
+  // The recovered NRR is genuine Bob evidence.
+  const auto nrr = alice_->present_nrr(txn);
+  ASSERT_TRUE(nrr.has_value());
+  EXPECT_TRUE(verify_evidence_signatures(bob_id_.public_key(), nrr->first,
+                                         nrr->second));
+  // TTP recorded the resolution.
+  const auto verdict = ttp_->verdict_for(txn);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->outcome, "continued");
+}
+
+TEST_F(ProtocolTest, ResolveAgainstSilentProviderYieldsSignedFailure) {
+  spawn();
+  ProviderBehavior behavior;
+  behavior.send_store_receipts = false;  // Bob withholds the NRR...
+  behavior.respond_to_resolve = false;   // ...and stonewalls the TTP
+  bob_->set_behavior(behavior);
+
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+
+  const auto* txn_state = alice_->transaction(txn);
+  ASSERT_NE(txn_state, nullptr);
+  EXPECT_EQ(txn_state->state, TxnState::kResolvedFailed);
+  // Alice holds the TTP's signed "no-response" statement — her protection.
+  EXPECT_FALSE(txn_state->ttp_statement.empty());
+  EXPECT_TRUE(pki::Identity::verify(ttp_id_.public_key(),
+                                    txn_state->ttp_statement,
+                                    txn_state->ttp_statement_signature));
+  const auto verdict = ttp_->verdict_for(txn);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->outcome, "no-response");
+}
+
+TEST_F(ProtocolTest, ResolveWithForgedHeaderIsRejectedByTtp) {
+  spawn();
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+
+  // Mallory (who is not Alice) asks the TTP to resolve Alice's transaction.
+  // The TTP requires the initiator's signature over the original header.
+  network_.set_adversary("alice", "ttp", [](const net::Envelope& envelope) {
+    NrMessage message = NrMessage::decode(envelope.payload);
+    common::BinaryReader r(message.payload);
+    const std::string respondent = r.str();
+    const std::string report = r.str();
+    Bytes header_bytes = r.bytes();
+    Bytes signature = r.bytes();
+    const Bytes evidence = r.bytes();
+    signature[0] ^= 1;  // break the genuineness proof
+    common::BinaryWriter w;
+    w.str(respondent);
+    w.str(report);
+    w.bytes(header_bytes);
+    w.bytes(signature);
+    w.bytes(evidence);
+    message.payload = w.take();
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kModify;
+    action.modified_payload = message.encode();
+    return action;
+  });
+  alice_->resolve(txn, "spurious");
+  network_.run();
+
+  const auto verdict = ttp_->verdict_for(txn);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->outcome, "invalid-request");
+}
+
+TEST_F(ProtocolTest, TimedOutWithoutTtpMarksTimedOut) {
+  ClientOptions options;
+  options.auto_resolve = false;
+  spawn(options);
+  ProviderBehavior behavior;
+  behavior.send_store_receipts = false;
+  bob_->set_behavior(behavior);
+
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+  EXPECT_EQ(alice_->transaction(txn)->state, TxnState::kTimedOut);
+}
+
+// --- message-format mechanics ---------------------------------------------
+
+TEST(NrMessageTest, HeaderEncodeDecodeRoundTrip) {
+  MessageHeader h;
+  h.flag = MsgType::kResolveQuery;
+  h.sender = "alice";
+  h.recipient = "bob";
+  h.ttp = "ttp";
+  h.txn_id = "txn-00ff";
+  h.seq_no = 42;
+  h.nonce = common::from_hex("00112233445566778899aabbccddeeff");
+  h.time_limit = 123456789;
+  h.data_hash = crypto::sha256(to_bytes("x"));
+
+  const MessageHeader decoded = MessageHeader::decode(h.encode());
+  EXPECT_EQ(decoded.flag, MsgType::kResolveQuery);
+  EXPECT_EQ(decoded.sender, "alice");
+  EXPECT_EQ(decoded.recipient, "bob");
+  EXPECT_EQ(decoded.ttp, "ttp");
+  EXPECT_EQ(decoded.txn_id, "txn-00ff");
+  EXPECT_EQ(decoded.seq_no, 42u);
+  EXPECT_EQ(decoded.nonce, h.nonce);
+  EXPECT_EQ(decoded.time_limit, 123456789);
+  EXPECT_EQ(decoded.data_hash, h.data_hash);
+}
+
+TEST(NrMessageTest, MessageEncodeDecodeRoundTrip) {
+  NrMessage m;
+  m.header.flag = MsgType::kStoreRequest;
+  m.header.sender = "alice";
+  m.header.recipient = "bob";
+  m.payload = to_bytes("payload");
+  m.evidence = to_bytes("evidence-blob");
+  const NrMessage decoded = NrMessage::decode(m.encode());
+  EXPECT_EQ(decoded.header.sender, "alice");
+  EXPECT_EQ(decoded.payload, m.payload);
+  EXPECT_EQ(decoded.evidence, m.evidence);
+}
+
+TEST(NrMessageTest, TruncatedMessageThrows) {
+  NrMessage m;
+  m.payload = to_bytes("payload");
+  Bytes encoded = m.encode();
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW(NrMessage::decode(encoded), common::SerialError);
+}
+
+TEST(NrMessageTest, TypeNames) {
+  EXPECT_EQ(msg_type_name(MsgType::kStoreRequest), "store-request");
+  EXPECT_EQ(msg_type_name(MsgType::kResolveVerdict), "resolve-verdict");
+  EXPECT_EQ(msg_type_name(MsgType::kAbortError), "abort-error");
+  EXPECT_EQ(msg_type_name(MsgType::kChunkRequest), "chunk-request");
+}
+
+// --- Bob-initiated Resolve (§4.3, last paragraph) --------------------------
+
+TEST_F(ProtocolTest, ProviderResolveObtainsClientAcknowledgment) {
+  spawn();
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+  ASSERT_EQ(alice_->transaction(txn)->state, TxnState::kCompleted);
+
+  // Bob did not hear anything after his NRR; he asks the TTP.
+  bob_->resolve(txn, "ttp");
+  network_.run();
+
+  const auto* record = bob_->transaction(txn);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->client_acknowledged);
+  // The acknowledgment is the client's signature over Bob's receipt header
+  // — transferable evidence that Alice received the NRR.
+  ASSERT_TRUE(record->receipt_header.has_value());
+  EXPECT_TRUE(pki::Identity::verify(alice_id_.public_key(),
+                                    record->receipt_header->encode(),
+                                    record->ack_signature));
+  const auto verdict = ttp_->verdict_for(txn);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->outcome, "continued");
+}
+
+TEST_F(ProtocolTest, ProviderResolveAgainstSilentClientYieldsTtpStatement) {
+  spawn();
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+
+  // Alice goes dark: drop everything the TTP sends her.
+  network_.set_adversary("ttp", "alice", [](const net::Envelope&) {
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  bob_->resolve(txn, "ttp");
+  network_.run();
+
+  const auto* record = bob_->transaction(txn);
+  ASSERT_NE(record, nullptr);
+  EXPECT_FALSE(record->client_acknowledged);
+  // Bob holds the TTP's signed no-response statement — his protection.
+  EXPECT_FALSE(record->ttp_statement.empty());
+  EXPECT_TRUE(pki::Identity::verify(ttp_id_.public_key(),
+                                    record->ttp_statement,
+                                    record->ttp_statement_signature));
+}
+
+TEST_F(ProtocolTest, ClientAnswersRestartWhenReceiptNeverArrived) {
+  // Alice does not escalate on her own (auto_resolve off); Bob's receipt is
+  // lost; Bob then resolves and learns Alice never got it.
+  ClientOptions options;
+  options.auto_resolve = false;
+  spawn(options);
+  network_.set_adversary("bob", "alice", [](const net::Envelope&) {
+    net::AdversaryAction action;
+    action.kind = net::AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  const std::string txn =
+      alice_->store("bob", "ttp", "obj", to_bytes("data"));
+  network_.run();
+
+  bob_->resolve(txn, "ttp");
+  network_.run();
+  const auto verdict = ttp_->verdict_for(txn);
+  ASSERT_TRUE(verdict.has_value());
+  // Alice answered the TTP truthfully: she has no receipt -> restart.
+  EXPECT_EQ(verdict->outcome, "restart");
+  EXPECT_FALSE(bob_->transaction(txn)->client_acknowledged);
+}
+
+}  // namespace
+}  // namespace tpnr::nr

@@ -1,0 +1,207 @@
+// Multi-provider replication: per-replica evidence, faulty-replica
+// identification, and repair.
+#include "nr/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "nr/arbitrator.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+
+namespace tpnr::nr {
+namespace {
+
+using common::to_bytes;
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  static const pki::Identity& pooled(const std::string& name) {
+    static const auto* pool = [] {
+      auto* identities = new std::map<std::string, pki::Identity>();
+      crypto::Drbg rng(std::uint64_t{424242});
+      for (const char* id : {"alice", "bob-1", "bob-2", "bob-3", "ttp"}) {
+        identities->emplace(id, pki::Identity(id, 1024, rng));
+      }
+      return identities;
+    }();
+    return pool->at(name);
+  }
+
+  ReplicationTest()
+      : network_(11),
+        rng_(std::uint64_t{12}),
+        alice_id_(pooled("alice")),
+        ttp_id_(pooled("ttp")),
+        alice_("alice", network_, alice_id_, rng_),
+        ttp_("ttp", network_, ttp_id_, rng_) {
+    alice_.trust_peer("ttp", ttp_id_.public_key());
+    ttp_.trust_peer("alice", alice_id_.public_key());
+    for (const std::string name : {"bob-1", "bob-2", "bob-3"}) {
+      auto provider = std::make_unique<ProviderActor>(
+          name, network_, const_cast<pki::Identity&>(pooled(name)), rng_);
+      provider->trust_peer("alice", alice_id_.public_key());
+      provider->trust_peer("ttp", ttp_id_.public_key());
+      alice_.trust_peer(name, pooled(name).public_key());
+      ttp_.trust_peer(name, pooled(name).public_key());
+      providers_[name] = std::move(provider);
+    }
+    coordinator_ = std::make_unique<ReplicationCoordinator>(
+        alice_, std::vector<std::string>{"bob-1", "bob-2", "bob-3"}, "ttp");
+  }
+
+  net::Network network_;
+  crypto::Drbg rng_;
+  pki::Identity alice_id_;
+  pki::Identity ttp_id_;
+  ClientActor alice_;
+  TtpActor ttp_;
+  std::map<std::string, std::unique_ptr<ProviderActor>> providers_;
+  std::unique_ptr<ReplicationCoordinator> coordinator_;
+};
+
+TEST_F(ReplicationTest, StoreCollectsReceiptFromEveryReplica) {
+  const std::string group =
+      coordinator_->store_replicated("ledger", to_bytes("replicated data"));
+  network_.run();
+  const GroupStatus status = coordinator_->status(group);
+  EXPECT_EQ(status.replicas, 3u);
+  EXPECT_EQ(status.acknowledged, 3u);
+}
+
+TEST_F(ReplicationTest, FetchAllReportsHealthyReplicas) {
+  const std::string group =
+      coordinator_->store_replicated("ledger", to_bytes("replicated data"));
+  network_.run();
+  coordinator_->fetch_all(group);
+  network_.run();
+  const GroupStatus status = coordinator_->status(group);
+  EXPECT_EQ(status.healthy, 3u);
+  EXPECT_EQ(status.faulty, 0u);
+}
+
+TEST_F(ReplicationTest, TamperingReplicaIsIdentified) {
+  const common::Bytes data = to_bytes("the good copy");
+  const std::string group = coordinator_->store_replicated("ledger", data);
+  network_.run();
+
+  // bob-2 tampers.
+  const auto* txns = coordinator_->transactions(group);
+  ASSERT_NE(txns, nullptr);
+  ASSERT_TRUE(providers_.at("bob-2")->tamper(txns->at("bob-2"),
+                                             to_bytes("the bad copy!")));
+  coordinator_->fetch_all(group);
+  network_.run();
+
+  const GroupStatus status = coordinator_->status(group);
+  EXPECT_EQ(status.healthy, 2u);
+  EXPECT_EQ(status.faulty, 1u);
+  for (const ReplicaReport& replica : coordinator_->report(group)) {
+    EXPECT_EQ(replica.integrity_ok, replica.provider != "bob-2")
+        << replica.provider;
+  }
+}
+
+TEST_F(ReplicationTest, FaultyReplicaLosesArbitration) {
+  const common::Bytes data = to_bytes("the good copy");
+  const std::string group = coordinator_->store_replicated("ledger", data);
+  network_.run();
+  const auto* txns = coordinator_->transactions(group);
+  providers_.at("bob-2")->tamper(txns->at("bob-2"), to_bytes("bad"));
+
+  DisputeCase dispute;
+  dispute.txn_id = txns->at("bob-2");
+  dispute.alice_key = alice_id_.public_key();
+  dispute.bob_key = pooled("bob-2").public_key();
+  dispute.alice_nrr = alice_.present_nrr(txns->at("bob-2"));
+  dispute.bob_nro = providers_.at("bob-2")->present_nro(txns->at("bob-2"));
+  dispute.current_data =
+      providers_.at("bob-2")->produce_object(txns->at("bob-2"));
+  dispute.user_claims_tamper = true;
+  EXPECT_EQ(Arbitrator::arbitrate(dispute).kind, RulingKind::kProviderFault);
+}
+
+TEST_F(ReplicationTest, HealthyCopySurvivesMinorityTampering) {
+  const common::Bytes data = to_bytes("survivable data");
+  const std::string group = coordinator_->store_replicated("ledger", data);
+  network_.run();
+  const auto* txns = coordinator_->transactions(group);
+  providers_.at("bob-1")->tamper(txns->at("bob-1"), to_bytes("junk-1"));
+  providers_.at("bob-3")->tamper(txns->at("bob-3"), to_bytes("junk-3"));
+  coordinator_->fetch_all(group);
+  network_.run();
+
+  const auto copy = coordinator_->healthy_copy(group);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(*copy, data);
+}
+
+TEST_F(ReplicationTest, NoHealthyCopyWhenAllTampered) {
+  const std::string group =
+      coordinator_->store_replicated("ledger", to_bytes("doomed"));
+  network_.run();
+  const auto* txns = coordinator_->transactions(group);
+  for (const auto& [provider, txn] : *txns) {
+    providers_.at(provider)->tamper(txn, to_bytes("junk"));
+  }
+  coordinator_->fetch_all(group);
+  network_.run();
+  EXPECT_FALSE(coordinator_->healthy_copy(group).has_value());
+  EXPECT_THROW(coordinator_->repair(group), common::ProtocolError);
+}
+
+TEST_F(ReplicationTest, RepairRestoresFaultyReplica) {
+  const common::Bytes data = to_bytes("repairable data");
+  const std::string group = coordinator_->store_replicated("ledger", data);
+  network_.run();
+  const auto* txns = coordinator_->transactions(group);
+  const std::string old_txn = txns->at("bob-2");  // repair() rewrites the map
+  providers_.at("bob-2")->tamper(old_txn, to_bytes("bad"));
+  coordinator_->fetch_all(group);
+  network_.run();
+
+  EXPECT_EQ(coordinator_->repair(group), 1u);
+  network_.run();
+
+  // Fetch again: all replicas healthy.
+  coordinator_->fetch_all(group);
+  network_.run();
+  const GroupStatus status = coordinator_->status(group);
+  EXPECT_EQ(status.healthy, 3u);
+  EXPECT_EQ(status.faulty, 0u);
+
+  // The repaired replica really holds the good bytes, under NEW evidence.
+  const auto* new_txns = coordinator_->transactions(group);
+  EXPECT_NE(new_txns->at("bob-2"), old_txn);
+  EXPECT_EQ(providers_.at("bob-2")->produce_object(new_txns->at("bob-2")),
+            data);
+}
+
+TEST_F(ReplicationTest, UnresponsiveReplicaCountedSeparately) {
+  ProviderBehavior silent;
+  silent.send_store_receipts = false;
+  silent.respond_to_resolve = false;
+  silent.respond_to_fetch = false;
+  providers_.at("bob-3")->set_behavior(silent);
+
+  const std::string group =
+      coordinator_->store_replicated("ledger", to_bytes("data"));
+  network_.run();
+  const GroupStatus status = coordinator_->status(group);
+  EXPECT_EQ(status.acknowledged, 2u);
+
+  coordinator_->fetch_all(group);
+  network_.run();
+  const GroupStatus after = coordinator_->status(group);
+  EXPECT_EQ(after.healthy, 2u);
+  EXPECT_GE(after.unresponsive, 1u);
+}
+
+TEST_F(ReplicationTest, EmptyProviderListRejected) {
+  EXPECT_THROW(
+      ReplicationCoordinator(alice_, std::vector<std::string>{}, "ttp"),
+      common::ProtocolError);
+}
+
+}  // namespace
+}  // namespace tpnr::nr

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "pki/authority.h"
+#include "pki/certificate.h"
+#include "common/error.h"
+#include "pki/identity.h"
+
+namespace tpnr::pki {
+namespace {
+
+using common::kHour;
+using common::to_bytes;
+
+class PkiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new crypto::Drbg(std::uint64_t{777});
+    ca_ = new CertificateAuthority("root-ca", 1024, *rng_);
+    alice_ = new Identity("alice", 1024, *rng_);
+    bob_ = new Identity("bob", 1024, *rng_);
+  }
+  static void TearDownTestSuite() {
+    delete alice_;
+    delete bob_;
+    delete ca_;
+    delete rng_;
+  }
+
+  static crypto::Drbg* rng_;
+  static CertificateAuthority* ca_;
+  static Identity* alice_;
+  static Identity* bob_;
+};
+
+crypto::Drbg* PkiTest::rng_ = nullptr;
+CertificateAuthority* PkiTest::ca_ = nullptr;
+Identity* PkiTest::alice_ = nullptr;
+Identity* PkiTest::bob_ = nullptr;
+
+TEST_F(PkiTest, IssuedCertificateValidates) {
+  const Certificate cert = ca_->issue("alice", alice_->public_key(), 0, kHour);
+  EXPECT_EQ(ca_->check(cert, 0), CertStatus::kValid);
+  EXPECT_EQ(ca_->check(cert, kHour), CertStatus::kValid);
+  EXPECT_TRUE(cert.verify_signature(ca_->public_key()));
+}
+
+TEST_F(PkiTest, ExpiryAndNotYetValidWindows) {
+  const Certificate cert =
+      ca_->issue("alice", alice_->public_key(), kHour, kHour);
+  EXPECT_EQ(ca_->check(cert, 0), CertStatus::kNotYetValid);
+  EXPECT_EQ(ca_->check(cert, kHour + 1), CertStatus::kValid);
+  EXPECT_EQ(ca_->check(cert, 3 * kHour), CertStatus::kExpired);
+}
+
+TEST_F(PkiTest, RevocationIsChecked) {
+  const Certificate cert = ca_->issue("bob", bob_->public_key(), 0, kHour);
+  EXPECT_EQ(ca_->check(cert, 0), CertStatus::kValid);
+  ca_->revoke(cert.serial);
+  EXPECT_EQ(ca_->check(cert, 0), CertStatus::kRevoked);
+  EXPECT_TRUE(ca_->is_revoked(cert.serial));
+}
+
+TEST_F(PkiTest, TamperedCertificateFails) {
+  Certificate cert = ca_->issue("alice", alice_->public_key(), 0, kHour);
+  cert.subject = "mallory";  // rebind to another subject
+  EXPECT_EQ(ca_->check(cert, 0), CertStatus::kBadSignature);
+}
+
+TEST_F(PkiTest, KeySubstitutionInCertificateFails) {
+  Certificate cert = ca_->issue("alice", alice_->public_key(), 0, kHour);
+  cert.subject_key = bob_->public_key();
+  EXPECT_EQ(ca_->check(cert, 0), CertStatus::kBadSignature);
+}
+
+TEST_F(PkiTest, WrongIssuerRejected) {
+  crypto::Drbg other_rng(std::uint64_t{99});
+  CertificateAuthority other_ca("other-ca", 1024, other_rng);
+  const Certificate cert =
+      other_ca.issue("alice", alice_->public_key(), 0, kHour);
+  EXPECT_EQ(ca_->check(cert, 0), CertStatus::kUnknownIssuer);
+}
+
+TEST_F(PkiTest, ForgedCaSameNameRejected) {
+  // Mallory runs a CA claiming the same name; its signatures must not
+  // verify against the real CA's key. This is the §5.1 MITM core.
+  crypto::Drbg mallory_rng(std::uint64_t{666});
+  CertificateAuthority fake_ca("root-ca", 1024, mallory_rng);
+  const Certificate forged = fake_ca.issue("bob", bob_->public_key(), 0, kHour);
+  EXPECT_EQ(ca_->check(forged, 0), CertStatus::kBadSignature);
+}
+
+TEST_F(PkiTest, CertificateEncodeDecodeRoundTrip) {
+  const Certificate cert = ca_->issue("alice", alice_->public_key(), 5, kHour);
+  const Certificate decoded = Certificate::decode(cert.encode());
+  EXPECT_EQ(decoded.serial, cert.serial);
+  EXPECT_EQ(decoded.subject, "alice");
+  EXPECT_EQ(decoded.issuer, "root-ca");
+  EXPECT_EQ(decoded.valid_from, 5);
+  EXPECT_EQ(decoded.signature, cert.signature);
+  EXPECT_TRUE(decoded.verify_signature(ca_->public_key()));
+}
+
+TEST_F(PkiTest, SerialsAreUnique) {
+  const Certificate a = ca_->issue("alice", alice_->public_key(), 0, kHour);
+  const Certificate b = ca_->issue("bob", bob_->public_key(), 0, kHour);
+  EXPECT_NE(a.serial, b.serial);
+}
+
+TEST_F(PkiTest, IdentitySignVerify) {
+  const auto msg = to_bytes("hash of data");
+  const auto sig = alice_->sign(msg);
+  EXPECT_TRUE(Identity::verify(alice_->public_key(), msg, sig));
+  EXPECT_FALSE(Identity::verify(bob_->public_key(), msg, sig));
+}
+
+TEST_F(PkiTest, IdentitySealUnseal) {
+  const auto msg = to_bytes("for bob's eyes only");
+  const auto sealed = Identity::seal_for(bob_->public_key(), msg, *rng_);
+  EXPECT_EQ(bob_->unseal(sealed), msg);
+  EXPECT_THROW(alice_->unseal(sealed), common::CryptoError);
+}
+
+TEST_F(PkiTest, RegistryReturnsOnlyAuthenticatedKeys) {
+  KeyRegistry registry(*ca_);
+  EXPECT_FALSE(registry.authenticated_key("alice", 0).has_value());
+
+  registry.enroll(ca_->issue("alice", alice_->public_key(), 0, kHour));
+  const auto key = registry.authenticated_key("alice", 0);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->fingerprint(), alice_->public_key().fingerprint());
+
+  // Expired certificate -> no key.
+  EXPECT_FALSE(registry.authenticated_key("alice", 3 * kHour).has_value());
+}
+
+TEST_F(PkiTest, RegistryRejectsForgedEnrollment) {
+  KeyRegistry registry(*ca_);
+  crypto::Drbg mallory_rng(std::uint64_t{31337});
+  CertificateAuthority fake_ca("root-ca", 1024, mallory_rng);
+  registry.enroll(fake_ca.issue("bob", alice_->public_key(), 0, kHour));
+  EXPECT_FALSE(registry.authenticated_key("bob", 0).has_value());
+}
+
+TEST_F(PkiTest, RegistryRevocationPropagates) {
+  KeyRegistry registry(*ca_);
+  const Certificate cert = ca_->issue("bob", bob_->public_key(), 0, kHour);
+  registry.enroll(cert);
+  ASSERT_TRUE(registry.authenticated_key("bob", 0).has_value());
+  ca_->revoke(cert.serial);
+  EXPECT_FALSE(registry.authenticated_key("bob", 0).has_value());
+}
+
+TEST_F(PkiTest, CertStatusNames) {
+  EXPECT_EQ(cert_status_name(CertStatus::kValid), "valid");
+  EXPECT_EQ(cert_status_name(CertStatus::kRevoked), "revoked");
+  EXPECT_EQ(cert_status_name(CertStatus::kExpired), "expired");
+}
+
+}  // namespace
+}  // namespace tpnr::pki

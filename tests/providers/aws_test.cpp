@@ -1,0 +1,204 @@
+#include "providers/aws_import_export.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.h"
+
+namespace tpnr::providers {
+namespace {
+
+using common::to_bytes;
+
+class AwsTest : public ::testing::Test {
+ protected:
+  AwsTest() : service_(clock_, /*shipping_transit=*/2 * common::kHour) {
+    secret_ = service_.register_user("AKIAEXAMPLE", rng_);
+  }
+
+  Manifest make_manifest(const std::string& operation) {
+    Manifest manifest;
+    manifest.access_key_id = "AKIAEXAMPLE";
+    manifest.device_id = "dev-42";
+    manifest.destination = "backups";
+    manifest.operation = operation;
+    manifest.return_address = "1 Main St";
+    return manifest;
+  }
+
+  common::SimClock clock_;
+  AwsImportExport service_{clock_};
+  crypto::Drbg rng_{std::uint64_t{5}};
+  Bytes secret_;
+};
+
+TEST_F(AwsTest, ManifestEncodeDecodeRoundTrip) {
+  const Manifest manifest = make_manifest("import");
+  const Manifest decoded = Manifest::decode(manifest.encode());
+  EXPECT_EQ(decoded.access_key_id, "AKIAEXAMPLE");
+  EXPECT_EQ(decoded.device_id, "dev-42");
+  EXPECT_EQ(decoded.destination, "backups");
+  EXPECT_EQ(decoded.operation, "import");
+}
+
+TEST_F(AwsTest, CreateJobValidatesManifestSignature) {
+  const Manifest manifest = make_manifest("import");
+  const Bytes good_sig = crypto::hmac_sha256(secret_, manifest.encode());
+  const auto job = service_.create_job(manifest, good_sig);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->rfind("job-", 0), 0u);
+
+  Bytes bad_sig = good_sig;
+  bad_sig[0] ^= 1;
+  EXPECT_FALSE(service_.create_job(manifest, bad_sig).has_value());
+}
+
+TEST_F(AwsTest, CreateJobRejectsUnknownUser) {
+  Manifest manifest = make_manifest("import");
+  manifest.access_key_id = "UNKNOWN";
+  EXPECT_FALSE(service_.create_job(manifest, Bytes(32, 0)).has_value());
+}
+
+// The full Fig. 2 import flow: manifest -> job id -> shipped device ->
+// validation -> copy -> e-mailed report with recomputed MD5s + S3 log.
+TEST_F(AwsTest, Fig2ImportFlow) {
+  const Manifest manifest = make_manifest("import");
+  const auto job = service_.create_job(
+      manifest, crypto::hmac_sha256(secret_, manifest.encode()));
+  ASSERT_TRUE(job.has_value());
+
+  Device device;
+  device["photos/1.jpg"] = to_bytes("jpeg-bytes-1");
+  device["photos/2.jpg"] = to_bytes("jpeg-bytes-2");
+
+  SignatureFile signature_file;
+  signature_file.job_id = *job;
+  signature_file.signature = AwsImportExport::sign_job(secret_, *job, manifest);
+
+  const common::SimTime before = clock_.now();
+  const JobReport report =
+      service_.receive_device(*job, device, signature_file);
+  ASSERT_TRUE(report.ok) << report.detail;
+
+  // Shipping took simulated transit time.
+  EXPECT_EQ(clock_.now() - before, 2 * common::kHour);
+
+  // Per-file entries with provider-recomputed MD5s.
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0].key, "photos/1.jpg");
+  EXPECT_EQ(report.entries[0].bytes, 12u);
+  EXPECT_EQ(report.entries[0].md5, crypto::md5(to_bytes("jpeg-bytes-1")));
+
+  // Data landed in the destination bucket, and the import log exists.
+  EXPECT_TRUE(service_.bucket_store().exists("backups/photos/1.jpg"));
+  EXPECT_TRUE(service_.bucket_store().exists(report.log_location));
+}
+
+TEST_F(AwsTest, ReceiveDeviceRejectsBadSignatureFile) {
+  const Manifest manifest = make_manifest("import");
+  const auto job = service_.create_job(
+      manifest, crypto::hmac_sha256(secret_, manifest.encode()));
+  ASSERT_TRUE(job.has_value());
+
+  SignatureFile bad;
+  bad.job_id = *job;
+  bad.signature = Bytes(32, 0xee);
+  const JobReport report = service_.receive_device(*job, {{"f", {}}}, bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.detail, "signature file validation failed");
+}
+
+TEST_F(AwsTest, ReceiveDeviceRejectsWrongJobId) {
+  const Manifest manifest = make_manifest("import");
+  const auto job = service_.create_job(
+      manifest, crypto::hmac_sha256(secret_, manifest.encode()));
+  ASSERT_TRUE(job.has_value());
+  SignatureFile mismatched;
+  mismatched.job_id = "job-999";
+  mismatched.signature =
+      AwsImportExport::sign_job(secret_, "job-999", manifest);
+  EXPECT_FALSE(service_.receive_device(*job, {}, mismatched).ok);
+}
+
+TEST_F(AwsTest, ReceiveDeviceUnknownJob) {
+  SignatureFile signature_file;
+  signature_file.job_id = "job-404";
+  EXPECT_EQ(service_.receive_device("job-404", {}, signature_file).detail,
+            "unknown job");
+}
+
+TEST_F(AwsTest, ExportFlowShipsDataBackWithFreshMd5) {
+  // Seed the bucket via an import.
+  const Manifest import_manifest = make_manifest("import");
+  const auto import_job = service_.create_job(
+      import_manifest, crypto::hmac_sha256(secret_, import_manifest.encode()));
+  SignatureFile import_sig;
+  import_sig.job_id = *import_job;
+  import_sig.signature =
+      AwsImportExport::sign_job(secret_, *import_job, import_manifest);
+  ASSERT_TRUE(service_
+                  .receive_device(*import_job,
+                                  {{"db.bak", to_bytes("backup-bytes")}},
+                                  import_sig)
+                  .ok);
+
+  const Manifest export_manifest = make_manifest("export");
+  const auto export_job = service_.create_job(
+      export_manifest, crypto::hmac_sha256(secret_, export_manifest.encode()));
+  ASSERT_TRUE(export_job.has_value());
+  SignatureFile export_sig;
+  export_sig.job_id = *export_job;
+  export_sig.signature =
+      AwsImportExport::sign_job(secret_, *export_job, export_manifest);
+
+  const auto result = service_.serve_export(*export_job, export_sig);
+  ASSERT_TRUE(result.report.ok) << result.report.detail;
+  ASSERT_TRUE(result.device.contains("db.bak"));
+  EXPECT_EQ(result.device.at("db.bak"), to_bytes("backup-bytes"));
+
+  bool found = false;
+  for (const auto& entry : result.report.entries) {
+    if (entry.key == "db.bak") {
+      found = true;
+      EXPECT_EQ(entry.md5, crypto::md5(to_bytes("backup-bytes")));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// §2.4 / Fig. 5: AWS recomputes the MD5 at download time, so after silent
+// tampering the returned checksum MATCHES the tampered data — the check
+// passes and the corruption goes unnoticed.
+TEST_F(AwsTest, RecomputedMd5MasksTampering) {
+  const Bytes data = to_bytes("original payload");
+  ASSERT_TRUE(service_.upload("AKIAEXAMPLE", "obj", data, crypto::md5(data))
+                  .accepted);
+  ASSERT_TRUE(service_.tamper("obj", to_bytes("tampered payload")));
+
+  const DownloadResult result = service_.download("AKIAEXAMPLE", "obj");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.md5_source, Md5Source::kRecomputed);
+  // The checksum is self-consistent with the (tampered) data...
+  EXPECT_EQ(result.md5_returned, crypto::md5(result.data));
+  // ...so a client checking data-vs-checksum sees NO error, yet:
+  EXPECT_NE(result.data, data);
+}
+
+TEST_F(AwsTest, UploadVerifiesMd5) {
+  EXPECT_FALSE(service_
+                   .upload("AKIAEXAMPLE", "obj", to_bytes("data"),
+                           crypto::md5(to_bytes("other")))
+                   .accepted);
+  EXPECT_FALSE(service_
+                   .upload("ghost", "obj", to_bytes("data"),
+                           crypto::md5(to_bytes("data")))
+                   .accepted);
+}
+
+TEST_F(AwsTest, DownloadMissingObject) {
+  const DownloadResult result = service_.download("AKIAEXAMPLE", "absent");
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.detail, "no such object");
+}
+
+}  // namespace
+}  // namespace tpnr::providers

@@ -1,0 +1,133 @@
+// Block-blob staging and commit — the operation Table 1's
+// "comp=block&blockid=blockid1" request performs.
+#include <gtest/gtest.h>
+
+#include "common/base64.h"
+#include "crypto/hash.h"
+#include "providers/azure_rest.h"
+
+namespace tpnr::providers {
+namespace {
+
+using common::to_bytes;
+
+class AzureBlocksTest : public ::testing::Test {
+ protected:
+  AzureBlocksTest() : service_(clock_) {
+    service_.create_account("jerry", rng_);
+  }
+
+  common::SimClock clock_;
+  AzureRestService service_{clock_};
+  crypto::Drbg rng_{std::uint64_t{0xb10c}};
+};
+
+TEST_F(AzureBlocksTest, StageAndCommitAssemblesInOrder) {
+  EXPECT_EQ(service_.put_block("jerry", "video", "b1", to_bytes("AAAA")).status,
+            201);
+  EXPECT_EQ(service_.put_block("jerry", "video", "b2", to_bytes("BBBB")).status,
+            201);
+  EXPECT_EQ(service_.put_block("jerry", "video", "b3", to_bytes("CC")).status,
+            201);
+
+  // Commit in a different order than staged.
+  const RestResponse commit =
+      service_.put_block_list("jerry", "video", {"b3", "b1", "b2"});
+  ASSERT_EQ(commit.status, 201);
+
+  const auto record = service_.blob_store().get("/jerry/video");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->data, to_bytes("CCAAAABBBB"));
+  EXPECT_EQ(commit.headers.at("content-md5"),
+            common::base64_encode(crypto::md5(record->data)));
+}
+
+TEST_F(AzureBlocksTest, CommitClearsStagingArea) {
+  service_.put_block("jerry", "doc", "b1", to_bytes("x"));
+  EXPECT_EQ(service_.uncommitted_blocks("jerry", "doc").size(), 1u);
+  service_.put_block_list("jerry", "doc", {"b1"});
+  EXPECT_TRUE(service_.uncommitted_blocks("jerry", "doc").empty());
+}
+
+TEST_F(AzureBlocksTest, CommitOfUnstagedBlockRejected) {
+  service_.put_block("jerry", "doc", "b1", to_bytes("x"));
+  const RestResponse response =
+      service_.put_block_list("jerry", "doc", {"b1", "ghost"});
+  EXPECT_EQ(response.status, 400);
+  // Nothing committed on failure.
+  EXPECT_FALSE(service_.blob_store().exists("/jerry/doc"));
+  EXPECT_EQ(service_.uncommitted_blocks("jerry", "doc").size(), 1u);
+}
+
+TEST_F(AzureBlocksTest, RestagingABlockReplacesIt) {
+  service_.put_block("jerry", "doc", "b1", to_bytes("old"));
+  service_.put_block("jerry", "doc", "b1", to_bytes("new"));
+  service_.put_block_list("jerry", "doc", {"b1"});
+  EXPECT_EQ(service_.blob_store().get("/jerry/doc")->data, to_bytes("new"));
+}
+
+TEST_F(AzureBlocksTest, BlockCanBeReusedWithinOneCommit) {
+  service_.put_block("jerry", "doc", "b1", to_bytes("ab"));
+  service_.put_block_list("jerry", "doc", {"b1", "b1", "b1"});
+  EXPECT_EQ(service_.blob_store().get("/jerry/doc")->data,
+            to_bytes("ababab"));
+}
+
+TEST_F(AzureBlocksTest, EmptyBlockListMakesEmptyBlob) {
+  EXPECT_EQ(service_.put_block_list("jerry", "empty", {}).status, 201);
+  const auto record = service_.blob_store().get("/jerry/empty");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->data.empty());
+}
+
+TEST_F(AzureBlocksTest, BadBlockIdsRejected) {
+  EXPECT_EQ(service_.put_block("jerry", "doc", "", to_bytes("x")).status, 400);
+  EXPECT_EQ(service_.put_block("jerry", "doc", std::string(65, 'a'),
+                               to_bytes("x")).status,
+            400);
+}
+
+TEST_F(AzureBlocksTest, UnknownAccountRejected) {
+  EXPECT_EQ(service_.put_block("ghost", "doc", "b1", to_bytes("x")).status,
+            403);
+  EXPECT_EQ(service_.put_block_list("ghost", "doc", {"b1"}).status, 403);
+}
+
+TEST_F(AzureBlocksTest, SizeLimitAppliesToAssembly) {
+  AzureLimits limits;
+  limits.max_blob_bytes = 6;
+  AzureRestService tiny(clock_, limits);
+  crypto::Drbg rng(std::uint64_t{1});
+  tiny.create_account("jerry", rng);
+  tiny.put_block("jerry", "doc", "b1", to_bytes("AAAA"));
+  tiny.put_block("jerry", "doc", "b2", to_bytes("BBBB"));
+  EXPECT_EQ(tiny.put_block_list("jerry", "doc", {"b1", "b2"}).status, 400);
+  EXPECT_EQ(tiny.put_block_list("jerry", "doc", {"b1"}).status, 201);
+}
+
+TEST_F(AzureBlocksTest, StagingIsPerBlob) {
+  service_.put_block("jerry", "doc-a", "b1", to_bytes("a"));
+  service_.put_block("jerry", "doc-b", "b1", to_bytes("b"));
+  service_.put_block_list("jerry", "doc-a", {"b1"});
+  EXPECT_EQ(service_.blob_store().get("/jerry/doc-a")->data, to_bytes("a"));
+  EXPECT_EQ(service_.uncommitted_blocks("jerry", "doc-b").size(), 1u);
+}
+
+TEST_F(AzureBlocksTest, CommittedBlobReadableThroughRestGet) {
+  service_.put_block("jerry", "doc", "b1", to_bytes("hello "));
+  service_.put_block("jerry", "doc", "b2", to_bytes("blocks"));
+  service_.put_block_list("jerry", "doc", {"b1", "b2"});
+
+  crypto::Drbg rng(std::uint64_t{2});
+  AzureRestService fresh(clock_);  // to get a key for signing on service_
+  (void)fresh;
+  // Reuse the account key by re-creating it deterministically is not
+  // possible; instead go through the CloudPlatform download path which
+  // signs internally.
+  const auto result = service_.download("jerry", "doc");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.data, to_bytes("hello blocks"));
+}
+
+}  // namespace
+}  // namespace tpnr::providers

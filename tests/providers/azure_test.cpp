@@ -1,0 +1,238 @@
+#include "providers/azure_rest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/base64.h"
+#include "crypto/hash.h"
+
+namespace tpnr::providers {
+namespace {
+
+using common::base64_encode;
+using common::to_bytes;
+
+class AzureTest : public ::testing::Test {
+ protected:
+  AzureTest() : service_(clock_) {
+    key_ = service_.create_account("jerry", rng_);
+  }
+
+  RestRequest make_put(const std::string& path, const Bytes& body,
+                       bool with_md5 = true) {
+    RestRequest request;
+    request.method = "PUT";
+    request.path = path;
+    request.headers["x-ms-date"] = "Sun, 13 Sept 2009 20:30:25 GMT";
+    request.headers["x-ms-version"] = "2009-09-19";
+    if (with_md5) {
+      request.headers["content-md5"] = base64_encode(crypto::md5(body));
+    }
+    request.body = body;
+    sign_request(request, "jerry", key_);
+    return request;
+  }
+
+  RestRequest make_get(const std::string& path) {
+    RestRequest request;
+    request.method = "GET";
+    request.path = path;
+    request.headers["x-ms-date"] = "Sun, 13 Sept 2009 20:40:34 GMT";
+    request.headers["x-ms-version"] = "2009-09-19";
+    sign_request(request, "jerry", key_);
+    return request;
+  }
+
+  common::SimClock clock_;
+  AzureRestService service_{clock_};
+  crypto::Drbg rng_{std::uint64_t{11}};
+  Bytes key_;
+};
+
+// Table 1: a signed PUT block, committed via a block list, then read back.
+TEST_F(AzureTest, Table1PutGetBlockFlow) {
+  const Bytes body = to_bytes("block contents for blockid1");
+  // The exact request shape of Table 1: PUT with comp=block&blockid=...
+  const RestResponse put_response =
+      service_.handle(make_put("/jerry/container/blob?comp=block"
+                               "&blockid=blockid1&timeout=30",
+                               body));
+  EXPECT_EQ(put_response.status, 201);
+  // The block is staged, not yet readable.
+  EXPECT_EQ(service_.handle(make_get("/jerry/container/blob")).status, 404);
+
+  // Commit the block list.
+  const RestResponse commit = service_.handle(
+      make_put("/jerry/container/blob?comp=blocklist", to_bytes("blockid1")));
+  ASSERT_EQ(commit.status, 201);
+  EXPECT_EQ(commit.headers.at("content-md5"),
+            base64_encode(crypto::md5(body)));
+
+  const RestResponse get_response =
+      service_.handle(make_get("/jerry/container/blob"));
+  EXPECT_EQ(get_response.status, 200);
+  EXPECT_EQ(get_response.body, body);
+  EXPECT_EQ(get_response.headers.at("content-md5"),
+            base64_encode(crypto::md5(body)));
+  EXPECT_EQ(get_response.headers.at("content-length"),
+            std::to_string(body.size()));
+}
+
+TEST_F(AzureTest, BlockOpsRequireAuthenticationToo) {
+  RestRequest request = make_put(
+      "/jerry/container/blob?comp=block&blockid=b1", to_bytes("x"), false);
+  request.headers.erase("authorization");
+  EXPECT_EQ(service_.handle(request).status, 403);
+}
+
+TEST_F(AzureTest, AuthorizationHeaderFormatMatchesTable1Shape) {
+  RestRequest request = make_get("/jerry/blob");
+  const std::string& auth = request.headers.at("authorization");
+  EXPECT_EQ(auth.rfind("SharedKey jerry:", 0), 0u);
+  // The signature part must be valid base64 of a 32-byte HMAC-SHA256.
+  const std::string sig = auth.substr(std::string("SharedKey jerry:").size());
+  EXPECT_EQ(common::base64_decode(sig).size(), 32u);
+}
+
+TEST_F(AzureTest, RejectsMissingAuthorization) {
+  RestRequest request = make_get("/jerry/blob");
+  request.headers.erase("authorization");
+  EXPECT_EQ(service_.handle(request).status, 403);
+}
+
+TEST_F(AzureTest, RejectsWrongKeySignature) {
+  RestRequest request = make_get("/jerry/blob");
+  Bytes wrong_key = key_;
+  wrong_key[0] ^= 1;
+  sign_request(request, "jerry", wrong_key);
+  EXPECT_EQ(service_.handle(request).status, 403);
+}
+
+TEST_F(AzureTest, RejectsUnknownAccount) {
+  RestRequest request = make_get("/ghost/blob");
+  sign_request(request, "ghost", key_);
+  EXPECT_EQ(service_.handle(request).status, 403);
+}
+
+TEST_F(AzureTest, BodyLengthTamperBreaksSignature) {
+  RestRequest request = make_put("/jerry/blob", to_bytes("original"));
+  request.body = to_bytes("tampered-longer");  // length changes: 403
+  EXPECT_EQ(service_.handle(request).status, 403);
+}
+
+TEST_F(AzureTest, SameLengthBodyTamperCaughtByContentMd5) {
+  // SharedKey signs Content-Length and Content-MD5, not the raw body; an
+  // equal-length substitution passes authentication and is caught by the
+  // server-side MD5 check instead.
+  RestRequest request = make_put("/jerry/blob", to_bytes("original"));
+  request.body = to_bytes("tampered");  // same length
+  const RestResponse response = service_.handle(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(response.detail, "Content-MD5 mismatch");
+}
+
+TEST_F(AzureTest, SignatureCoversTheDate) {
+  RestRequest request = make_get("/jerry/blob");
+  request.headers["x-ms-date"] = "Mon, 14 Sept 2009 20:40:34 GMT";
+  EXPECT_EQ(service_.handle(request).status, 403);
+}
+
+TEST_F(AzureTest, ContentMd5MismatchRejected) {
+  RestRequest request = make_put("/jerry/blob", to_bytes("data"), false);
+  request.headers["content-md5"] = base64_encode(crypto::md5(to_bytes("not")));
+  sign_request(request, "jerry", key_);
+  const RestResponse response = service_.handle(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(response.detail, "Content-MD5 mismatch");
+}
+
+TEST_F(AzureTest, MalformedContentMd5Rejected) {
+  RestRequest request = make_put("/jerry/blob", to_bytes("data"), false);
+  request.headers["content-md5"] = "!!not-base64!!";
+  sign_request(request, "jerry", key_);
+  EXPECT_EQ(service_.handle(request).status, 400);
+}
+
+TEST_F(AzureTest, PutWithoutMd5IsAcceptedWithoutEcho) {
+  const RestResponse put_response =
+      service_.handle(make_put("/jerry/nomd5", to_bytes("x"), false));
+  EXPECT_EQ(put_response.status, 201);
+  const RestResponse get_response = service_.handle(make_get("/jerry/nomd5"));
+  EXPECT_EQ(get_response.status, 200);
+  EXPECT_FALSE(get_response.headers.contains("content-md5"));
+}
+
+TEST_F(AzureTest, GetMissingBlobIs404) {
+  EXPECT_EQ(service_.handle(make_get("/jerry/absent")).status, 404);
+}
+
+TEST_F(AzureTest, DeleteRemovesBlob) {
+  service_.handle(make_put("/jerry/gone", to_bytes("x")));
+  RestRequest del = make_get("/jerry/gone");
+  del.method = "DELETE";
+  sign_request(del, "jerry", key_);
+  EXPECT_EQ(service_.handle(del).status, 200);
+  EXPECT_EQ(service_.handle(make_get("/jerry/gone")).status, 404);
+}
+
+TEST_F(AzureTest, BlobSizeLimitEnforced) {
+  AzureLimits limits;
+  limits.max_blob_bytes = 100;
+  AzureRestService tiny(clock_, limits);
+  crypto::Drbg rng(std::uint64_t{1});
+  const Bytes tiny_key = tiny.create_account("jerry", rng);
+  RestRequest request;
+  request.method = "PUT";
+  request.path = "/jerry/too-big";
+  request.body = Bytes(101, 0);
+  sign_request(request, "jerry", tiny_key);
+  EXPECT_EQ(tiny.handle(request).status, 400);
+}
+
+// §2.4 and Fig. 5: Azure returns the ORIGINAL stored MD5 — so after silent
+// in-store tampering, data and checksum BOTH look plausible yet disagree,
+// and only a client that kept the original digest can tell.
+TEST_F(AzureTest, StoredMd5EchoMasksTampering) {
+  const Bytes data = to_bytes("financial records FY2009");
+  const Bytes md5_1 = crypto::md5(data);
+  ASSERT_TRUE(service_.upload("jerry", "ledger", data, md5_1).accepted);
+
+  ASSERT_TRUE(service_.tamper("ledger", to_bytes("cooked records FY2009!!!")));
+
+  const DownloadResult result = service_.download("jerry", "ledger");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.md5_source, Md5Source::kStoredAtUpload);
+  EXPECT_EQ(result.md5_returned, md5_1);            // echoes MD5_1...
+  EXPECT_NE(crypto::md5(result.data), md5_1);       // ...which no longer matches
+}
+
+TEST_F(AzureTest, TableEntityOperations) {
+  EXPECT_EQ(service_.put_entity("jerry", "people", "row1",
+                                to_bytes("{\"name\":\"alice\"}")).status,
+            201);
+  const RestResponse got = service_.get_entity("jerry", "people", "row1");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, to_bytes("{\"name\":\"alice\"}"));
+  EXPECT_EQ(service_.get_entity("jerry", "people", "row2").status, 404);
+  EXPECT_EQ(service_.get_entity("jerry", "ghosts", "row1").status, 404);
+  EXPECT_EQ(service_.put_entity("ghost", "people", "r", {}).status, 403);
+}
+
+TEST_F(AzureTest, QueueOperationsWithSizeLimit) {
+  EXPECT_EQ(service_.enqueue("jerry", "jobs", to_bytes("job-1")).status, 201);
+  EXPECT_EQ(service_.enqueue("jerry", "jobs", to_bytes("job-2")).status, 201);
+  EXPECT_EQ(service_.enqueue("jerry", "jobs", Bytes(9000, 0)).status, 400);
+
+  EXPECT_EQ(service_.dequeue("jerry", "jobs").body, to_bytes("job-1"));
+  EXPECT_EQ(service_.dequeue("jerry", "jobs").body, to_bytes("job-2"));
+  EXPECT_EQ(service_.dequeue("jerry", "jobs").status, 404);
+}
+
+TEST_F(AzureTest, CanonicalizationIsDeterministic) {
+  RestRequest a = make_get("/jerry/x");
+  EXPECT_EQ(canonicalize(a), canonicalize(a));
+  RestRequest b = make_get("/jerry/y");
+  EXPECT_NE(canonicalize(a), canonicalize(b));
+}
+
+}  // namespace
+}  // namespace tpnr::providers

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "crypto/hash.h"
+#include "common/error.h"
+#include "storage/backend.h"
+#include "storage/object_store.h"
+
+namespace tpnr::storage {
+namespace {
+
+using common::to_bytes;
+
+TEST(MemoryBackendTest, PutGetRemove) {
+  MemoryBackend backend;
+  backend.put("k", to_bytes("v"));
+  ASSERT_TRUE(backend.get("k").has_value());
+  EXPECT_EQ(*backend.get("k"), to_bytes("v"));
+  EXPECT_TRUE(backend.exists("k"));
+  EXPECT_TRUE(backend.remove("k"));
+  EXPECT_FALSE(backend.exists("k"));
+  EXPECT_FALSE(backend.remove("k"));
+  EXPECT_FALSE(backend.get("k").has_value());
+}
+
+TEST(MemoryBackendTest, PutReplaces) {
+  MemoryBackend backend;
+  backend.put("k", to_bytes("old"));
+  backend.put("k", to_bytes("new"));
+  EXPECT_EQ(*backend.get("k"), to_bytes("new"));
+  EXPECT_EQ(backend.size(), 1u);
+}
+
+TEST(MemoryBackendTest, ListIsSorted) {
+  MemoryBackend backend;
+  backend.put("zebra", {});
+  backend.put("apple", {});
+  backend.put("mango", {});
+  const auto keys = backend.list();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "apple");
+  EXPECT_EQ(keys[1], "mango");
+  EXPECT_EQ(keys[2], "zebra");
+}
+
+TEST(MemoryBackendTest, CorruptFlipsByte) {
+  MemoryBackend backend;
+  backend.put("k", to_bytes("AAAA"));
+  EXPECT_TRUE(backend.corrupt("k", 2, 0x01));
+  EXPECT_EQ((*backend.get("k"))[2], 'A' ^ 0x01);
+  EXPECT_FALSE(backend.corrupt("missing", 0, 1));
+}
+
+class DiskBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("tpnr-disk-test-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::filesystem::path root_;
+};
+
+TEST_F(DiskBackendTest, PersistsAcrossInstances) {
+  {
+    DiskBackend backend(root_.string());
+    backend.put("container/blob one", to_bytes("payload"));
+  }
+  DiskBackend reopened(root_.string());
+  ASSERT_TRUE(reopened.get("container/blob one").has_value());
+  EXPECT_EQ(*reopened.get("container/blob one"), to_bytes("payload"));
+  EXPECT_EQ(reopened.list(),
+            std::vector<std::string>{"container/blob one"});
+}
+
+TEST_F(DiskBackendTest, HandlesArbitraryKeyCharacters) {
+  DiskBackend backend(root_.string());
+  const std::string weird = "a/b\\c:d*e?f\"g<h>i|j\nk";
+  backend.put(weird, to_bytes("x"));
+  EXPECT_TRUE(backend.exists(weird));
+  EXPECT_EQ(*backend.get(weird), to_bytes("x"));
+  EXPECT_TRUE(backend.remove(weird));
+}
+
+TEST_F(DiskBackendTest, CorruptPersists) {
+  DiskBackend backend(root_.string());
+  backend.put("k", to_bytes("ZZZZ"));
+  EXPECT_TRUE(backend.corrupt("k", 0, 0xff));
+  EXPECT_EQ((*backend.get("k"))[0], 'Z' ^ 0xff);
+}
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStore store_{std::make_unique<MemoryBackend>(), 7};
+};
+
+TEST_F(ObjectStoreTest, PutAssignsVersionsAndStoresMd5) {
+  const auto data = to_bytes("v1");
+  const auto md5 = crypto::md5(data);
+  EXPECT_EQ(store_.put("k", data, md5, 100), 1u);
+  EXPECT_EQ(store_.put("k", to_bytes("v2"), md5, 200), 2u);
+
+  const auto record = store_.get("k");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->version, 2u);
+  EXPECT_EQ(record->data, to_bytes("v2"));
+  EXPECT_EQ(record->stored_md5, md5);  // stored, never recomputed
+  EXPECT_EQ(record->stored_at, 200);
+}
+
+TEST_F(ObjectStoreTest, GetMissingReturnsNullopt) {
+  EXPECT_FALSE(store_.get("missing").has_value());
+}
+
+TEST_F(ObjectStoreTest, TamperChangesBytesButNotBookkeeping) {
+  const auto data = to_bytes("honest bytes");
+  const auto md5 = crypto::md5(data);
+  store_.put("k", data, md5, 1);
+  ASSERT_TRUE(store_.tamper("k", to_bytes("evil bytes")));
+
+  const auto record = store_.get("k");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->data, to_bytes("evil bytes"));
+  EXPECT_EQ(record->stored_md5, md5);   // the Azure echo serves the OLD md5
+  EXPECT_EQ(record->version, 1u);       // no version bump: silent
+  EXPECT_NE(crypto::md5(record->data), record->stored_md5);
+}
+
+TEST_F(ObjectStoreTest, TamperMissingReturnsFalse) {
+  EXPECT_FALSE(store_.tamper("missing", to_bytes("x")));
+}
+
+TEST_F(ObjectStoreTest, BitFlipFaultInjection) {
+  const auto data = to_bytes("sensitive payload bytes");
+  store_.put("k", data, crypto::md5(data), 1);
+  store_.set_fault_policy({FaultKind::kBitFlip, 1.0});
+  const auto record = store_.get("k");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_NE(record->data, data);
+  EXPECT_EQ(record->data.size(), data.size());
+  EXPECT_EQ(store_.faults_injected(), 1u);
+}
+
+TEST_F(ObjectStoreTest, TruncateFaultInjection) {
+  const auto data = common::Bytes(100, 0xaa);
+  store_.put("k", data, crypto::md5(data), 1);
+  store_.set_fault_policy({FaultKind::kTruncate, 1.0});
+  EXPECT_EQ(store_.get("k")->data.size(), 50u);
+}
+
+TEST_F(ObjectStoreTest, LossFaultInjection) {
+  store_.put("k", to_bytes("x"), {}, 1);
+  store_.set_fault_policy({FaultKind::kLoss, 1.0});
+  EXPECT_FALSE(store_.get("k").has_value());
+}
+
+TEST_F(ObjectStoreTest, StaleVersionFaultServesOldData) {
+  store_.put("k", to_bytes("version-1"), {}, 1);
+  store_.put("k", to_bytes("version-2"), {}, 2);
+  store_.set_fault_policy({FaultKind::kStaleVersion, 1.0});
+  EXPECT_EQ(store_.get("k")->data, to_bytes("version-1"));
+}
+
+TEST_F(ObjectStoreTest, ZeroProbabilityNeverFaults) {
+  store_.put("k", to_bytes("x"), {}, 1);
+  store_.set_fault_policy({FaultKind::kBitFlip, 0.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(store_.get("k")->data, to_bytes("x"));
+  }
+  EXPECT_EQ(store_.faults_injected(), 0u);
+}
+
+TEST_F(ObjectStoreTest, FaultProbabilityIsApproximatelyHonoured) {
+  store_.put("k", common::Bytes(64, 1), {}, 1);
+  store_.set_fault_policy({FaultKind::kBitFlip, 0.25});
+  int faulty = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (store_.get("k")->data != common::Bytes(64, 1)) ++faulty;
+  }
+  EXPECT_NEAR(faulty / 1000.0, 0.25, 0.06);
+}
+
+TEST_F(ObjectStoreTest, RemoveClearsEverything) {
+  store_.put("k", to_bytes("x"), {}, 1);
+  EXPECT_TRUE(store_.remove("k"));
+  EXPECT_FALSE(store_.exists("k"));
+  EXPECT_FALSE(store_.get("k").has_value());
+  EXPECT_FALSE(store_.remove("k"));
+}
+
+TEST_F(ObjectStoreTest, ListReflectsContents) {
+  store_.put("b", {}, {}, 1);
+  store_.put("a", {}, {}, 1);
+  EXPECT_EQ(store_.list(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(ObjectStoreTest, NullBackendRejected) {
+  EXPECT_THROW(ObjectStore(nullptr, 1), common::StorageError);
+}
+
+TEST(FaultKindTest, Names) {
+  EXPECT_EQ(fault_kind_name(FaultKind::kNone), "none");
+  EXPECT_EQ(fault_kind_name(FaultKind::kBitFlip), "bit-flip");
+  EXPECT_EQ(fault_kind_name(FaultKind::kStaleVersion), "stale-version");
+}
+
+}  // namespace
+}  // namespace tpnr::storage
