@@ -236,6 +236,7 @@ void print_merkle_speedup() {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"threads", "build time (ms)", "speedup"});
   double base_ms = 0;
+  bench::JsonLine json("crypto_ablation");
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     const auto t0 = std::chrono::steady_clock::now();
     crypto::MerkleTree tree(data, 4096, crypto::HashKind::kSha256, threads);
@@ -245,10 +246,12 @@ void print_merkle_speedup() {
     if (threads == 1) base_ms = ms;
     rows.push_back({std::to_string(threads), bench::fmt(ms),
                     bench::fmt(base_ms / ms) + "x"});
+    json.field("merkle_ms_t" + std::to_string(threads), ms, 2);
     benchmark::DoNotOptimize(tree.root());
   }
   bench::print_table("Merkle tree parallel leaf hashing (16 MiB, 4 KiB chunks)",
                      rows);
+  json.print();
 }
 
 }  // namespace

@@ -65,6 +65,15 @@ void print_audit_vs_download() {
         bench::fmt(static_cast<double>(audit_bytes) /
                        static_cast<double>(fetch_bytes),
                    4) + "x"}});
+  bench::JsonLine("ext_large_objects")
+      .field("object_bytes", std::uint64_t{kObjectSize})
+      .field("chunk_bytes", std::uint64_t{kChunkSize})
+      .field("sampled_audits", 8)
+      .field("audit_bytes", audit_bytes)
+      .field("fetch_bytes", fetch_bytes)
+      .field("audit_vs_fetch",
+             static_cast<double>(audit_bytes) / static_cast<double>(fetch_bytes))
+      .print();
 }
 
 void BM_ChunkedStore(benchmark::State& state) {

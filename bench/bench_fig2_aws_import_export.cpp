@@ -72,6 +72,14 @@ void print_protocol_vs_shipping() {
        {"simulated shipping time (h)", bench::fmt(shipping_hours)},
        {"shipping / protocol ratio",
         bench::fmt(shipping_hours * 3600.0 * 1000.0 / protocol_ms, 0)}});
+  bench::JsonLine("fig2_aws_import_export")
+      .field("job_accepted", report.ok)
+      .field("files_loaded", static_cast<std::uint64_t>(report.entries.size()))
+      .field("protocol_ms", protocol_ms, 2)
+      .field("shipping_hours", shipping_hours, 2)
+      .field("shipping_vs_protocol",
+             shipping_hours * 3600.0 * 1000.0 / protocol_ms, 0)
+      .print();
 }
 
 void BM_ManifestSignAndValidate(benchmark::State& state) {

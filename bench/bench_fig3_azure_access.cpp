@@ -38,6 +38,11 @@ void print_fig3_walkthrough() {
        {"5. GET returns stored Content-MD5",
         download.md5_returned == crypto::md5(data) ? "matches upload"
                                                    : "MISMATCH"}});
+  bench::JsonLine("fig3_azure_access")
+      .field("key_bits", static_cast<std::uint64_t>(key.size() * 8))
+      .field("upload_accepted", upload.accepted)
+      .field("md5_echo_matches", download.md5_returned == crypto::md5(data))
+      .print();
 }
 
 struct Fixture {

@@ -66,6 +66,13 @@ void print_fig4_walkthrough() {
         get.body == payload ? "yes" : "NO"},
        {"encrypted tunnel sessions opened",
         std::to_string(w.service.tunnel_sessions())}});
+  bench::JsonLine("fig4_google_sdc")
+      .field("stranger_denied", denied.status == 403)
+      .field("put_status", put.status)
+      .field("get_roundtrip_ok", get.body == payload)
+      .field("tunnel_sessions",
+             static_cast<std::uint64_t>(w.service.tunnel_sessions()))
+      .print();
 }
 
 void BM_SignedRequestBuild(benchmark::State& state) {

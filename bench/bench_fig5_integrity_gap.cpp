@@ -96,6 +96,8 @@ void print_fig5_experiment() {
                   "bridged detect %", "disputes won %"});
   const std::map<std::string, std::string> policy = {
       {"azure", "stored-echo"}, {"aws", "recomputed"}, {"gae", "stored-echo"}};
+  tpnr::bench::JsonLine json("fig5_integrity_gap");
+  json.field("trials", kTrials);
   for (const std::string name : {"azure", "aws", "gae"}) {
     const TrialResult r =
         run_trials(name, kTrials, bridge::SchemeKind::kPlain);
@@ -104,6 +106,10 @@ void print_fig5_experiment() {
          tpnr::bench::fmt(100.0 * r.naive_detected / r.trials, 0),
          tpnr::bench::fmt(100.0 * r.bridged_detected / r.trials, 0),
          tpnr::bench::fmt(100.0 * r.disputes_won / r.trials, 0)});
+    json.field(name + "_naive_pct", 100.0 * r.naive_detected / r.trials, 0)
+        .field(name + "_bridged_pct", 100.0 * r.bridged_detected / r.trials, 0)
+        .field(name + "_disputes_won_pct", 100.0 * r.disputes_won / r.trials,
+               0);
   }
   tpnr::bench::print_table(
       "Fig. 5: in-store tampering detection, naive client vs §3-bridged "
@@ -114,6 +120,7 @@ void print_fig5_experiment() {
       "data, so the naive client detects 0%%; the Azure-style echo lets a\n"
       "re-hashing client notice, but yields no proof of WHO is at fault —\n"
       "only the bridged client both detects and wins arbitration.\n");
+  json.print();
 }
 
 void BM_NaiveDownloadCheck(benchmark::State& state) {

@@ -147,6 +147,16 @@ void print_mode_comparison() {
       "the paper's claim holds: Normal and Abort complete in TWO steps with\n"
       "no TTP traffic; the traditional protocol needs FOUR steps and an\n"
       "in-line TTP even when everyone is honest.\n");
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    bench::JsonLine("fig6_tpnr_modes")
+        .field("flow", rows[r][0])
+        .field("steps", rows[r][1])
+        .field("messages", rows[r][2])
+        .field("ttp_messages", rows[r][3])
+        .field("sim_latency_ms", rows[r][4])
+        .field("outcome", rows[r][5])
+        .print();
+  }
 }
 
 void BM_NormalStore(benchmark::State& state) {

@@ -61,6 +61,18 @@ void print_cost_comparison() {
                     std::to_string(up.costs.verifications),
                     std::to_string(up.costs.sks_ops),
                     bridge::verdict_name(outcome.verdict)});
+    bench::JsonLine("sec3_bridging")
+        .field("scheme", bridge::scheme_name(kind))
+        .field("messages", static_cast<std::uint64_t>(up.costs.messages))
+        .field("tac_messages",
+               static_cast<std::uint64_t>(up.costs.tac_messages))
+        .field("bytes", static_cast<std::uint64_t>(up.costs.bytes))
+        .field("signatures", static_cast<std::uint64_t>(up.costs.signatures))
+        .field("verifications",
+               static_cast<std::uint64_t>(up.costs.verifications))
+        .field("sks_ops", static_cast<std::uint64_t>(up.costs.sks_ops))
+        .field("tamper_verdict", bridge::verdict_name(outcome.verdict))
+        .print();
   }
   bench::print_table(
       "§3 bridging schemes: per-upload cost and dispute power (64 KiB object)",

@@ -31,6 +31,11 @@ void print_attack_matrix() {
                     defended.attack_succeeded ? "BREACHED" : "resisted",
                     weakened.attack_succeeded ? "breached" : "resisted",
                     defence.at(kind)});
+    bench::JsonLine("sec5_attacks")
+        .field("attack", attacks::attack_name(kind))
+        .field("defended_breached", defended.attack_succeeded)
+        .field("weakened_breached", weakened.attack_succeeded)
+        .print();
   }
   bench::print_table("§5 attack matrix (TPNR)", rows);
   std::printf(

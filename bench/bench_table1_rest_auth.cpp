@@ -88,6 +88,11 @@ void print_table1_reproduction() {
               get_response.headers.count("content-md5")
                   ? get_response.headers.at("content-md5").c_str()
                   : "(none)");
+  bench::JsonLine("table1_rest_auth")
+      .field("put_status", put_response.status)
+      .field("get_status", get_response.status)
+      .field("md5_echoed", get_response.headers.count("content-md5") > 0)
+      .print();
 }
 
 void BM_Canonicalize(benchmark::State& state) {

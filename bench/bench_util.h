@@ -59,4 +59,65 @@ inline std::string fmt(double value, int precision = 2) {
   return buffer;
 }
 
+/// One-line JSON emitter: every bench_* binary prints one
+/// `{"bench":"...",...}` line per experiment summary, so a run's headline
+/// numbers can be grepped and parsed uniformly across binaries.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { field("bench", bench); }
+
+  JsonLine& field(const std::string& key, const std::string& value) {
+    raw(key, '"' + escape(value) + '"');
+    return *this;
+  }
+  JsonLine& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonLine& field(const std::string& key, bool value) {
+    raw(key, value ? "true" : "false");
+    return *this;
+  }
+  JsonLine& field(const std::string& key, double value, int precision = 4) {
+    raw(key, fmt(value, precision));
+    return *this;
+  }
+  JsonLine& field(const std::string& key, std::uint64_t value) {
+    raw(key, std::to_string(value));
+    return *this;
+  }
+  JsonLine& field(const std::string& key, std::int64_t value) {
+    raw(key, std::to_string(value));
+    return *this;
+  }
+  JsonLine& field(const std::string& key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+
+  void print() const { std::printf("{%s}\n", body_.c_str()); }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+        out += buffer;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+  void raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"' + escape(key) + "\":" + value;
+  }
+
+  std::string body_;
+};
+
 }  // namespace tpnr::bench

@@ -1,0 +1,221 @@
+#include "audit/auditor.h"
+
+#include "common/serial.h"
+#include "nr/chunked.h"
+#include "nr/evidence.h"
+
+namespace tpnr::audit {
+
+AuditorActor::AuditorActor(std::string id, net::Network& network,
+                           pki::Identity& identity, crypto::Drbg& rng,
+                           AuditLedger& ledger, AuditorOptions options)
+    : NrActor(std::move(id), network, identity, rng),
+      options_(options),
+      ledger_(&ledger) {
+  // Audit traffic travels on its own topic so net::TopicStats can separate
+  // audit overhead from protocol traffic.
+  set_default_topic("nr.audit");
+}
+
+bool AuditorActor::watch(const nr::ClientActor& client,
+                         const std::string& txn_id) {
+  const nr::ClientActor::Txn* txn = client.transaction(txn_id);
+  if (txn == nullptr || txn->chunk_size == 0 || txn->chunk_count == 0) {
+    return false;  // unknown or flat: nothing to challenge chunk-wise
+  }
+  const crypto::RsaPublicKey* provider_key = peer_key(txn->provider);
+  if (provider_key == nullptr) return false;
+  // The root we audit against must be the SIGNED one. When the client holds
+  // the provider's receipt, re-verify it: a receipt that does not verify,
+  // or covers a different hash, is no basis for an audit.
+  if (txn->nrr.has_value() && txn->nrr_header.has_value()) {
+    if (txn->nrr_header->data_hash != txn->data_hash ||
+        !nr::verify_evidence_signatures(*provider_key, *txn->nrr_header,
+                                        *txn->nrr)) {
+      return false;
+    }
+  }
+  AuditTarget target;
+  target.txn_id = txn_id;
+  target.provider = txn->provider;
+  target.object_key = txn->object_key;
+  target.root = txn->data_hash;
+  target.chunk_size = txn->chunk_size;
+  target.chunk_count = txn->chunk_count;
+  return register_target(std::move(target));
+}
+
+bool AuditorActor::register_target(AuditTarget target) {
+  if (target.txn_id.empty() || target.provider.empty() ||
+      target.chunk_size == 0 || target.chunk_count == 0 ||
+      target.root.empty()) {
+    return false;
+  }
+  target.registered_at = network_->now();
+  targets_[target.txn_id] = std::move(target);
+  return true;
+}
+
+bool AuditorActor::challenge(const std::string& txn_id,
+                             std::size_t chunk_index) {
+  const auto it = targets_.find(txn_id);
+  if (it == targets_.end() || chunk_index >= it->second.chunk_count) {
+    return false;
+  }
+  const PendingKey key{txn_id, chunk_index};
+  if (pending_.contains(key)) return false;  // already in flight
+
+  Pending pending;
+  pending.id = next_attempt_id_++;
+  pending.challenged_at = network_->now();
+  pending.retries_left = options_.max_retries;
+  pending_[key] = pending;
+  ++counters_.challenges;
+  send_challenge(it->second, chunk_index);
+  arm_timeout(key, pending.id);
+  return true;
+}
+
+void AuditorActor::send_challenge(const AuditTarget& target,
+                                  std::uint64_t chunk_index) {
+  common::BinaryWriter payload;
+  payload.u64(chunk_index);
+
+  nr::NrMessage message;
+  message.header = next_header(nr::MsgType::kChunkRequest, target.provider,
+                               /*ttp=*/"", target.txn_id, target.root,
+                               network_->now() + options_.reply_window);
+  message.payload = payload.take();
+  send(target.provider, std::move(message));
+}
+
+void AuditorActor::arm_timeout(const PendingKey& key,
+                               std::uint64_t attempt_id) {
+  network_->schedule(options_.response_timeout, [this, key, attempt_id] {
+    const auto it = pending_.find(key);
+    // Concluded meanwhile, or a retry re-armed with a newer attempt id.
+    if (it == pending_.end() || it->second.id != attempt_id) return;
+    if (it->second.retries_left > 0) {
+      --it->second.retries_left;
+      it->second.id = next_attempt_id_++;
+      ++counters_.retries;
+      const auto target_it = targets_.find(key.first);
+      if (target_it != targets_.end()) {
+        send_challenge(target_it->second, key.second);
+      }
+      arm_timeout(key, it->second.id);
+      return;
+    }
+    conclude(key, it->second, AuditVerdict::kNoResponse,
+             "provider silent through " +
+                 std::to_string(1 + options_.max_retries) + " attempt(s)");
+  });
+}
+
+void AuditorActor::conclude(const PendingKey& key, const Pending& pending,
+                            AuditVerdict verdict, std::string detail) {
+  AuditEntry entry;
+  entry.challenged_at = pending.challenged_at;
+  entry.concluded_at = network_->now();
+  entry.auditor = id();
+  entry.txn_id = key.first;
+  entry.chunk_index = key.second;
+  entry.verdict = verdict;
+  entry.detail = std::move(detail);
+  if (const auto it = targets_.find(key.first); it != targets_.end()) {
+    entry.provider = it->second.provider;
+    entry.object_key = it->second.object_key;
+  }
+  ledger_->append(std::move(entry));
+
+  switch (verdict) {
+    case AuditVerdict::kVerified:
+      ++counters_.verified;
+      break;
+    case AuditVerdict::kNoResponse:
+      ++counters_.no_responses;
+      break;
+    default:
+      ++counters_.flagged;
+      break;
+  }
+  pending_.erase(key);
+}
+
+void AuditorActor::on_message(const nr::NrMessage& message) {
+  if (message.header.flag == nr::MsgType::kChunkResponse) {
+    handle_chunk_response(message);
+  }
+}
+
+void AuditorActor::handle_chunk_response(const nr::NrMessage& message) {
+  const nr::MessageHeader& h = message.header;
+  const auto target_it = targets_.find(h.txn_id);
+  if (target_it == targets_.end()) return;
+  const AuditTarget& target = target_it->second;
+  if (h.sender != target.provider) return;
+
+  // Stage 1: the chunk index, to correlate with the outstanding challenge.
+  std::uint64_t chunk_index = 0;
+  common::BinaryReader reader(message.payload);
+  try {
+    chunk_index = reader.u64();
+  } catch (const common::SerialError&) {
+    // Undecodable beyond recovery. If exactly one challenge is in flight
+    // for this transaction the response can still be attributed; otherwise
+    // the timeout path will record the non-response.
+    PendingKey only{};
+    std::size_t matches = 0;
+    for (const auto& [key, pending] : pending_) {
+      if (key.first == h.txn_id) {
+        only = key;
+        ++matches;
+      }
+    }
+    if (matches == 1) {
+      conclude(only, pending_.at(only), AuditVerdict::kMalformed,
+               "response payload undecodable");
+    }
+    return;
+  }
+  const PendingKey key{h.txn_id, chunk_index};
+  const auto pending_it = pending_.find(key);
+  if (pending_it == pending_.end()) return;  // late duplicate or unsolicited
+  const Pending pending = pending_it->second;
+
+  // Stage 2: the chunk and its inclusion proof.
+  Bytes chunk;
+  crypto::MerkleProof proof;
+  try {
+    chunk = reader.bytes();
+    proof = nr::decode_proof(reader.bytes());
+    reader.expect_done();
+  } catch (const common::SerialError&) {
+    conclude(key, pending, AuditVerdict::kMalformed,
+             "chunk or proof undecodable");
+    return;
+  }
+
+  // Stage 3: the response evidence — the provider signed the hash of the
+  // chunk it served NOW, so it cannot later repudiate this audit answer.
+  const crypto::RsaPublicKey* provider_key = peer_key(target.provider);
+  if (provider_key == nullptr || crypto::sha256(chunk) != h.data_hash ||
+      !nr::open_evidence(*identity_, *provider_key, h, message.evidence)) {
+    ++stats_.rejected_bad_evidence;
+    conclude(key, pending, AuditVerdict::kBadEvidence,
+             "response evidence failed verification");
+    return;
+  }
+
+  // Stage 4: the audit proper — does the served chunk chain to the Merkle
+  // root both parties signed at store time?
+  const bool chains = proof.leaf_index == chunk_index &&
+                      proof.leaf_count == target.chunk_count &&
+                      crypto::MerkleTree::verify(chunk, proof, target.root);
+  conclude(key, pending,
+           chains ? AuditVerdict::kVerified : AuditVerdict::kMismatch,
+           chains ? "chunk verified against the signed root"
+                  : "proof does not chain to the signed root");
+}
+
+}  // namespace tpnr::audit

@@ -1,0 +1,113 @@
+// The Auditor — a third TPNR actor that continuously spot-checks what the
+// provider actually holds, closing the storage-phase gap of Fig. 5 without
+// waiting for the client to re-fetch.
+//
+// For each registered target (a chunked TPNR transaction whose SIGNED
+// Merkle root came out of the NRO/NRR), the auditor issues kChunkRequest
+// challenges on the "nr.audit" topic, verifies the returned chunk + proof
+// against that root, retries unresponsive providers, and records every
+// conclusion — verified, mismatch, bad evidence, malformed, no-response —
+// in the append-only AuditLedger. Challenge scheduling lives in
+// AuditScheduler; this class owns correctness and timeout handling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "audit/ledger.h"
+#include "nr/actor.h"
+#include "nr/client.h"
+
+namespace tpnr::audit {
+
+/// One provider-held object under continuous audit.
+struct AuditTarget {
+  std::string txn_id;
+  std::string provider;
+  std::string object_key;
+  Bytes root;  ///< the Merkle root both parties signed (NRO/NRR data_hash)
+  std::size_t chunk_size = 0;
+  std::size_t chunk_count = 0;
+  SimTime registered_at = 0;
+};
+
+struct AuditorOptions {
+  SimTime reply_window = 10 * common::kSecond;  ///< header time limit
+  SimTime response_timeout = 15 * common::kSecond;
+  int max_retries = 1;  ///< re-challenges before recording no-response
+};
+
+class AuditorActor final : public nr::NrActor {
+ public:
+  /// Running totals, cheaper to poll than scanning the ledger.
+  struct Counters {
+    std::uint64_t challenges = 0;  ///< fresh challenges (retries excluded)
+    std::uint64_t retries = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t flagged = 0;  ///< mismatch + bad evidence + malformed
+    std::uint64_t no_responses = 0;
+  };
+
+  AuditorActor(std::string id, net::Network& network, pki::Identity& identity,
+               crypto::Drbg& rng, AuditLedger& ledger,
+               AuditorOptions options = AuditorOptions{});
+
+  /// Registers the object behind a completed chunked transaction. The root
+  /// is taken from the client's signed agreement; when the client holds the
+  /// NRR its signatures are re-verified against the provider's key first.
+  /// Returns false (and registers nothing) for unknown/flat transactions,
+  /// an untrusted provider, or an NRR that fails verification.
+  bool watch(const nr::ClientActor& client, const std::string& txn_id);
+
+  /// Lower-level registration when the caller already holds the signed
+  /// root. Returns false on a malformed target (no chunks, empty ids).
+  bool register_target(AuditTarget target);
+
+  [[nodiscard]] const std::map<std::string, AuditTarget>& targets() const {
+    return targets_;
+  }
+
+  /// Challenges one chunk now. Returns false if the target is unknown, the
+  /// index is out of range, or the same (txn, chunk) is already in flight.
+  bool challenge(const std::string& txn_id, std::size_t chunk_index);
+
+  /// Challenges in flight (issued, not yet concluded).
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return pending_.size();
+  }
+
+  [[nodiscard]] const Counters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const AuditLedger& ledger() const noexcept {
+    return *ledger_;
+  }
+
+ protected:
+  void on_message(const nr::NrMessage& message) override;
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;  ///< distinguishes this attempt's timeout timer
+    SimTime challenged_at = 0;
+    int retries_left = 0;
+  };
+  using PendingKey = std::pair<std::string, std::uint64_t>;  // txn, chunk
+
+  void send_challenge(const AuditTarget& target, std::uint64_t chunk_index);
+  void arm_timeout(const PendingKey& key, std::uint64_t attempt_id);
+  void conclude(const PendingKey& key, const Pending& pending,
+                AuditVerdict verdict, std::string detail);
+  void handle_chunk_response(const nr::NrMessage& message);
+
+  AuditorOptions options_;
+  AuditLedger* ledger_;
+  std::map<std::string, AuditTarget> targets_;
+  std::map<PendingKey, Pending> pending_;
+  std::uint64_t next_attempt_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace tpnr::audit

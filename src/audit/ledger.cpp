@@ -1,0 +1,75 @@
+#include "audit/ledger.h"
+
+#include "common/serial.h"
+#include "crypto/hash.h"
+
+namespace tpnr::audit {
+
+std::string audit_verdict_name(AuditVerdict verdict) {
+  switch (verdict) {
+    case AuditVerdict::kVerified:
+      return "verified";
+    case AuditVerdict::kMismatch:
+      return "mismatch";
+    case AuditVerdict::kBadEvidence:
+      return "bad-evidence";
+    case AuditVerdict::kMalformed:
+      return "malformed";
+    case AuditVerdict::kNoResponse:
+      return "no-response";
+  }
+  return "unknown";
+}
+
+Bytes AuditEntry::encode_body() const {
+  common::BinaryWriter w;
+  w.u64(seq);
+  w.i64(challenged_at);
+  w.i64(concluded_at);
+  w.str(auditor);
+  w.str(provider);
+  w.str(txn_id);
+  w.str(object_key);
+  w.u64(chunk_index);
+  w.u8(static_cast<std::uint8_t>(verdict));
+  w.str(detail);
+  return w.take();
+}
+
+Bytes AuditLedger::genesis_hash() {
+  return crypto::sha256(common::to_bytes("tpnr.audit.ledger/genesis"));
+}
+
+Bytes AuditLedger::chain_hash(BytesView prev_hash, const AuditEntry& entry) {
+  Bytes material(prev_hash.begin(), prev_hash.end());
+  const Bytes body = entry.encode_body();
+  material.insert(material.end(), body.begin(), body.end());
+  return crypto::sha256(material);
+}
+
+const AuditEntry& AuditLedger::append(AuditEntry entry) {
+  entry.seq = entries_.size();
+  entry.prev_hash = head();
+  entry.entry_hash = chain_hash(entry.prev_hash, entry);
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Bytes AuditLedger::head() const {
+  return entries_.empty() ? genesis_hash() : entries_.back().entry_hash;
+}
+
+std::size_t AuditLedger::first_invalid() const {
+  Bytes expected_prev = genesis_hash();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AuditEntry& entry = entries_[i];
+    if (entry.seq != i || entry.prev_hash != expected_prev ||
+        entry.entry_hash != chain_hash(entry.prev_hash, entry)) {
+      return i;
+    }
+    expected_prev = entry.entry_hash;
+  }
+  return entries_.size();
+}
+
+}  // namespace tpnr::audit

@@ -1,0 +1,101 @@
+// Append-only, hash-chained audit evidence ledger.
+//
+// Every challenge the audit subsystem issues concludes in exactly one entry
+// (verified / mismatch / bad-evidence / malformed / no-response) carrying
+// the challenge and conclusion times. Entries are chained SHA-256 style —
+// entry_hash = H(prev_hash ‖ canonical-encoding) — so a mutated, dropped or
+// reordered entry breaks every later link: the ledger is tamper-evident
+// evidence of WHAT was audited and WHEN, suitable for the §4.4 arbitration
+// flow alongside the NRO/NRR it complements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace tpnr::audit {
+
+using common::Bytes;
+using common::BytesView;
+using common::SimTime;
+
+/// How one challenge concluded.
+enum class AuditVerdict : std::uint8_t {
+  kVerified = 1,     ///< chunk + proof chain to the signed root
+  kMismatch = 2,     ///< proof does not chain: tampered or substituted
+  kBadEvidence = 3,  ///< response evidence failed (hash or signatures)
+  kMalformed = 4,    ///< undecodable response payload
+  kNoResponse = 5,   ///< provider silent past timeout (and retries)
+};
+
+std::string audit_verdict_name(AuditVerdict verdict);
+
+/// True for every verdict that flags the provider (anything not kVerified):
+/// a mismatching proof, broken evidence, garbage, or silence all mean the
+/// provider failed to prove possession of the agreed bytes.
+[[nodiscard]] constexpr bool verdict_flags_provider(
+    AuditVerdict verdict) noexcept {
+  return verdict != AuditVerdict::kVerified;
+}
+
+/// One concluded challenge. `seq`, `prev_hash` and `entry_hash` are
+/// assigned by AuditLedger::append; callers fill the rest.
+struct AuditEntry {
+  std::uint64_t seq = 0;
+  SimTime challenged_at = 0;
+  SimTime concluded_at = 0;
+  std::string auditor;
+  std::string provider;
+  std::string txn_id;
+  std::string object_key;
+  std::uint64_t chunk_index = 0;
+  AuditVerdict verdict = AuditVerdict::kVerified;
+  std::string detail;
+  Bytes prev_hash;   ///< entry_hash of the previous entry (genesis for seq 0)
+  Bytes entry_hash;  ///< H(prev_hash ‖ encode_body())
+
+  /// Canonical encoding of everything the chain hash covers except
+  /// prev_hash itself.
+  [[nodiscard]] Bytes encode_body() const;
+};
+
+class AuditLedger {
+ public:
+  /// Chains and stores `entry` (seq/prev_hash/entry_hash are overwritten).
+  /// Returns the stored entry.
+  const AuditEntry& append(AuditEntry entry);
+
+  [[nodiscard]] const std::vector<AuditEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Hash of the newest entry (the genesis hash when empty) — publish or
+  /// countersign this to anchor everything before it.
+  [[nodiscard]] Bytes head() const;
+
+  /// Recomputes the whole chain. Returns the index of the first entry whose
+  /// hash, back-link or sequence number does not verify, or size() if the
+  /// ledger is intact.
+  [[nodiscard]] std::size_t first_invalid() const;
+  [[nodiscard]] bool verify_chain() const {
+    return first_invalid() == entries_.size();
+  }
+
+  /// Direct mutable access for adversarial experiments: the tamper-evidence
+  /// tests rewrite entries through this and expect verify_chain to fail.
+  [[nodiscard]] std::vector<AuditEntry>& raw_entries() noexcept {
+    return entries_;
+  }
+
+  static Bytes genesis_hash();
+  static Bytes chain_hash(BytesView prev_hash, const AuditEntry& entry);
+
+ private:
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace tpnr::audit

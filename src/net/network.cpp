@@ -41,6 +41,9 @@ std::uint64_t Network::send(const std::string& from, const std::string& to,
 
   ++stats_.messages_sent;
   stats_.bytes_sent += env.payload.size();
+  TopicStats& topic_stats = stats_.by_topic[env.topic];
+  ++topic_stats.messages_sent;
+  topic_stats.bytes_sent += env.payload.size();
 
   // Adversary sees the message before channel effects.
   if (const auto adv = adversaries_.find({from, to});
@@ -107,6 +110,10 @@ std::size_t Network::run(std::size_t max_events) {
       const auto it = handlers_.find(event.envelope.to);
       if (it != handlers_.end()) {
         ++stats_.messages_delivered;
+        stats_.bytes_delivered += event.envelope.payload.size();
+        TopicStats& topic = stats_.by_topic[event.envelope.topic];
+        ++topic.messages_delivered;
+        topic.bytes_delivered += event.envelope.payload.size();
         it->second(event.envelope);
       }
     }

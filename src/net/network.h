@@ -60,6 +60,16 @@ struct AdversaryAction {
 /// wholly new traffic.
 using Adversary = std::function<AdversaryAction(const Envelope&)>;
 
+/// Per-topic traffic counters: experiments that mix workloads on one network
+/// (e.g. protocol traffic on "nr" vs audit traffic on "nr.audit") read these
+/// to attribute overhead to the right subsystem.
+struct TopicStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
 /// Statistics for experiments.
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
@@ -68,6 +78,14 @@ struct NetworkStats {
   std::uint64_t messages_dropped_adversary = 0;
   std::uint64_t messages_modified = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::map<std::string, TopicStats> by_topic;
+
+  /// Counters for `topic` (zeros if the topic never carried traffic).
+  [[nodiscard]] TopicStats topic(const std::string& name) const {
+    const auto it = by_topic.find(name);
+    return it == by_topic.end() ? TopicStats{} : it->second;
+  }
 };
 
 class Network {

@@ -17,7 +17,11 @@ NrActor::NrActor(std::string id, net::Network& network,
     }
     if (!screen(message)) return;
     ++stats_.accepted;
+    // Replies sent from inside on_message stay on the inbound topic, so a
+    // whole conversation is accounted under one topic.
+    reply_topic_ = envelope.topic;
     on_message(message);
+    reply_topic_.clear();
   });
 }
 
@@ -75,7 +79,9 @@ bool NrActor::screen(const NrMessage& message) {
 
 void NrActor::send(const std::string& to, NrMessage message) {
   ++stats_.sent;
-  network_->send(id_, to, "nr", message.encode());
+  network_->send(id_, to,
+                 reply_topic_.empty() ? default_topic_ : reply_topic_,
+                 message.encode());
 }
 
 MessageHeader NrActor::next_header(MsgType flag, const std::string& recipient,

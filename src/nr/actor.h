@@ -78,6 +78,15 @@ class NrActor {
 
   void send(const std::string& to, NrMessage message);
 
+  /// Topic for messages this actor ORIGINATES. Replies sent while handling
+  /// an inbound message inherit that message's topic instead, so an entire
+  /// challenge/response conversation lands on one topic and
+  /// net::TopicStats can attribute its traffic (protocol "nr" vs audit
+  /// "nr.audit").
+  void set_default_topic(std::string topic) {
+    default_topic_ = std::move(topic);
+  }
+
   [[nodiscard]] const crypto::RsaPublicKey* peer_key(
       const std::string& peer_id) const;
 
@@ -93,6 +102,8 @@ class NrActor {
 
  private:
   std::string id_;
+  std::string default_topic_ = "nr";
+  std::string reply_topic_;  ///< topic of the message currently being handled
   ScreeningPolicy policy_;
   std::map<std::string, crypto::RsaPublicKey> peers_;
   std::set<Bytes> seen_nonces_;

@@ -12,7 +12,11 @@ constexpr common::SimTime kReplyWindow = 30 * common::kSecond;
 ProviderActor::ProviderActor(std::string id, net::Network& network,
                              pki::Identity& identity, crypto::Drbg& rng)
     : NrActor(std::move(id), network, identity, rng),
-      store_(std::make_unique<storage::MemoryBackend>()) {}
+      store_(std::make_unique<storage::MemoryBackend>()) {
+  // Fault events in the store carry simulated injection times, which is
+  // what lets an auditor's detection latency be measured.
+  store_.bind_clock(&network.clock());
+}
 
 const ProviderActor::TxnRecord* ProviderActor::transaction(
     const std::string& txn_id) const {
@@ -236,6 +240,7 @@ void ProviderActor::handle_fetch(const NrMessage& message) {
 }
 
 void ProviderActor::handle_chunk_request(const NrMessage& message) {
+  if (!behavior_.respond_to_fetch) return;  // dead/unresponsive replica
   const MessageHeader& h = message.header;
   const auto it = txns_.find(h.txn_id);
   if (it == txns_.end() || it->second.state != TxnRecord::State::kStored ||

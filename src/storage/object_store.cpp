@@ -19,6 +19,8 @@ std::string fault_kind_name(FaultKind kind) {
       return "stale-version";
     case FaultKind::kLoss:
       return "loss";
+    case FaultKind::kAdminTamper:
+      return "admin-tamper";
   }
   return "unknown";
 }
@@ -58,14 +60,35 @@ std::optional<ObjectRecord> ObjectStore::get(const std::string& key) {
   return record;
 }
 
+std::vector<FaultEvent> ObjectStore::fault_log_for(
+    const std::string& key) const {
+  std::vector<FaultEvent> events;
+  for (const FaultEvent& event : fault_log_) {
+    if (event.key == key) events.push_back(event);
+  }
+  return events;
+}
+
+void ObjectStore::log_fault(const std::string& key, FaultKind kind,
+                            std::uint64_t version) {
+  ++faults_injected_;
+  FaultEvent event;
+  event.key = key;
+  event.kind = kind;
+  event.version = version;
+  event.at = clock_ != nullptr ? clock_->now() : 0;
+  fault_log_.push_back(std::move(event));
+}
+
 void ObjectStore::apply_fault(const std::string& key, ObjectRecord& record) {
   if (policy_.kind == FaultKind::kNone ||
       !fault_rng_.chance(policy_.probability)) {
     return;
   }
-  ++faults_injected_;
+  log_fault(key, policy_.kind, record.version);
   switch (policy_.kind) {
     case FaultKind::kNone:
+    case FaultKind::kAdminTamper:  // never produced by a policy
       break;
     case FaultKind::kBitFlip: {
       if (record.data.empty()) break;
@@ -110,9 +133,12 @@ bool ObjectStore::tamper(const std::string& key, BytesView new_data) {
   const auto it = index_.find(key);
   if (it == index_.end()) return false;
   // Deliberately leave stored_md5, version, metadata untouched: the
-  // administrator rewrites bytes behind the bookkeeping's back.
+  // administrator rewrites bytes behind the bookkeeping's back. The fault
+  // log still records it — the log belongs to the experiment harness, not
+  // to the provider's (fooled) bookkeeping.
   it->second.data = Bytes(new_data.begin(), new_data.end());
   backend_->put(key, new_data);
+  log_fault(key, FaultKind::kAdminTamper, it->second.version);
   return true;
 }
 

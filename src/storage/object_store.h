@@ -36,9 +36,19 @@ enum class FaultKind {
   kOverwrite,      ///< a range replaced with attacker bytes
   kStaleVersion,   ///< reads serve a previous version (rollback)
   kLoss,           ///< object disappears
+  kAdminTamper,    ///< explicit tamper() by "the administrator" (Eve)
 };
 
 std::string fault_kind_name(FaultKind kind);
+
+/// One observed fault, recorded when it is injected. Detection latency for
+/// an auditor is (time the audit flags the key) − (`at` of the injection).
+struct FaultEvent {
+  std::string key;
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t version = 0;  ///< version the fault was applied against
+  SimTime at = 0;             ///< injection time (0 if no clock is bound)
+};
 
 /// Deterministic fault injection driven by a seeded Drbg. `probability`
 /// applies independently per read.
@@ -78,8 +88,23 @@ class ObjectStore {
     return faults_injected_;
   }
 
+  /// Binds the simulation clock so fault events carry injection times.
+  /// The store does not own the clock; nullptr unbinds.
+  void bind_clock(const common::SimClock* clock) noexcept { clock_ = clock; }
+
+  /// Every fault injected so far (policy faults and tamper() calls), in
+  /// injection order.
+  [[nodiscard]] const std::vector<FaultEvent>& fault_log() const noexcept {
+    return fault_log_;
+  }
+  /// The injections that hit `key`.
+  [[nodiscard]] std::vector<FaultEvent> fault_log_for(
+      const std::string& key) const;
+
  private:
   void apply_fault(const std::string& key, ObjectRecord& record);
+  void log_fault(const std::string& key, FaultKind kind,
+                 std::uint64_t version);
 
   std::unique_ptr<StorageBackend> backend_;
   std::map<std::string, ObjectRecord> index_;          // metadata + current
@@ -87,6 +112,8 @@ class ObjectStore {
   FaultPolicy policy_;
   crypto::Drbg fault_rng_;
   std::uint64_t faults_injected_ = 0;
+  const common::SimClock* clock_ = nullptr;
+  std::vector<FaultEvent> fault_log_;
 };
 
 }  // namespace tpnr::storage

@@ -1,0 +1,121 @@
+// AuditLedger: hash-chaining, tamper evidence, head anchoring.
+#include "audit/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace tpnr::audit {
+namespace {
+
+AuditEntry entry_for(std::uint64_t chunk, AuditVerdict verdict) {
+  AuditEntry entry;
+  entry.challenged_at = 1000 + static_cast<SimTime>(chunk);
+  entry.concluded_at = 2000 + static_cast<SimTime>(chunk);
+  entry.auditor = "auditor";
+  entry.provider = "bob";
+  entry.txn_id = "txn-1";
+  entry.object_key = "obj";
+  entry.chunk_index = chunk;
+  entry.verdict = verdict;
+  entry.detail = "detail";
+  return entry;
+}
+
+TEST(AuditLedgerTest, EmptyLedgerVerifiesAndAnchorsToGenesis) {
+  AuditLedger ledger;
+  EXPECT_TRUE(ledger.verify_chain());
+  EXPECT_EQ(ledger.first_invalid(), 0u);
+  EXPECT_EQ(ledger.head(), AuditLedger::genesis_hash());
+}
+
+TEST(AuditLedgerTest, AppendAssignsSequenceAndChains) {
+  AuditLedger ledger;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ledger.append(entry_for(i, AuditVerdict::kVerified));
+  }
+  ASSERT_EQ(ledger.size(), 5u);
+  EXPECT_TRUE(ledger.verify_chain());
+  EXPECT_EQ(ledger.entries().front().prev_hash, AuditLedger::genesis_hash());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ledger.entries()[i].seq, i);
+    if (i > 0) {
+      EXPECT_EQ(ledger.entries()[i].prev_hash,
+                ledger.entries()[i - 1].entry_hash);
+    }
+  }
+  EXPECT_EQ(ledger.head(), ledger.entries().back().entry_hash);
+}
+
+TEST(AuditLedgerTest, MutatedVerdictBreaksTheChain) {
+  AuditLedger ledger;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ledger.append(entry_for(i, AuditVerdict::kMismatch));
+  }
+  // The cover-up: rewrite a damning verdict to "verified".
+  ledger.raw_entries()[1].verdict = AuditVerdict::kVerified;
+  EXPECT_FALSE(ledger.verify_chain());
+  EXPECT_EQ(ledger.first_invalid(), 1u);
+}
+
+TEST(AuditLedgerTest, MutatedTimingOrDetailBreaksTheChain) {
+  AuditLedger ledger;
+  ledger.append(entry_for(0, AuditVerdict::kNoResponse));
+  ledger.append(entry_for(1, AuditVerdict::kVerified));
+
+  AuditLedger copy = ledger;
+  copy.raw_entries()[0].concluded_at += 1;
+  EXPECT_FALSE(copy.verify_chain());
+
+  copy = ledger;
+  copy.raw_entries()[1].detail = "edited";
+  EXPECT_FALSE(copy.verify_chain());
+  EXPECT_EQ(copy.first_invalid(), 1u);
+}
+
+TEST(AuditLedgerTest, ReorderedEntriesDetected) {
+  AuditLedger ledger;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ledger.append(entry_for(i, AuditVerdict::kVerified));
+  }
+  std::swap(ledger.raw_entries()[0], ledger.raw_entries()[1]);
+  EXPECT_FALSE(ledger.verify_chain());
+  EXPECT_EQ(ledger.first_invalid(), 0u);
+}
+
+TEST(AuditLedgerTest, DroppedEntryDetected) {
+  AuditLedger ledger;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ledger.append(entry_for(i, AuditVerdict::kVerified));
+  }
+  // Deleting from the middle breaks every later back-link and seq.
+  auto& raw = ledger.raw_entries();
+  raw.erase(raw.begin() + 1);
+  EXPECT_FALSE(ledger.verify_chain());
+}
+
+TEST(AuditLedgerTest, TailTruncationCaughtByHeadAnchor) {
+  AuditLedger ledger;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ledger.append(entry_for(i, AuditVerdict::kMismatch));
+  }
+  const Bytes anchored_head = ledger.head();
+  // Chopping the newest entries leaves a self-consistent prefix — chain
+  // verification alone cannot see it. The published/countersigned head is
+  // what catches it.
+  ledger.raw_entries().pop_back();
+  EXPECT_TRUE(ledger.verify_chain());
+  EXPECT_NE(ledger.head(), anchored_head);
+}
+
+TEST(AuditLedgerTest, VerdictNamesAndFlagging) {
+  EXPECT_EQ(audit_verdict_name(AuditVerdict::kVerified), "verified");
+  EXPECT_EQ(audit_verdict_name(AuditVerdict::kMismatch), "mismatch");
+  EXPECT_EQ(audit_verdict_name(AuditVerdict::kNoResponse), "no-response");
+  EXPECT_FALSE(verdict_flags_provider(AuditVerdict::kVerified));
+  EXPECT_TRUE(verdict_flags_provider(AuditVerdict::kMismatch));
+  EXPECT_TRUE(verdict_flags_provider(AuditVerdict::kBadEvidence));
+  EXPECT_TRUE(verdict_flags_provider(AuditVerdict::kMalformed));
+  EXPECT_TRUE(verdict_flags_provider(AuditVerdict::kNoResponse));
+}
+
+}  // namespace
+}  // namespace tpnr::audit

@@ -1,0 +1,133 @@
+// Integration: ObjectStore fault kinds exercised end-to-end through a TPNR
+// fetch — the at-rest faults of Fig. 5 surfacing as integrity failures (or
+// silence) at the protocol layer, with the injection recorded in the
+// store's fault log.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "nr/client.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+#include "storage/object_store.h"
+
+namespace tpnr {
+namespace {
+
+using storage::FaultKind;
+
+const pki::Identity& pooled(const std::string& name) {
+  static const auto* pool = [] {
+    auto* identities = new std::map<std::string, pki::Identity>();
+    crypto::Drbg rng(std::uint64_t{90909});
+    for (const char* id : {"alice", "bob", "ttp"}) {
+      identities->emplace(id, pki::Identity(id, 1024, rng));
+    }
+    return identities;
+  }();
+  return pool->at(name);
+}
+
+class FaultKindsTest : public ::testing::Test {
+ protected:
+  FaultKindsTest()
+      : network_(2024),
+        rng_(std::uint64_t{17}),
+        alice_id_(pooled("alice")),
+        bob_id_(pooled("bob")),
+        ttp_id_(pooled("ttp")),
+        alice_("alice", network_, alice_id_, rng_),
+        bob_("bob", network_, bob_id_, rng_),
+        ttp_("ttp", network_, ttp_id_, rng_) {
+    alice_.trust_peer("bob", bob_id_.public_key());
+    alice_.trust_peer("ttp", ttp_id_.public_key());
+    bob_.trust_peer("alice", alice_id_.public_key());
+    ttp_.trust_peer("alice", alice_id_.public_key());
+    ttp_.trust_peer("bob", bob_id_.public_key());
+  }
+
+  /// Completes a store of `data` under `key`; returns the transaction id.
+  std::string stored(const std::string& key, const common::Bytes& data) {
+    const std::string txn = alice_.store("bob", "ttp", key, data);
+    network_.run();
+    EXPECT_EQ(alice_.transaction(txn)->state, nr::TxnState::kCompleted);
+    return txn;
+  }
+
+  net::Network network_;
+  crypto::Drbg rng_;
+  pki::Identity alice_id_;
+  pki::Identity bob_id_;
+  pki::Identity ttp_id_;
+  nr::ClientActor alice_;
+  nr::ProviderActor bob_;
+  nr::TtpActor ttp_;
+};
+
+// kStaleVersion: the store silently serves a rolled-back version. The TPNR
+// fetch catches it — the served bytes no longer hash to the value the
+// evidence binds — where the naive MD5 check of Fig. 5 would not.
+TEST_F(FaultKindsTest, StaleVersionFaultCaughtByTpnrFetch) {
+  crypto::Drbg data_rng(std::uint64_t{1});
+  const common::Bytes v1 = data_rng.bytes(600);
+  const common::Bytes v2 = data_rng.bytes(600);
+  stored("rollback-object", v1);
+  const std::string txn2 = stored("rollback-object", v2);
+
+  bob_.store().set_fault_policy({FaultKind::kStaleVersion, 1.0});
+  alice_.fetch(txn2);
+  network_.run();
+
+  const auto* state = alice_.transaction(txn2);
+  ASSERT_TRUE(state->fetched);
+  EXPECT_FALSE(state->fetch_integrity_ok);
+  EXPECT_EQ(state->fetched_data, v1);  // the rollback really was served
+
+  const auto faults = bob_.store().fault_log_for("rollback-object");
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::kStaleVersion);
+  EXPECT_EQ(faults[0].version, 2u);
+  EXPECT_GT(faults[0].at, 0);
+}
+
+// kLoss: the object disappears at rest. The provider has nothing to serve,
+// so the fetch never completes — distinguishable from a tampered response.
+TEST_F(FaultKindsTest, LossFaultLeavesFetchUnanswered) {
+  crypto::Drbg data_rng(std::uint64_t{2});
+  const std::string txn = stored("doomed-object", data_rng.bytes(500));
+
+  bob_.store().set_fault_policy({FaultKind::kLoss, 1.0});
+  alice_.fetch(txn);
+  network_.run();
+
+  const auto* state = alice_.transaction(txn);
+  EXPECT_FALSE(state->fetched);
+  // Loss is a read-path fault: the index still lists the key, but every
+  // read comes back empty — the provider cannot produce the bytes.
+  EXPECT_TRUE(bob_.store().exists("doomed-object"));
+
+  const auto faults = bob_.store().fault_log_for("doomed-object");
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].kind, FaultKind::kLoss);
+  EXPECT_GT(faults[0].at, 0);
+}
+
+// Contrast case: a fault policy that never fires leaves the fetch clean and
+// the fault log empty.
+TEST_F(FaultKindsTest, ZeroProbabilityPolicyInjectsNothing) {
+  crypto::Drbg data_rng(std::uint64_t{3});
+  const common::Bytes data = data_rng.bytes(400);
+  const std::string txn = stored("safe-object", data);
+
+  bob_.store().set_fault_policy({FaultKind::kLoss, 0.0});
+  alice_.fetch(txn);
+  network_.run();
+
+  const auto* state = alice_.transaction(txn);
+  ASSERT_TRUE(state->fetched);
+  EXPECT_TRUE(state->fetch_integrity_ok);
+  EXPECT_EQ(state->fetched_data, data);
+  EXPECT_TRUE(bob_.store().fault_log().empty());
+}
+
+}  // namespace
+}  // namespace tpnr

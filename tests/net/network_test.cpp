@@ -213,6 +213,50 @@ TEST(NetworkTest, StatsCountSentAndDelivered) {
   EXPECT_EQ(network.stats().messages_sent, 2u);
   EXPECT_EQ(network.stats().messages_delivered, 2u);
   EXPECT_EQ(network.stats().bytes_sent, 150u);
+  EXPECT_EQ(network.stats().bytes_delivered, 150u);
+}
+
+TEST(NetworkTest, PerTopicStatsSeparateTrafficClasses) {
+  Network network(1);
+  network.attach("sink", [](const Envelope&) {});
+  network.send("a", "sink", "protocol", common::Bytes(100, 0));
+  network.send("a", "sink", "protocol", common::Bytes(60, 0));
+  network.send("a", "sink", "audit", common::Bytes(7, 0));
+  network.run();
+
+  const TopicStats protocol = network.stats().topic("protocol");
+  EXPECT_EQ(protocol.messages_sent, 2u);
+  EXPECT_EQ(protocol.bytes_sent, 160u);
+  EXPECT_EQ(protocol.messages_delivered, 2u);
+  EXPECT_EQ(protocol.bytes_delivered, 160u);
+
+  const TopicStats audit = network.stats().topic("audit");
+  EXPECT_EQ(audit.messages_sent, 1u);
+  EXPECT_EQ(audit.bytes_sent, 7u);
+
+  // Unknown topics read as all-zero rather than materializing entries.
+  const TopicStats none = network.stats().topic("never-used");
+  EXPECT_EQ(none.messages_sent, 0u);
+  EXPECT_EQ(none.bytes_sent, 0u);
+  EXPECT_EQ(network.stats().by_topic.size(), 2u);
+}
+
+TEST(NetworkTest, TopicStatsCountDropsAsSentNotDelivered) {
+  Network network(1);
+  network.attach("sink", [](const Envelope&) {});
+  network.set_adversary("a", "sink", [](const Envelope&) {
+    AdversaryAction action;
+    action.kind = AdversaryAction::Kind::kDrop;
+    return action;
+  });
+  network.send("a", "sink", "t", common::Bytes(10, 0));
+  network.run();
+  const TopicStats t = network.stats().topic("t");
+  EXPECT_EQ(t.messages_sent, 1u);
+  EXPECT_EQ(t.bytes_sent, 10u);
+  EXPECT_EQ(t.messages_delivered, 0u);
+  EXPECT_EQ(t.bytes_delivered, 0u);
+  EXPECT_EQ(network.stats().bytes_delivered, 0u);
 }
 
 }  // namespace

@@ -206,6 +206,59 @@ TEST(FaultKindTest, Names) {
   EXPECT_EQ(fault_kind_name(FaultKind::kNone), "none");
   EXPECT_EQ(fault_kind_name(FaultKind::kBitFlip), "bit-flip");
   EXPECT_EQ(fault_kind_name(FaultKind::kStaleVersion), "stale-version");
+  EXPECT_EQ(fault_kind_name(FaultKind::kAdminTamper), "admin-tamper");
+}
+
+TEST_F(ObjectStoreTest, FaultLogRecordsPolicyInjections) {
+  store_.put("k", to_bytes("some payload"), {}, 1);
+  store_.set_fault_policy({FaultKind::kBitFlip, 1.0});
+  EXPECT_TRUE(store_.get("k").has_value());
+  EXPECT_TRUE(store_.get("k").has_value());
+
+  ASSERT_EQ(store_.fault_log().size(), 2u);
+  for (const FaultEvent& event : store_.fault_log()) {
+    EXPECT_EQ(event.key, "k");
+    EXPECT_EQ(event.kind, FaultKind::kBitFlip);
+    EXPECT_EQ(event.version, 1u);
+    EXPECT_EQ(event.at, 0);  // no clock bound
+  }
+  EXPECT_EQ(store_.faults_injected(), store_.fault_log().size());
+}
+
+TEST_F(ObjectStoreTest, FaultLogRecordsAdminTamper) {
+  store_.put("k", to_bytes("v1"), {}, 1);
+  store_.put("k", to_bytes("v2"), {}, 2);
+  ASSERT_TRUE(store_.tamper("k", to_bytes("evil")));
+
+  ASSERT_EQ(store_.fault_log().size(), 1u);
+  EXPECT_EQ(store_.fault_log()[0].kind, FaultKind::kAdminTamper);
+  EXPECT_EQ(store_.fault_log()[0].version, 2u);
+  EXPECT_EQ(store_.faults_injected(), 1u);
+}
+
+TEST_F(ObjectStoreTest, FaultLogCarriesBoundClockTime) {
+  common::SimClock clock;
+  store_.bind_clock(&clock);
+  store_.put("k", to_bytes("x"), {}, 1);
+  clock.advance_to(12345);
+  ASSERT_TRUE(store_.tamper("k", to_bytes("y")));
+  ASSERT_EQ(store_.fault_log().size(), 1u);
+  EXPECT_EQ(store_.fault_log()[0].at, 12345);
+}
+
+TEST_F(ObjectStoreTest, FaultLogForFiltersByKey) {
+  store_.put("a", to_bytes("x"), {}, 1);
+  store_.put("b", to_bytes("y"), {}, 1);
+  store_.tamper("a", to_bytes("x2"));
+  store_.tamper("b", to_bytes("y2"));
+  store_.tamper("a", to_bytes("x3"));
+
+  const auto for_a = store_.fault_log_for("a");
+  ASSERT_EQ(for_a.size(), 2u);
+  EXPECT_EQ(for_a[0].key, "a");
+  EXPECT_EQ(for_a[1].key, "a");
+  EXPECT_EQ(store_.fault_log_for("b").size(), 1u);
+  EXPECT_TRUE(store_.fault_log_for("missing").empty());
 }
 
 }  // namespace
