@@ -1,0 +1,304 @@
+// Durability economics of the persist subsystem (src/persist/): sweeps
+// flush-policy × crash-point × log-size over a journaled audit-ledger
+// workload and reports, per cell, the recovery wall time, the write
+// amplification the policy pays, and the records lost — split into
+// committed (must be ZERO, every cell, every policy) and the un-flushed
+// suffix group commit consciously risks. Micro-benchmarks below time the
+// hot paths (append under each policy, CRC32C, snapshot encode, replay).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "audit/ledger.h"
+#include "bench_util.h"
+#include "persist/crc32c.h"
+#include "persist/recovery.h"
+
+namespace {
+
+using namespace tpnr;  // NOLINT(google-build-using-namespace)
+
+audit::AuditEntry ledger_entry(std::uint64_t i) {
+  audit::AuditEntry entry;
+  entry.challenged_at = 1000 + static_cast<common::SimTime>(i);
+  entry.concluded_at = 2000 + static_cast<common::SimTime>(i);
+  entry.auditor = "auditor";
+  entry.provider = "bob";
+  entry.txn_id = "txn-" + std::to_string(i % 16);
+  entry.object_key = "obj-" + std::to_string(i % 64);
+  entry.chunk_index = i;
+  entry.verdict =
+      i % 97 == 0 ? audit::AuditVerdict::kMismatch : audit::AuditVerdict::kVerified;
+  entry.detail = "challenge " + std::to_string(i) + " concluded";
+  return entry;
+}
+
+persist::ObjectMeta object_meta(std::uint64_t i) {
+  persist::ObjectMeta meta;
+  meta.key = "obj-" + std::to_string(i % 64);
+  meta.version = i;
+  meta.stored_md5 = common::Bytes(16, static_cast<std::uint8_t>(i));
+  meta.stored_at = 3000 + static_cast<common::SimTime>(i);
+  meta.size = 4096;
+  meta.sha256 = common::Bytes(32, static_cast<std::uint8_t>(i * 7));
+  return meta;
+}
+
+/// Journals `records` entries (ledger appends + every 8th an object-put)
+/// through a WAL under `policy`; optionally crashes at `at_write`.
+struct RunResult {
+  bool crashed = false;
+  std::uint64_t durable_lsn = 0;
+  std::uint64_t last_lsn = 0;
+  std::uint64_t device_writes = 0;
+  std::uint64_t device_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t device_flushes = 0;
+  std::vector<common::Bytes> images;
+};
+
+RunResult run_workload(std::size_t records, persist::FlushPolicy policy,
+                       std::uint64_t at_write, std::uint64_t seed) {
+  common::SimClock clock;
+  persist::WalOptions options;
+  options.segment_bytes = 16 * 1024;
+  options.policy = policy;
+  options.flush_every_n = 8;
+  options.flush_interval = 10 * common::kMillisecond;
+  options.clock = &clock;
+  auto faults = std::make_shared<persist::FaultInjector>(seed);
+  persist::Wal wal(options, faults);
+  if (at_write != 0) faults->arm({at_write, /*torn_prefix=*/-1});
+
+  audit::AuditLedger ledger;
+  ledger.bind_journal(&wal);
+  RunResult result;
+  try {
+    for (std::size_t i = 0; i < records; ++i) {
+      clock.advance(common::kMillisecond);  // 1 ms of sim time per event
+      ledger.append(ledger_entry(i));
+      if (i % 8 == 7) {
+        wal.record(persist::RecordType::kObjectPut, object_meta(i).encode());
+      }
+    }
+  } catch (const persist::DeviceCrashed&) {
+    result.crashed = true;
+  }
+  result.durable_lsn = wal.durable_lsn();
+  result.last_lsn = wal.last_lsn();
+  result.device_writes = wal.device_writes();
+  result.device_bytes = wal.device_bytes();
+  result.payload_bytes = wal.payload_bytes();
+  result.device_flushes = wal.device_flushes();
+  result.images = wal.durable_images();
+  return result;
+}
+
+void print_recovery_sweep() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"policy", "records", "crash@", "write-amp", "recovered",
+                  "lost-committed", "lost-unflushed", "recover-us"});
+
+  const persist::FlushPolicy policies[] = {
+      persist::FlushPolicy::kEveryRecord,
+      persist::FlushPolicy::kEveryN,
+      persist::FlushPolicy::kEveryInterval,
+  };
+  for (const persist::FlushPolicy policy : policies) {
+    for (const std::size_t records : {100u, 1000u, 5000u}) {
+      // Dry run: total device writes + the amplification the policy pays.
+      const RunResult dry = run_workload(records, policy, 0, 1);
+      const double amplification =
+          static_cast<double>(dry.device_bytes) /
+          static_cast<double>(dry.payload_bytes);
+
+      for (const double fraction : {0.25, 0.5, 0.9}) {
+        const auto at_write = static_cast<std::uint64_t>(
+            2 + fraction * static_cast<double>(dry.device_writes - 2));
+        const RunResult run =
+            run_workload(records, policy, at_write, 7 + at_write);
+
+        persist::RecoveryOptions options;
+        options.durable_lsn = run.durable_lsn;
+        options.last_lsn = run.last_lsn;
+        const persist::DurableImage image{{}, run.images};
+        const auto start = std::chrono::steady_clock::now();
+        const persist::RecoveredState state =
+            persist::Recovery::replay(image, options);
+        const auto recover_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        const persist::RecoveryReport& report = state.report;
+
+        rows.push_back({persist::flush_policy_name(policy),
+                        std::to_string(records), bench::fmt(fraction, 2),
+                        bench::fmt(amplification, 2),
+                        std::to_string(report.wal_records_replayed),
+                        std::to_string(report.lost_committed),
+                        std::to_string(report.lost_unflushed),
+                        std::to_string(recover_us)});
+        bench::JsonLine("persist_recovery")
+            .field("policy", persist::flush_policy_name(policy))
+            .field("records", static_cast<std::uint64_t>(records))
+            .field("crash_fraction", fraction, 2)
+            .field("device_writes", run.device_writes)
+            .field("device_flushes", run.device_flushes)
+            .field("write_amplification", amplification, 3)
+            .field("durable_lsn", run.durable_lsn)
+            .field("last_lsn", run.last_lsn)
+            .field("records_recovered", report.wal_records_replayed)
+            .field("lost_committed", report.lost_committed)
+            .field("lost_unflushed", report.lost_unflushed)
+            .field("ledger_chain_ok", report.ledger_chain_ok)
+            .field("wal_dropped_bytes", report.wal_dropped_bytes)
+            .field("recovery_us", static_cast<std::uint64_t>(recover_us))
+            .field("sound", report.sound())
+            .print();
+      }
+    }
+  }
+  bench::print_table(
+      "recovery after crash: flush policy x crash point x log size", rows);
+}
+
+void print_checkpoint_effect() {
+  // Same 5000-record workload, but with a snapshot+truncate checkpoint at
+  // the halfway durable point: recovery replays snapshot + tail instead of
+  // the whole log.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"variant", "wal-records-replayed", "recover-us", "sound"});
+  for (const bool checkpointed : {false, true}) {
+    persist::WalOptions options;
+    options.segment_bytes = 16 * 1024;
+    auto faults = std::make_shared<persist::FaultInjector>(21);
+    persist::Wal wal(options, faults);
+    persist::Snapshotter snapshotter(faults);
+    audit::AuditLedger ledger;
+    ledger.bind_journal(&wal);
+
+    constexpr std::size_t kRecords = 5000;
+    bool crashed = false;
+    try {
+      for (std::size_t i = 0; i < kRecords; ++i) {
+        ledger.append(ledger_entry(i));
+        if (checkpointed && i == kRecords / 2) {
+          const persist::RecoveredState durable_now = persist::Recovery::replay(
+              persist::capture_durable(&snapshotter, wal));
+          snapshotter.write(
+              persist::to_snapshot_state(durable_now, wal.durable_lsn()));
+          wal.truncate_upto(wal.durable_lsn());
+        }
+        if (i == kRecords - kRecords / 10) {
+          faults->arm({faults->writes_issued() + 50, /*torn_prefix=*/-1});
+        }
+      }
+    } catch (const persist::DeviceCrashed&) {
+      crashed = true;
+    }
+
+    persist::RecoveryOptions recovery_options;
+    recovery_options.durable_lsn = wal.durable_lsn();
+    recovery_options.last_lsn = wal.last_lsn();
+    const persist::DurableImage image =
+        persist::capture_durable(&snapshotter, wal);
+    const auto start = std::chrono::steady_clock::now();
+    const persist::RecoveredState state =
+        persist::Recovery::replay(image, recovery_options);
+    const auto recover_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    rows.push_back({checkpointed ? "snapshot+tail" : "full-log-replay",
+                    std::to_string(state.report.wal_records_replayed),
+                    std::to_string(recover_us),
+                    state.report.sound() ? "yes" : "no"});
+    bench::JsonLine("persist_recovery")
+        .field("scenario", "checkpoint_effect")
+        .field("checkpointed", checkpointed)
+        .field("crashed", crashed)
+        .field("snapshot_used", state.report.snapshot_ok)
+        .field("records_replayed", state.report.wal_records_replayed)
+        .field("ledger_entries", static_cast<std::uint64_t>(
+                                     state.report.ledger_entries))
+        .field("recovery_us", static_cast<std::uint64_t>(recover_us))
+        .field("sound", state.report.sound())
+        .print();
+  }
+  bench::print_table("checkpoint effect on recovery (5000 records)", rows);
+}
+
+// --- Micro-benchmarks --------------------------------------------------------
+
+void BM_WalAppend(benchmark::State& state) {
+  const auto policy = static_cast<persist::FlushPolicy>(state.range(0));
+  common::SimClock clock;
+  persist::WalOptions options;
+  options.policy = policy;
+  options.flush_every_n = 8;
+  options.clock = &clock;
+  persist::Wal wal(options);
+  const common::Bytes payload = ledger_entry(1).encode_full();
+  for (auto _ : state) {
+    clock.advance(common::kMillisecond);
+    benchmark::DoNotOptimize(
+        wal.record(persist::RecordType::kOpaque, payload));
+  }
+  state.SetLabel(persist::flush_policy_name(policy));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    payload.size()));
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Crc32c64K(benchmark::State& state) {
+  const common::Bytes data(64 * 1024, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(persist::crc32c(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Crc32c64K);
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  persist::SnapshotState snapshot;
+  snapshot.wal_lsn = 1000;
+  audit::AuditLedger ledger;
+  for (std::uint64_t i = 0; i < 1000; ++i) ledger.append(ledger_entry(i));
+  snapshot.ledger = ledger.entries();
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    snapshot.objects.push_back(object_meta(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(persist::Snapshotter::encode(snapshot));
+  }
+  state.SetLabel("1000 ledger entries + 64 objects");
+}
+BENCHMARK(BM_SnapshotEncode);
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  const RunResult run = run_workload(
+      static_cast<std::size_t>(state.range(0)),
+      persist::FlushPolicy::kEveryN, 0, 3);
+  const persist::DurableImage image{{}, run.images};
+  persist::RecoveryOptions options;
+  options.durable_lsn = run.durable_lsn;
+  options.last_lsn = run.last_lsn;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(persist::Recovery::replay(image, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(1000)->Arg(5000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_recovery_sweep();
+  print_checkpoint_effect();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

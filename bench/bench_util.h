@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -59,6 +60,24 @@ inline std::string fmt(double value, int precision = 2) {
   return buffer;
 }
 
+/// Where JsonLine records go: stdout by default; `TPNR_BENCH_JSON=<path>`
+/// redirects them to that file (append mode) so CI collects a machine-
+/// readable artifact instead of scraping stdout. Resolved once per process.
+inline std::FILE* json_sink() {
+  static std::FILE* sink = [] {
+    const char* path = std::getenv("TPNR_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return stdout;
+    std::FILE* file = std::fopen(path, "a");
+    if (file == nullptr) {
+      std::fprintf(stderr, "TPNR_BENCH_JSON: cannot open %s, using stdout\n",
+                   path);
+      return stdout;
+    }
+    return file;
+  }();
+  return sink;
+}
+
 /// One-line JSON emitter: every bench_* binary prints one
 /// `{"bench":"...",...}` line per experiment summary, so a run's headline
 /// numbers can be grepped and parsed uniformly across binaries.
@@ -93,7 +112,11 @@ class JsonLine {
     return field(key, static_cast<std::int64_t>(value));
   }
 
-  void print() const { std::printf("{%s}\n", body_.c_str()); }
+  void print() const {
+    std::FILE* sink = json_sink();
+    std::fprintf(sink, "{%s}\n", body_.c_str());
+    if (sink != stdout) std::fflush(sink);
+  }
 
  private:
   static std::string escape(const std::string& text) {
@@ -104,7 +127,10 @@ class JsonLine {
         out += c;
       } else if (static_cast<unsigned char>(c) < 0x20) {
         char buffer[8];
-        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+        // Promote via unsigned char: a sign-extended negative char would
+        // otherwise print far more than 4 hex digits.
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
         out += buffer;
       } else {
         out += c;

@@ -36,6 +36,41 @@ Bytes AuditEntry::encode_body() const {
   return w.take();
 }
 
+Bytes AuditEntry::encode_full() const {
+  common::BinaryWriter w;
+  w.bytes(encode_body());
+  w.bytes(prev_hash);
+  w.bytes(entry_hash);
+  return w.take();
+}
+
+AuditEntry AuditEntry::decode_full(BytesView data) {
+  common::BinaryReader r(data);
+  const Bytes body = r.bytes();
+  AuditEntry entry;
+  common::BinaryReader b(body);
+  entry.seq = b.u64();
+  entry.challenged_at = b.i64();
+  entry.concluded_at = b.i64();
+  entry.auditor = b.str();
+  entry.provider = b.str();
+  entry.txn_id = b.str();
+  entry.object_key = b.str();
+  entry.chunk_index = b.u64();
+  const std::uint8_t verdict = b.u8();
+  if (verdict < static_cast<std::uint8_t>(AuditVerdict::kVerified) ||
+      verdict > static_cast<std::uint8_t>(AuditVerdict::kNoResponse)) {
+    throw common::SerialError("AuditEntry: unknown verdict");
+  }
+  entry.verdict = static_cast<AuditVerdict>(verdict);
+  entry.detail = b.str();
+  b.expect_done();
+  entry.prev_hash = r.bytes();
+  entry.entry_hash = r.bytes();
+  r.expect_done();
+  return entry;
+}
+
 Bytes AuditLedger::genesis_hash() {
   return crypto::sha256(common::to_bytes("tpnr.audit.ledger/genesis"));
 }
@@ -52,6 +87,10 @@ const AuditEntry& AuditLedger::append(AuditEntry entry) {
   entry.prev_hash = head();
   entry.entry_hash = chain_hash(entry.prev_hash, entry);
   entries_.push_back(std::move(entry));
+  if (journal_ != nullptr) {
+    journal_->record(persist::RecordType::kAuditEntry,
+                     entries_.back().encode_full());
+  }
   return entries_.back();
 }
 

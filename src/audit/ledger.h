@@ -15,6 +15,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "persist/journal.h"
 
 namespace tpnr::audit {
 
@@ -60,6 +61,13 @@ struct AuditEntry {
   /// Canonical encoding of everything the chain hash covers except
   /// prev_hash itself.
   [[nodiscard]] Bytes encode_body() const;
+
+  /// Full encoding (body + both hashes) — what the durability layer
+  /// journals and snapshots, so a recovered entry carries its chain links
+  /// and can be re-verified instead of trusted.
+  [[nodiscard]] Bytes encode_full() const;
+  /// Throws common::SerialError on truncation or an unknown verdict.
+  static AuditEntry decode_full(BytesView data);
 };
 
 class AuditLedger {
@@ -94,8 +102,15 @@ class AuditLedger {
   static Bytes genesis_hash();
   static Bytes chain_hash(BytesView prev_hash, const AuditEntry& entry);
 
+  /// Journals every appended entry (encode_full) through the durability
+  /// seam. nullptr (the default) keeps the ledger memory-only.
+  void bind_journal(persist::Journal* journal) noexcept {
+    journal_ = journal;
+  }
+
  private:
   std::vector<AuditEntry> entries_;
+  persist::Journal* journal_ = nullptr;
 };
 
 }  // namespace tpnr::audit

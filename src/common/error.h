@@ -51,4 +51,10 @@ class ProtocolError : public Error {
   using Error::Error;
 };
 
+/// Durability-layer failures (WAL/snapshot framing, simulated device crashes).
+class PersistError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace tpnr::common

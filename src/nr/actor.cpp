@@ -1,5 +1,7 @@
 #include "nr/actor.h"
 
+#include "persist/records.h"
+
 namespace tpnr::nr {
 
 NrActor::NrActor(std::string id, net::Network& network,
@@ -82,6 +84,27 @@ void NrActor::send(const std::string& to, NrMessage message) {
   network_->send(id_, to,
                  reply_topic_.empty() ? default_topic_ : reply_topic_,
                  message.encode());
+}
+
+void NrActor::journal_evidence(const std::string& role,
+                               const std::string& txn_id,
+                               const std::string& signer,
+                               const std::string& object_key,
+                               std::size_t chunk_size,
+                               const MessageHeader& header,
+                               const OpenedEvidence& opened) {
+  if (journal_ == nullptr) return;
+  persist::EvidenceRecord record;
+  record.owner = id_;
+  record.role = role;
+  record.txn_id = txn_id;
+  record.signer = signer;
+  record.object_key = object_key;
+  record.chunk_size = chunk_size;
+  record.header = header;
+  record.data_hash_signature = opened.data_hash_signature;
+  record.header_signature = opened.header_signature;
+  journal_->record(persist::RecordType::kEvidence, record.encode());
 }
 
 MessageHeader NrActor::next_header(MsgType flag, const std::string& recipient,

@@ -14,6 +14,7 @@
 #include "net/network.h"
 #include "nr/evidence.h"
 #include "nr/message.h"
+#include "persist/journal.h"
 #include "pki/identity.h"
 
 namespace tpnr::nr {
@@ -67,6 +68,14 @@ class NrActor {
     return policy_;
   }
 
+  /// Journals the evidence this actor accepts (NRO/NRR/abort receipts)
+  /// through the durability seam, so it survives to arbitration across a
+  /// crash. nullptr (the default) keeps the actor memory-only.
+  void set_journal(persist::Journal* journal) noexcept { journal_ = journal; }
+  [[nodiscard]] persist::Journal* journal() const noexcept {
+    return journal_;
+  }
+
  protected:
   /// Subclass dispatch for an already-screened message.
   virtual void on_message(const NrMessage& message) = 0;
@@ -95,10 +104,19 @@ class NrActor {
                             const std::string& ttp, const std::string& txn_id,
                             BytesView data_hash, common::SimTime time_limit);
 
+  /// Encodes and journals one piece of accepted evidence; no-op without a
+  /// bound journal. Defined in actor.cpp.
+  void journal_evidence(const std::string& role, const std::string& txn_id,
+                        const std::string& signer,
+                        const std::string& object_key, std::size_t chunk_size,
+                        const MessageHeader& header,
+                        const OpenedEvidence& opened);
+
   net::Network* network_;
   pki::Identity* identity_;
   crypto::Drbg* rng_;
   ActorStats stats_;
+  persist::Journal* journal_ = nullptr;
 
  private:
   std::string id_;

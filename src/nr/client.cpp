@@ -303,6 +303,10 @@ void ClientActor::handle_store_receipt(const NrMessage& message) {
   txn.nrr_header = h;
   txn.nrr = *nrr;
   txn.state = TxnState::kCompleted;
+  // The NRR is the artifact §4.4 arbitration depends on: journal it the
+  // moment it is verified so it survives a crash.
+  journal_evidence("nrr", h.txn_id, txn.provider, txn.object_key,
+                   txn.chunk_size, h, *nrr);
 }
 
 void ClientActor::handle_fetch_response(const NrMessage& message) {
@@ -401,6 +405,8 @@ void ClientActor::handle_abort_reply(const NrMessage& message) {
   txn.abort_receipt = *receipt;
   txn.state = h.flag == MsgType::kAbortAccept ? TxnState::kAborted
                                               : TxnState::kAbortRejected;
+  journal_evidence("abort-receipt", h.txn_id, txn.provider, txn.object_key,
+                   txn.chunk_size, h, *receipt);
 }
 
 void ClientActor::handle_resolve_verdict(const NrMessage& message) {
@@ -442,6 +448,8 @@ void ClientActor::handle_resolve_verdict(const NrMessage& message) {
       txn.nrr_header = receipt_header;
       txn.nrr = *nrr;
       txn.state = TxnState::kResolvedCompleted;
+      journal_evidence("nrr", h.txn_id, txn.provider, txn.object_key,
+                       txn.chunk_size, receipt_header, *nrr);
       return;
     }
   }

@@ -131,6 +131,10 @@ void ProviderActor::handle_store(const NrMessage& message) {
   record.nro = *nro;
   store_.put(object_key, data, crypto::md5(data), network_->now());
   txns_[h.txn_id] = std::move(record);
+  // The NRO is Bob's proof Alice sent these bytes: journal it with the
+  // transaction facts before acknowledging anything.
+  journal_evidence("nro", h.txn_id, h.sender, object_key, chunk_size, h,
+                   *nro);
 
   if (behavior_.tamper_after_store) {
     store_.tamper(object_key, behavior_.tamper_replacement);

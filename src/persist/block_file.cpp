@@ -1,0 +1,71 @@
+#include "persist/block_file.h"
+
+#include <algorithm>
+
+namespace tpnr::persist {
+
+std::optional<std::size_t> FaultInjector::on_write(std::size_t len) {
+  ++writes_;
+  if (fired_ || point_.at_write == 0 || writes_ != point_.at_write) {
+    return std::nullopt;
+  }
+  fired_ = true;
+  if (point_.torn_prefix >= 0) {
+    return std::min<std::size_t>(static_cast<std::size_t>(point_.torn_prefix),
+                                 len);
+  }
+  // Uniform over [0, len]: both the nothing-landed and the fully-landed
+  // boundary cases occur.
+  return static_cast<std::size_t>(rng_.uniform(len + 1));
+}
+
+namespace {
+
+void apply_at(Bytes& target, std::uint64_t offset, BytesView data) {
+  const std::size_t end = static_cast<std::size_t>(offset) + data.size();
+  if (target.size() < end) target.resize(end, 0);  // gap = unwritten blocks
+  std::copy(data.begin(), data.end(),
+            target.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+}  // namespace
+
+void BlockFile::write(std::uint64_t offset, BytesView data) {
+  if (crashed_) {
+    throw DeviceCrashed("BlockFile " + name_ + ": write after crash");
+  }
+  if (faults_) {
+    if (const auto torn = faults_->on_write(data.size())) {
+      // The machine dies applying THIS write: a prefix reaches the media,
+      // every other un-flushed write (the volatile view) is lost.
+      apply_at(media_, offset, data.subspan(0, *torn));
+      view_ = media_;
+      crashed_ = true;
+      throw DeviceCrashed("BlockFile " + name_ + ": crash at write " +
+                          std::to_string(faults_->writes_issued()) +
+                          ", torn prefix " + std::to_string(*torn) + "/" +
+                          std::to_string(data.size()));
+    }
+  }
+  ++writes_;
+  bytes_written_ += data.size();
+  apply_at(view_, offset, data);
+}
+
+void BlockFile::flush() {
+  if (crashed_) {
+    throw DeviceCrashed("BlockFile " + name_ + ": flush after crash");
+  }
+  ++flushes_;
+  media_ = view_;
+}
+
+Bytes BlockFile::read(std::uint64_t offset, std::size_t n) const {
+  if (offset > view_.size()) return {};
+  const std::size_t avail = view_.size() - static_cast<std::size_t>(offset);
+  const std::size_t take = std::min(n, avail);
+  return Bytes(view_.begin() + static_cast<std::ptrdiff_t>(offset),
+               view_.begin() + static_cast<std::ptrdiff_t>(offset + take));
+}
+
+}  // namespace tpnr::persist

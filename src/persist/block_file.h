@@ -1,0 +1,114 @@
+// Simulated block device. A BlockFile separates the VOLATILE view (every
+// write applied, what a running process reads back) from the DURABLE media
+// image (what survives a crash: only flushed writes, plus — for the write in
+// flight when the crash fires — a torn prefix). The fault model is injected
+// via a FaultInjector shared by every device of one "machine", so a single
+// armed CrashPoint counts writes globally across WAL segments and the
+// snapshot device, and the seeded crypto::Drbg makes every torn offset
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/drbg.h"
+
+namespace tpnr::persist {
+
+using common::Bytes;
+using common::BytesView;
+
+/// Thrown when the armed crash point fires, and by every write/flush issued
+/// against a device that has already crashed.
+class DeviceCrashed : public common::PersistError {
+ public:
+  using common::PersistError::PersistError;
+};
+
+/// Where (and how raggedly) the simulated machine dies.
+struct CrashPoint {
+  /// 1-based count of device writes across all BlockFiles sharing the
+  /// injector; the crash fires as that write is being applied. 0 = disarmed.
+  std::uint64_t at_write = 0;
+  /// Bytes of the failing write that still reach the media (a torn write).
+  /// -1 samples uniformly in [0, write size] from the injector's Drbg.
+  std::int64_t torn_prefix = -1;
+};
+
+/// Deterministic crash scheduling shared by a set of BlockFiles.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  void arm(CrashPoint point) {
+    point_ = point;
+    fired_ = false;
+  }
+  void disarm() { point_ = CrashPoint{}; }
+
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+  [[nodiscard]] std::uint64_t writes_issued() const noexcept {
+    return writes_;
+  }
+
+  /// Accounts one device write of `len` bytes. Returns the torn prefix
+  /// length if the crash fires on this write, nullopt otherwise.
+  std::optional<std::size_t> on_write(std::size_t len);
+
+ private:
+  crypto::Drbg rng_;
+  CrashPoint point_;
+  std::uint64_t writes_ = 0;
+  bool fired_ = false;
+};
+
+class BlockFile {
+ public:
+  explicit BlockFile(std::string name,
+                     std::shared_ptr<FaultInjector> faults = nullptr)
+      : name_(std::move(name)), faults_(std::move(faults)) {}
+
+  /// Applies `data` at `offset` to the volatile view (zero-filling any gap).
+  /// If the shared injector fires, a torn prefix lands on the media, every
+  /// other un-flushed write is lost, and DeviceCrashed is thrown.
+  void write(std::uint64_t offset, BytesView data);
+  void append(BytesView data) { write(size(), data); }
+
+  /// Makes everything written so far durable (fsync). Throws DeviceCrashed
+  /// if the device already crashed.
+  void flush();
+
+  /// Volatile size/read — what the running process observes.
+  [[nodiscard]] std::uint64_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] Bytes read(std::uint64_t offset, std::size_t n) const;
+
+  /// The media content as a post-crash reader (Recovery) would find it.
+  [[nodiscard]] const Bytes& durable_image() const noexcept { return media_; }
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // I/O accounting (write amplification = bytes_written vs useful payload).
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<FaultInjector> faults_;
+  Bytes media_;  ///< durable: flushed content (+ torn prefix after a crash)
+  Bytes view_;   ///< volatile: media + un-flushed writes
+  bool crashed_ = false;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace tpnr::persist

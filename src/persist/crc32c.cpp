@@ -1,0 +1,35 @@
+#include "persist/crc32c.h"
+
+#include <array>
+
+namespace tpnr::persist {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(common::BytesView data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace tpnr::persist

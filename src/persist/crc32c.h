@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli) — the checksum framing every WAL record and snapshot
+// image. Chosen over the crypto hashes because frame integrity is an
+// error-detection problem, not an adversarial one: SHA-256 per 30-byte frame
+// would dominate the write path for no security benefit (the tamper-evident
+// layer is the hash-chained AuditLedger above).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace tpnr::persist {
+
+/// CRC32C over `data`. `seed` chains incremental computations: pass the
+/// previous return value to extend a running checksum.
+std::uint32_t crc32c(common::BytesView data, std::uint32_t seed = 0);
+
+}  // namespace tpnr::persist

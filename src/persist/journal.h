@@ -1,0 +1,39 @@
+// The Journal seam between the protocol/audit/storage layers and the
+// durability layer. Actors that hold evidence (nr::ClientActor,
+// nr::ProviderActor), the audit::AuditLedger and storage::ObjectStore emit
+// their durable facts through this interface; in-memory operation stays the
+// default (null journal = no-op), and persist::Wal is the production
+// implementation.
+//
+// This header is intentionally self-contained (no persist link dependency):
+// lower layers include it and call through the pointer, only code that
+// CREATES a journal links tpnr_persist.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace tpnr::persist {
+
+/// What a journal record carries. Payload encodings live next to their
+/// owners: audit::AuditEntry::encode_full, persist::EvidenceRecord,
+/// persist::ObjectMeta.
+enum class RecordType : std::uint16_t {
+  kAuditEntry = 1,   ///< audit::AuditEntry::encode_full
+  kEvidence = 2,     ///< persist::EvidenceRecord (NRO/NRR/abort receipts)
+  kObjectPut = 3,    ///< persist::ObjectMeta — one accepted object version
+  kObjectRemove = 4, ///< str object key
+  kOpaque = 100,     ///< free-form payload (tests, experiments)
+};
+
+/// Append-only durable record sink. Implementations return the record's
+/// log sequence number (1-based, strictly increasing); the null
+/// implementation returns 0.
+class Journal {
+ public:
+  virtual ~Journal() = default;
+  virtual std::uint64_t record(RecordType type, common::BytesView payload) = 0;
+};
+
+}  // namespace tpnr::persist

@@ -1,0 +1,99 @@
+// Payload encodings for journal records whose owners span layers. These are
+// header-only (implicitly inline) on purpose: nr:: and storage:: encode them
+// while journaling without linking tpnr_persist; Recovery decodes them.
+// All encodings ride on common/serial.h, so the snapshot/WAL round-trip is
+// canonical and the truncated-input behaviour is the tested SerialError one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/serial.h"
+#include "nr/message.h"
+
+namespace tpnr::persist {
+
+/// One unit of non-repudiation evidence as an actor holds it after
+/// verification: the signed header plus the two inner signatures from the
+/// opened envelope. Enough to re-verify against the signer's public key at
+/// recovery time — which is exactly what Recovery::replay does.
+struct EvidenceRecord {
+  std::string owner;       ///< actor id that holds the evidence
+  std::string role;        ///< "nro" | "nrr" | "abort-receipt"
+  std::string txn_id;
+  std::string signer;      ///< whose signatures the record carries
+  std::string object_key;
+  std::uint64_t chunk_size = 0;  ///< 0 = flat object
+  nr::MessageHeader header;      ///< the header the signatures cover
+  common::Bytes data_hash_signature;
+  common::Bytes header_signature;
+
+  [[nodiscard]] common::Bytes encode() const {
+    common::BinaryWriter w;
+    w.str(owner);
+    w.str(role);
+    w.str(txn_id);
+    w.str(signer);
+    w.str(object_key);
+    w.u64(chunk_size);
+    w.bytes(header.encode());
+    w.bytes(data_hash_signature);
+    w.bytes(header_signature);
+    return w.take();
+  }
+
+  static EvidenceRecord decode(common::BytesView data) {
+    common::BinaryReader r(data);
+    EvidenceRecord record;
+    record.owner = r.str();
+    record.role = r.str();
+    record.txn_id = r.str();
+    record.signer = r.str();
+    record.object_key = r.str();
+    record.chunk_size = r.u64();
+    record.header = nr::MessageHeader::decode(r.bytes());
+    record.data_hash_signature = r.bytes();
+    record.header_signature = r.bytes();
+    r.expect_done();
+    return record;
+  }
+};
+
+/// Metadata of one accepted object version — what the ObjectStore journals
+/// per put (the bytes themselves are the provider's problem; the integrity
+/// link recovery needs is the content hash).
+struct ObjectMeta {
+  std::string key;
+  std::uint64_t version = 0;
+  common::Bytes stored_md5;
+  common::SimTime stored_at = 0;
+  std::uint64_t size = 0;
+  common::Bytes sha256;
+
+  [[nodiscard]] common::Bytes encode() const {
+    common::BinaryWriter w;
+    w.str(key);
+    w.u64(version);
+    w.bytes(stored_md5);
+    w.i64(stored_at);
+    w.u64(size);
+    w.bytes(sha256);
+    return w.take();
+  }
+
+  static ObjectMeta decode(common::BytesView data) {
+    common::BinaryReader r(data);
+    ObjectMeta meta;
+    meta.key = r.str();
+    meta.version = r.u64();
+    meta.stored_md5 = r.bytes();
+    meta.stored_at = r.i64();
+    meta.size = r.u64();
+    meta.sha256 = r.bytes();
+    r.expect_done();
+    return meta;
+  }
+};
+
+}  // namespace tpnr::persist

@@ -1,0 +1,154 @@
+#include "persist/recovery.h"
+
+#include <algorithm>
+
+#include "common/serial.h"
+#include "nr/evidence.h"
+
+namespace tpnr::persist {
+
+DurableImage capture_durable(const Snapshotter* snapshotter, const Wal& wal) {
+  DurableImage image;
+  if (snapshotter != nullptr) image.snapshot = snapshotter->durable_image();
+  image.wal_segments = wal.durable_images();
+  return image;
+}
+
+RecoveredState Recovery::replay(const DurableImage& image,
+                                const RecoveryOptions& options) {
+  RecoveredState state;
+  RecoveryReport& report = state.report;
+
+  // 1. Snapshot: the base image. A damaged snapshot is ignored wholesale
+  // (decode validates CRC); recovery then degrades to whatever the WAL
+  // retains, and the report says so.
+  std::uint64_t replay_from = 1;
+  if (!image.snapshot.empty()) {
+    report.snapshot_present = true;
+    if (auto snapshot = Snapshotter::decode(image.snapshot)) {
+      report.snapshot_ok = true;
+      report.snapshot_lsn = snapshot->wal_lsn;
+      replay_from = snapshot->wal_lsn + 1;
+      state.ledger.raw_entries() = std::move(snapshot->ledger);
+      state.evidence = std::move(snapshot->evidence);
+      for (ObjectMeta& meta : snapshot->objects) {
+        std::string key = meta.key;
+        state.objects[std::move(key)] = std::move(meta);
+      }
+    }
+  }
+
+  // 2. WAL redo: apply every record past the snapshot watermark, stopping
+  // where the reader stopped (first torn/corrupt frame).
+  const WalReadResult scan = Wal::read(image.wal_segments);
+  report.wal_clean = scan.clean;
+  report.wal_stop_reason = scan.stop_reason;
+  report.wal_dropped_bytes = scan.dropped_bytes;
+  std::uint64_t last_scanned_lsn = 0;
+  for (const WalRecord& record : scan.records) {
+    last_scanned_lsn = record.lsn;
+    if (record.lsn < replay_from) continue;  // folded into the snapshot
+    try {
+      switch (record.type) {
+        case RecordType::kAuditEntry:
+          state.ledger.raw_entries().push_back(
+              audit::AuditEntry::decode_full(record.payload));
+          break;
+        case RecordType::kEvidence:
+          state.evidence.push_back(EvidenceRecord::decode(record.payload));
+          break;
+        case RecordType::kObjectPut: {
+          ObjectMeta meta = ObjectMeta::decode(record.payload);
+          std::string key = meta.key;
+          state.objects[std::move(key)] = std::move(meta);
+          break;
+        }
+        case RecordType::kObjectRemove: {
+          common::BinaryReader r(record.payload);
+          const std::string key = r.str();
+          r.expect_done();
+          state.objects.erase(key);
+          break;
+        }
+        case RecordType::kOpaque:
+          break;
+      }
+    } catch (const common::SerialError&) {
+      // CRC-valid but undecodable: treat like a corrupt frame — stop the
+      // redo here rather than apply a half-understood suffix.
+      report.wal_clean = false;
+      report.wal_stop_reason = "undecodable-record";
+      last_scanned_lsn = record.lsn > 0 ? record.lsn - 1 : 0;
+      break;
+    }
+    ++report.wal_records_replayed;
+  }
+  report.last_recovered_lsn = std::max(report.snapshot_lsn, last_scanned_lsn);
+
+  // 3. Loss accounting: committed-but-missing is the unforgivable bucket;
+  // the un-flushed suffix is what the flush policy consciously risked.
+  if (options.durable_lsn > report.last_recovered_lsn) {
+    report.lost_committed = options.durable_lsn - report.last_recovered_lsn;
+  }
+  const std::uint64_t recovered_or_committed =
+      std::max(report.last_recovered_lsn, options.durable_lsn);
+  if (options.last_lsn > recovered_or_committed) {
+    report.lost_unflushed = options.last_lsn - recovered_or_committed;
+  }
+
+  // 4. Cross-check the rebuilt ledger: recompute the whole hash chain, and
+  // make sure the chain still reaches any externally published head.
+  report.ledger_entries = state.ledger.size();
+  report.ledger_first_invalid = state.ledger.first_invalid();
+  report.ledger_chain_ok =
+      report.ledger_first_invalid == state.ledger.size();
+  if (options.published_ledger_head) {
+    const Bytes& published = *options.published_ledger_head;
+    bool covered = published == audit::AuditLedger::genesis_hash();
+    for (const audit::AuditEntry& entry : state.ledger.entries()) {
+      if (entry.entry_hash == published) {
+        covered = true;
+        break;
+      }
+    }
+    report.ledger_covers_published_head = covered;
+  }
+
+  // 5. Cross-check recovered evidence: signatures must still verify against
+  // the signer keys the caller trusts.
+  for (const EvidenceRecord& record : state.evidence) {
+    ++report.evidence_total;
+    const auto it = options.signer_keys.find(record.signer);
+    if (it == options.signer_keys.end()) {
+      ++report.evidence_unverifiable;
+      continue;
+    }
+    nr::OpenedEvidence opened;
+    opened.data_hash_signature = record.data_hash_signature;
+    opened.header_signature = record.header_signature;
+    opened.header = record.header;
+    if (nr::verify_evidence_signatures(it->second, record.header, opened)) {
+      ++report.evidence_verified;
+    } else {
+      ++report.evidence_failed;
+    }
+  }
+
+  report.objects_recovered = state.objects.size();
+  return state;
+}
+
+SnapshotState to_snapshot_state(const RecoveredState& state,
+                                std::uint64_t wal_lsn) {
+  SnapshotState snapshot;
+  snapshot.wal_lsn = wal_lsn;
+  snapshot.ledger = state.ledger.entries();
+  snapshot.evidence = state.evidence;
+  snapshot.objects.reserve(state.objects.size());
+  for (const auto& [key, meta] : state.objects) {
+    snapshot.objects.push_back(meta);
+  }
+  return snapshot;
+}
+
+}  // namespace tpnr::persist

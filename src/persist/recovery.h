@@ -1,0 +1,102 @@
+// Crash recovery: rebuild state from snapshot + WAL, then PROVE the rebuilt
+// state rather than trusting the media — the recovered AuditLedger must
+// re-verify its hash chain (and cover the published head, catching tail
+// truncation), and every recovered evidence record is re-checked against
+// the signer's public key. The report says exactly what was lost, split
+// into committed (must be zero under every-record flushing) and the
+// un-flushed suffix the chosen group-commit policy knowingly risked.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/ledger.h"
+#include "crypto/rsa.h"
+#include "persist/records.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace tpnr::persist {
+
+/// The durable bytes a restarted process finds.
+struct DurableImage {
+  Bytes snapshot;                     ///< empty = no snapshot device
+  std::vector<Bytes> wal_segments;    ///< oldest first
+};
+
+/// Collects the post-crash durable state of one machine's devices.
+/// `snapshotter` may be null (WAL-only deployments).
+DurableImage capture_durable(const Snapshotter* snapshotter, const Wal& wal);
+
+struct RecoveryOptions {
+  /// signer id -> public key, to re-verify recovered evidence signatures.
+  std::map<std::string, crypto::RsaPublicKey> signer_keys;
+  /// AuditLedger head published (countersigned) before the crash; recovery
+  /// flags a rebuilt ledger that no longer reaches it (tail truncation).
+  std::optional<Bytes> published_ledger_head;
+  /// Commit watermark at crash time (Wal::durable_lsn); 0 = unknown.
+  std::uint64_t durable_lsn = 0;
+  /// Highest LSN ever appended (Wal::last_lsn); 0 = unknown.
+  std::uint64_t last_lsn = 0;
+};
+
+struct RecoveryReport {
+  // Snapshot.
+  bool snapshot_present = false;
+  bool snapshot_ok = false;
+  std::uint64_t snapshot_lsn = 0;
+  // WAL scan.
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t last_recovered_lsn = 0;
+  bool wal_clean = true;
+  std::string wal_stop_reason = "end-of-log";
+  std::uint64_t wal_dropped_bytes = 0;
+  // Loss accounting (needs durable_lsn / last_lsn in the options).
+  std::uint64_t lost_committed = 0;  ///< acknowledged records missing: MUST be 0
+  std::uint64_t lost_unflushed = 0;  ///< the un-flushed suffix the policy risked
+  // Ledger cross-check.
+  std::size_t ledger_entries = 0;
+  bool ledger_chain_ok = true;
+  std::size_t ledger_first_invalid = 0;   ///< == ledger_entries when intact
+  /// False when a published head exists but the rebuilt chain never reaches
+  /// it: the durable ledger lost entries an external party already anchored.
+  bool ledger_covers_published_head = true;
+  // Evidence cross-check.
+  std::size_t evidence_total = 0;
+  std::size_t evidence_verified = 0;
+  std::size_t evidence_failed = 0;        ///< signature no longer verifies
+  std::size_t evidence_unverifiable = 0;  ///< no key supplied for the signer
+  // Objects.
+  std::size_t objects_recovered = 0;
+
+  /// Committed state fully recovered and every cross-check passed.
+  [[nodiscard]] bool sound() const noexcept {
+    return lost_committed == 0 && ledger_chain_ok &&
+           ledger_covers_published_head && evidence_failed == 0;
+  }
+};
+
+struct RecoveredState {
+  audit::AuditLedger ledger;
+  std::vector<EvidenceRecord> evidence;
+  std::map<std::string, ObjectMeta> objects;  ///< latest version per key
+  RecoveryReport report;
+};
+
+class Recovery {
+ public:
+  static RecoveredState replay(const DurableImage& image,
+                               const RecoveryOptions& options = {});
+};
+
+/// Checkpoint helper: repackages a replayed durable state as the next
+/// snapshot image. The canonical compaction loop is
+///   replay(capture_durable(...)) -> to_snapshot_state(..., wal.durable_lsn())
+///   -> Snapshotter::write -> Wal::truncate_upto(wal_lsn)
+/// which checkpoints exactly what is DURABLE (never un-flushed memory).
+SnapshotState to_snapshot_state(const RecoveredState& state,
+                                std::uint64_t wal_lsn);
+
+}  // namespace tpnr::persist

@@ -1,0 +1,67 @@
+// Snapshot + compaction. A snapshot is one CRC-framed, canonical image of
+// everything the journal would otherwise replay — audit ledger entries,
+// evidence records, object metadata — stamped with the WAL LSN it covers.
+// Writing goes to a FRESH device and the previous snapshot is only replaced
+// after a successful flush (write-new-then-swap), so a crash mid-snapshot
+// leaves the old image intact; afterwards Wal::truncate_upto(state.wal_lsn)
+// retires the covered segments.
+//
+// Image layout: u32 magic "TNSP" | u32 version | u32 body_len
+//             | u32 crc32c(body) | body
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "audit/ledger.h"
+#include "persist/block_file.h"
+#include "persist/records.h"
+
+namespace tpnr::persist {
+
+/// The consistent image a snapshot serializes.
+struct SnapshotState {
+  /// Every journal record with lsn <= wal_lsn is folded into this image.
+  std::uint64_t wal_lsn = 0;
+  std::vector<audit::AuditEntry> ledger;
+  std::vector<EvidenceRecord> evidence;
+  std::vector<ObjectMeta> objects;
+};
+
+class Snapshotter {
+ public:
+  explicit Snapshotter(std::shared_ptr<FaultInjector> faults = nullptr)
+      : faults_(std::move(faults)) {}
+
+  /// Serializes `state` to a fresh device and flushes. On success the new
+  /// image replaces the previous one; on DeviceCrashed the previous image
+  /// survives (and the exception propagates).
+  void write(const SnapshotState& state);
+
+  [[nodiscard]] bool has_snapshot() const noexcept { return file_ != nullptr; }
+  /// Durable bytes of the current snapshot (empty when none was ever
+  /// completed) — what Recovery::replay reads after a crash.
+  [[nodiscard]] Bytes durable_image() const {
+    return file_ ? file_->durable_image() : Bytes{};
+  }
+
+  [[nodiscard]] std::uint64_t device_bytes() const noexcept {
+    return device_bytes_;
+  }
+
+  static Bytes encode(const SnapshotState& state);
+  /// Validates magic/version/CRC and decodes. nullopt on ANY damage — a
+  /// torn or corrupt snapshot is ignored, never partially applied.
+  static std::optional<SnapshotState> decode(BytesView image);
+
+  static constexpr std::uint32_t kMagic = 0x50534E54;  // "TNSP"
+  static constexpr std::uint32_t kVersion = 1;
+
+ private:
+  std::shared_ptr<FaultInjector> faults_;
+  std::unique_ptr<BlockFile> file_;
+  std::uint64_t device_bytes_ = 0;
+};
+
+}  // namespace tpnr::persist

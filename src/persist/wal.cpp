@@ -1,0 +1,251 @@
+#include "persist/wal.h"
+
+#include "common/serial.h"
+#include "persist/crc32c.h"
+
+namespace tpnr::persist {
+
+std::string flush_policy_name(FlushPolicy policy) {
+  switch (policy) {
+    case FlushPolicy::kEveryRecord:
+      return "every-record";
+    case FlushPolicy::kEveryN:
+      return "every-n";
+    case FlushPolicy::kEveryInterval:
+      return "every-interval";
+  }
+  return "unknown";
+}
+
+Wal::Wal(WalOptions options, std::shared_ptr<FaultInjector> faults)
+    : options_(options), faults_(std::move(faults)) {
+  if (options_.policy == FlushPolicy::kEveryInterval &&
+      options_.clock == nullptr) {
+    throw common::PersistError("Wal: kEveryInterval requires a SimClock");
+  }
+  if (options_.clock != nullptr) last_flush_at_ = options_.clock->now();
+  open_segment();
+}
+
+void Wal::open_segment() {
+  Segment segment;
+  segment.seq = next_segment_seq_++;
+  segment.first_lsn = last_lsn_ + 1;
+  segment.file = std::make_unique<BlockFile>(
+      "wal-seg-" + std::to_string(segment.seq), faults_);
+  common::BinaryWriter header;
+  header.u32(kSegmentMagic);
+  header.u32(segment.seq);
+  header.u64(segment.first_lsn);
+  auto* file = segment.file.get();
+  segments_.push_back(std::move(segment));
+  try {
+    file->append(header.data());
+  } catch (const DeviceCrashed&) {
+    crashed_ = true;
+    throw;
+  }
+}
+
+std::uint64_t Wal::record(RecordType type, BytesView payload) {
+  if (crashed_) throw DeviceCrashed("Wal: record after crash");
+
+  const std::size_t frame_bytes = kFrameHeaderBytes + payload.size();
+  // Rotate before the append would push the active segment past its bound.
+  if (active().last_lsn != 0 &&
+      active().file->size() + frame_bytes > options_.segment_bytes) {
+    flush_now();  // a sealed segment is durable by definition
+    active().sealed = true;
+    open_segment();
+  }
+
+  const std::uint64_t lsn = ++last_lsn_;
+  common::BinaryWriter body;
+  body.u16(static_cast<std::uint16_t>(type));
+  body.u64(lsn);
+  Bytes frame_body = body.take();
+  common::append(frame_body, payload);
+
+  common::BinaryWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32c(frame_body));
+  Bytes encoded = frame.take();
+  common::append(encoded, frame_body);
+
+  Segment& segment = active();
+  try {
+    segment.file->append(encoded);
+  } catch (const DeviceCrashed&) {
+    crashed_ = true;
+    throw;
+  }
+  segment.last_lsn = lsn;
+  payload_bytes_ += payload.size();
+  ++appends_since_flush_;
+  maybe_flush();
+  return lsn;
+}
+
+void Wal::maybe_flush() {
+  switch (options_.policy) {
+    case FlushPolicy::kEveryRecord:
+      flush_now();
+      break;
+    case FlushPolicy::kEveryN:
+      if (appends_since_flush_ >= options_.flush_every_n) flush_now();
+      break;
+    case FlushPolicy::kEveryInterval:
+      if (options_.clock->now() - last_flush_at_ >= options_.flush_interval) {
+        flush_now();
+      }
+      break;
+  }
+}
+
+void Wal::flush_now() {
+  if (appends_since_flush_ == 0 && durable_lsn_ == last_lsn_) return;
+  try {
+    active().file->flush();
+  } catch (const DeviceCrashed&) {
+    crashed_ = true;
+    throw;
+  }
+  durable_lsn_ = last_lsn_;
+  appends_since_flush_ = 0;
+  if (options_.clock != nullptr) last_flush_at_ = options_.clock->now();
+}
+
+void Wal::sync() {
+  if (crashed_) throw DeviceCrashed("Wal: sync after crash");
+  flush_now();
+}
+
+std::size_t Wal::truncate_upto(std::uint64_t lsn) {
+  std::size_t freed = 0;
+  while (segments_.size() > 1 && segments_.front().sealed &&
+         segments_.front().last_lsn != 0 &&
+         segments_.front().last_lsn <= lsn &&
+         segments_.front().last_lsn <= durable_lsn_) {
+    const Segment& segment = segments_.front();
+    retired_device_bytes_ += segment.file->bytes_written();
+    retired_device_writes_ += segment.file->writes();
+    retired_device_flushes_ += segment.file->flushes();
+    segments_.erase(segments_.begin());
+    ++freed;
+  }
+  return freed;
+}
+
+std::vector<Bytes> Wal::durable_images() const {
+  std::vector<Bytes> images;
+  images.reserve(segments_.size());
+  for (const Segment& segment : segments_) {
+    images.push_back(segment.file->durable_image());
+  }
+  return images;
+}
+
+std::uint64_t Wal::device_bytes() const noexcept {
+  std::uint64_t total = retired_device_bytes_;
+  for (const Segment& segment : segments_) {
+    total += segment.file->bytes_written();
+  }
+  return total;
+}
+
+std::uint64_t Wal::device_writes() const noexcept {
+  std::uint64_t total = retired_device_writes_;
+  for (const Segment& segment : segments_) total += segment.file->writes();
+  return total;
+}
+
+std::uint64_t Wal::device_flushes() const noexcept {
+  std::uint64_t total = retired_device_flushes_;
+  for (const Segment& segment : segments_) total += segment.file->flushes();
+  return total;
+}
+
+WalReadResult Wal::read(const std::vector<Bytes>& images) {
+  WalReadResult result;
+  std::uint64_t next_lsn = 0;  // 0 = not yet pinned
+
+  const auto stop = [&](std::string reason, std::size_t image_index,
+                        std::size_t pos) {
+    result.clean = false;
+    result.stop_reason = std::move(reason);
+    result.dropped_bytes = images[image_index].size() - pos;
+    for (std::size_t i = image_index + 1; i < images.size(); ++i) {
+      result.dropped_bytes += images[i].size();
+    }
+  };
+
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const Bytes& image = images[i];
+    // An all-lost segment (header never flushed) holds nothing durable;
+    // nothing after it can hold anything either.
+    if (image.empty()) continue;
+    if (image.size() < kSegmentHeaderBytes) {
+      stop("torn-segment-header", i, 0);
+      return result;
+    }
+    common::BinaryReader header(
+        BytesView(image).subspan(0, kSegmentHeaderBytes));
+    const std::uint32_t magic = header.u32();
+    header.u32();  // segment seq (informational)
+    const std::uint64_t first_lsn = header.u64();
+    if (magic != kSegmentMagic) {
+      stop("bad-segment-header", i, 0);
+      return result;
+    }
+    if (next_lsn != 0 && first_lsn != next_lsn) {
+      stop("segment-gap", i, 0);
+      return result;
+    }
+
+    std::size_t pos = kSegmentHeaderBytes;
+    while (pos < image.size()) {
+      const std::size_t remaining = image.size() - pos;
+      if (remaining < kFrameHeaderBytes) {
+        stop("torn-frame", i, pos);
+        return result;
+      }
+      common::BinaryReader prefix(BytesView(image).subspan(pos, 8));
+      const std::uint32_t payload_len = prefix.u32();
+      const std::uint32_t stored_crc = prefix.u32();
+      if (payload_len > kMaxRecordBytes) {
+        stop("bad-frame", i, pos);
+        return result;
+      }
+      if (remaining < kFrameHeaderBytes + payload_len) {
+        stop("torn-frame", i, pos);
+        return result;
+      }
+      const BytesView frame_body =
+          BytesView(image).subspan(pos + 8, 10 + payload_len);
+      if (crc32c(frame_body) != stored_crc) {
+        stop("bad-crc", i, pos);
+        return result;
+      }
+      common::BinaryReader body(frame_body.subspan(0, 10));
+      WalRecord record;
+      record.type = static_cast<RecordType>(body.u16());
+      record.lsn = body.u64();
+      if (next_lsn == 0) {
+        if (record.lsn != first_lsn) {
+          stop("lsn-gap", i, pos);
+          return result;
+        }
+      } else if (record.lsn != next_lsn) {
+        stop("lsn-gap", i, pos);
+        return result;
+      }
+      record.payload = Bytes(frame_body.begin() + 10, frame_body.end());
+      next_lsn = record.lsn + 1;
+      result.records.push_back(std::move(record));
+      pos += kFrameHeaderBytes + payload_len;
+    }
+  }
+  return result;
+}
+
+}  // namespace tpnr::persist

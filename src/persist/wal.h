@@ -1,0 +1,142 @@
+// Segmented write-ahead log over simulated BlockFiles (ARIES-style redo
+// logging, scoped to this system's needs: evidence, ledger entries and
+// object metadata are journaled before they are acknowledged).
+//
+// On-device layout, all integers little-endian (common/serial.h):
+//
+//   segment := header frame*
+//   header  := u32 magic "TWL1" | u32 segment_seq | u64 first_lsn
+//   frame   := u32 payload_len | u32 crc32c(type‖lsn‖payload)
+//            | u16 type | u64 lsn | payload
+//
+// The reader consumes frames until the first torn/corrupt one and stops
+// cleanly there: everything before it is trustworthy (CRC-verified,
+// contiguous LSNs), everything after is the crash-damaged tail.
+//
+// Group commit: kEveryRecord flushes per append (commit = returned),
+// kEveryN amortizes the flush over n appends, kEveryInterval over a
+// SimClock window — the classic durability/throughput dial the
+// bench_persist_recovery sweep quantifies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "persist/block_file.h"
+#include "persist/journal.h"
+
+namespace tpnr::persist {
+
+enum class FlushPolicy : std::uint8_t {
+  kEveryRecord = 0,
+  kEveryN = 1,
+  kEveryInterval = 2,
+};
+
+std::string flush_policy_name(FlushPolicy policy);
+
+struct WalOptions {
+  std::size_t segment_bytes = 64 * 1024;  ///< rotate past this size
+  FlushPolicy policy = FlushPolicy::kEveryRecord;
+  std::size_t flush_every_n = 8;                          ///< kEveryN
+  common::SimTime flush_interval = 10 * common::kMillisecond;
+  const common::SimClock* clock = nullptr;  ///< required for kEveryInterval
+};
+
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  RecordType type = RecordType::kOpaque;
+  Bytes payload;
+};
+
+/// What a post-crash scan of the durable segment images yields.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// True iff every durable byte parsed as a whole, CRC-valid frame.
+  bool clean = true;
+  std::string stop_reason = "end-of-log";
+  /// Durable bytes at and after the stop point (the damaged tail).
+  std::uint64_t dropped_bytes = 0;
+};
+
+class Wal final : public Journal {
+ public:
+  explicit Wal(WalOptions options = {},
+               std::shared_ptr<FaultInjector> faults = nullptr);
+
+  /// Appends one record and applies the flush policy. Returns the record's
+  /// LSN (1-based). Throws DeviceCrashed if the fault model fires; the WAL
+  /// is dead afterwards and only the durable accessors stay meaningful.
+  std::uint64_t record(RecordType type, BytesView payload) override;
+
+  /// Forces a group-commit flush (no-op when nothing is pending).
+  void sync();
+
+  [[nodiscard]] std::uint64_t last_lsn() const noexcept { return last_lsn_; }
+  /// Highest LSN guaranteed on the media (the commit watermark).
+  [[nodiscard]] std::uint64_t durable_lsn() const noexcept {
+    return durable_lsn_;
+  }
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  /// Drops fully-flushed, non-active segments whose records are all covered
+  /// by a snapshot at `lsn` (compaction after Snapshotter::write). Returns
+  /// the number of segments freed.
+  std::size_t truncate_upto(std::uint64_t lsn);
+
+  /// Durable media image of every live segment, oldest first — what
+  /// Recovery::replay reads after a crash.
+  [[nodiscard]] std::vector<Bytes> durable_images() const;
+
+  // I/O accounting (write amplification = device_bytes / payload_bytes).
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
+    return payload_bytes_;
+  }
+  [[nodiscard]] std::uint64_t device_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t device_writes() const noexcept;
+  [[nodiscard]] std::uint64_t device_flushes() const noexcept;
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+
+  /// Scans durable segment images; stops at the first corrupt/torn frame.
+  static WalReadResult read(const std::vector<Bytes>& images);
+
+  static constexpr std::uint32_t kSegmentMagic = 0x314C5754;  // "TWL1"
+  static constexpr std::size_t kSegmentHeaderBytes = 16;
+  static constexpr std::size_t kFrameHeaderBytes = 18;
+  /// Sanity bound on one record; larger declared lengths are corruption.
+  static constexpr std::size_t kMaxRecordBytes = 1u << 26;
+
+ private:
+  struct Segment {
+    std::unique_ptr<BlockFile> file;
+    std::uint32_t seq = 0;
+    std::uint64_t first_lsn = 0;
+    std::uint64_t last_lsn = 0;   ///< 0 = no records yet
+    bool sealed = false;          ///< rotated away, fully flushed
+  };
+
+  void open_segment();
+  void flush_now();
+  void maybe_flush();
+  Segment& active() { return segments_.back(); }
+
+  WalOptions options_;
+  std::shared_ptr<FaultInjector> faults_;
+  std::vector<Segment> segments_;
+  std::uint32_t next_segment_seq_ = 0;
+  std::uint64_t last_lsn_ = 0;
+  std::uint64_t durable_lsn_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t retired_device_bytes_ = 0;
+  std::uint64_t retired_device_writes_ = 0;
+  std::uint64_t retired_device_flushes_ = 0;
+  std::size_t appends_since_flush_ = 0;
+  common::SimTime last_flush_at_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace tpnr::persist

@@ -1,7 +1,9 @@
 #include "storage/object_store.h"
 
 #include "common/error.h"
+#include "common/serial.h"
 #include "crypto/hash.h"
+#include "persist/records.h"
 
 namespace tpnr::storage {
 
@@ -21,6 +23,10 @@ std::string fault_kind_name(FaultKind kind) {
       return "loss";
     case FaultKind::kAdminTamper:
       return "admin-tamper";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kTornWrite:
+      return "torn-write";
   }
   return "unknown";
 }
@@ -44,6 +50,16 @@ std::uint64_t ObjectStore::put(const std::string& key, BytesView data,
   record.stored_at = now;
   ++record.version;
   backend_->put(key, data);
+  if (journal_ != nullptr) {
+    persist::ObjectMeta meta;
+    meta.key = key;
+    meta.version = record.version;
+    meta.stored_md5 = record.stored_md5;
+    meta.stored_at = now;
+    meta.size = data.size();
+    meta.sha256 = crypto::sha256(data);
+    journal_->record(persist::RecordType::kObjectPut, meta.encode());
+  }
   return record.version;
 }
 
@@ -89,6 +105,8 @@ void ObjectStore::apply_fault(const std::string& key, ObjectRecord& record) {
   switch (policy_.kind) {
     case FaultKind::kNone:
     case FaultKind::kAdminTamper:  // never produced by a policy
+    case FaultKind::kCrash:        // logged by the persistence harness
+    case FaultKind::kTornWrite:
       break;
     case FaultKind::kBitFlip: {
       if (record.data.empty()) break;
@@ -146,6 +164,11 @@ bool ObjectStore::remove(const std::string& key) {
   history_.erase(key);
   const bool had_index = index_.erase(key) > 0;
   const bool had_bytes = backend_->remove(key);
+  if (journal_ != nullptr && (had_index || had_bytes)) {
+    common::BinaryWriter w;
+    w.str(key);
+    journal_->record(persist::RecordType::kObjectRemove, w.data());
+  }
   return had_index || had_bytes;
 }
 

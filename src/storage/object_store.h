@@ -13,6 +13,7 @@
 
 #include "common/clock.h"
 #include "crypto/drbg.h"
+#include "persist/journal.h"
 #include "storage/backend.h"
 
 namespace tpnr::storage {
@@ -37,6 +38,11 @@ enum class FaultKind {
   kStaleVersion,   ///< reads serve a previous version (rollback)
   kLoss,           ///< object disappears
   kAdminTamper,    ///< explicit tamper() by "the administrator" (Eve)
+  // Persistence faults (src/persist/): logged via log_external_fault by the
+  // crash/recovery harness so durability losses land in the same per-key
+  // log the audit report reads.
+  kCrash,          ///< object (or its latest version) lost to a crash
+  kTornWrite,      ///< a torn device write damaged the object's durable state
 };
 
 std::string fault_kind_name(FaultKind kind);
@@ -101,6 +107,20 @@ class ObjectStore {
   [[nodiscard]] std::vector<FaultEvent> fault_log_for(
       const std::string& key) const;
 
+  /// Records a fault observed OUTSIDE the read path — the crash/recovery
+  /// harness logs kCrash/kTornWrite here so persistence losses show up in
+  /// the same per-key log audit reports consume.
+  void log_external_fault(const std::string& key, FaultKind kind,
+                          std::uint64_t version = 0) {
+    log_fault(key, kind, version);
+  }
+
+  /// Journals accepted object versions (persist::ObjectMeta per put) through
+  /// the durability seam. nullptr (the default) keeps the store memory-only.
+  void bind_journal(persist::Journal* journal) noexcept {
+    journal_ = journal;
+  }
+
  private:
   void apply_fault(const std::string& key, ObjectRecord& record);
   void log_fault(const std::string& key, FaultKind kind,
@@ -114,6 +134,7 @@ class ObjectStore {
   std::uint64_t faults_injected_ = 0;
   const common::SimClock* clock_ = nullptr;
   std::vector<FaultEvent> fault_log_;
+  persist::Journal* journal_ = nullptr;
 };
 
 }  // namespace tpnr::storage

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "common/error.h"
 
 namespace tpnr::common {
@@ -83,6 +86,115 @@ TEST(SerialTest, RemainingTracksPosition) {
   EXPECT_EQ(r.remaining(), 5u);
   r.u32();
   EXPECT_EQ(r.remaining(), 1u);
+}
+
+// --- Systematic per-encoder coverage: the durability layer snapshots and
+// --- journals through these, so each must (a) encode deterministically,
+// --- (b) round-trip exactly, (c) reject EVERY strictly truncated input.
+
+/// One encoder under test: how to write a sample value, read it back,
+/// and check the value survived.
+struct EncoderCase {
+  const char* name;
+  std::size_t encoded_size;  ///< expected canonical size of the sample
+  void (*write)(BinaryWriter&);
+  void (*read_and_check)(BinaryReader&);
+};
+
+const EncoderCase kEncoderCases[] = {
+    {"u8", 1, [](BinaryWriter& w) { w.u8(0x7E); },
+     [](BinaryReader& r) { EXPECT_EQ(r.u8(), 0x7E); }},
+    {"u16", 2, [](BinaryWriter& w) { w.u16(0xA55A); },
+     [](BinaryReader& r) { EXPECT_EQ(r.u16(), 0xA55A); }},
+    {"u32", 4, [](BinaryWriter& w) { w.u32(0xDEADBEEFu); },
+     [](BinaryReader& r) { EXPECT_EQ(r.u32(), 0xDEADBEEFu); }},
+    {"u64", 8, [](BinaryWriter& w) { w.u64(0x0123456789ABCDEFull); },
+     [](BinaryReader& r) { EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull); }},
+    {"i64-negative", 8, [](BinaryWriter& w) { w.i64(-987654321); },
+     [](BinaryReader& r) { EXPECT_EQ(r.i64(), -987654321); }},
+    {"i64-min", 8,
+     [](BinaryWriter& w) { w.i64(std::numeric_limits<std::int64_t>::min()); },
+     [](BinaryReader& r) {
+       EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+     }},
+    {"boolean", 1, [](BinaryWriter& w) { w.boolean(true); },
+     [](BinaryReader& r) { EXPECT_TRUE(r.boolean()); }},
+    {"bytes", 4 + 5, [](BinaryWriter& w) { w.bytes(Bytes{9, 8, 7, 6, 5}); },
+     [](BinaryReader& r) { EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7, 6, 5})); }},
+    {"bytes-empty", 4, [](BinaryWriter& w) { w.bytes(Bytes{}); },
+     [](BinaryReader& r) { EXPECT_TRUE(r.bytes().empty()); }},
+    {"str", 4 + 9, [](BinaryWriter& w) { w.str("evidence!"); },
+     [](BinaryReader& r) { EXPECT_EQ(r.str(), "evidence!"); }},
+    {"str-empty", 4, [](BinaryWriter& w) { w.str(""); },
+     [](BinaryReader& r) { EXPECT_TRUE(r.str().empty()); }},
+};
+
+TEST(SerialTest, EveryEncoderIsDeterministic) {
+  for (const EncoderCase& c : kEncoderCases) {
+    SCOPED_TRACE(c.name);
+    BinaryWriter a;
+    BinaryWriter b;
+    c.write(a);
+    c.write(b);
+    EXPECT_EQ(a.data(), b.data());
+    EXPECT_EQ(a.data().size(), c.encoded_size);
+  }
+}
+
+TEST(SerialTest, EveryEncoderRoundTripsAndConsumesExactly) {
+  for (const EncoderCase& c : kEncoderCases) {
+    SCOPED_TRACE(c.name);
+    BinaryWriter w;
+    c.write(w);
+    BinaryReader r(w.data());
+    c.read_and_check(r);
+    EXPECT_NO_THROW(r.expect_done());
+  }
+}
+
+TEST(SerialTest, EveryEncoderRejectsEveryTruncatedPrefix) {
+  for (const EncoderCase& c : kEncoderCases) {
+    BinaryWriter w;
+    c.write(w);
+    const Bytes& full = w.data();
+    // Every strict prefix of a single encoding must throw on read — the
+    // reader never fabricates data past the end of a torn buffer.
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      SCOPED_TRACE(std::string(c.name) + " truncated to " +
+                   std::to_string(len));
+      BinaryReader r(BytesView(full).subspan(0, len));
+      EXPECT_THROW(c.read_and_check(r), SerialError);
+    }
+  }
+}
+
+TEST(SerialTest, MixedSequenceRejectsEveryTruncatedPrefix) {
+  // A composite record (the shape journal payloads actually take).
+  BinaryWriter w;
+  w.u64(42);
+  w.str("obj-key");
+  w.bytes(Bytes{1, 2, 3, 4});
+  w.boolean(false);
+  w.i64(-7);
+  const Bytes full = w.take();
+
+  const auto read_all = [](BinaryReader& r) {
+    r.u64();
+    r.str();
+    r.bytes();
+    r.boolean();
+    r.i64();
+    r.expect_done();
+  };
+  {
+    BinaryReader r(full);
+    EXPECT_NO_THROW(read_all(r));
+  }
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len));
+    BinaryReader r(BytesView(full).subspan(0, len));
+    EXPECT_THROW(read_all(r), SerialError);
+  }
 }
 
 }  // namespace

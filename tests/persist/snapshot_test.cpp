@@ -1,0 +1,161 @@
+// Snapshot image: canonical round-trip, all-or-nothing decode under damage,
+// and the write-new-then-swap crash guarantee.
+#include <gtest/gtest.h>
+
+#include "persist/snapshot.h"
+
+namespace tpnr::persist {
+namespace {
+
+using common::to_bytes;
+
+audit::AuditEntry ledger_entry(std::uint64_t chunk,
+                               audit::AuditVerdict verdict) {
+  audit::AuditEntry entry;
+  entry.challenged_at = 1000 + static_cast<common::SimTime>(chunk);
+  entry.concluded_at = 2000 + static_cast<common::SimTime>(chunk);
+  entry.auditor = "auditor";
+  entry.provider = "bob";
+  entry.txn_id = "txn-1";
+  entry.object_key = "obj";
+  entry.chunk_index = chunk;
+  entry.verdict = verdict;
+  entry.detail = "detail";
+  return entry;
+}
+
+EvidenceRecord evidence_record(std::uint64_t i) {
+  EvidenceRecord record;
+  record.owner = "alice";
+  record.role = i % 2 == 0 ? "nrr" : "nro";
+  record.txn_id = "txn-" + std::to_string(i);
+  record.signer = "bob";
+  record.object_key = "obj-" + std::to_string(i);
+  record.chunk_size = i * 64;
+  record.header.flag = nr::MsgType::kStoreReceipt;
+  record.header.sender = "bob";
+  record.header.recipient = "alice";
+  record.header.ttp = "ttp";
+  record.header.txn_id = record.txn_id;
+  record.header.seq_no = i;
+  record.header.nonce = to_bytes("nonce-" + std::to_string(i));
+  record.header.time_limit = 5000 + static_cast<common::SimTime>(i);
+  record.header.data_hash = Bytes(32, static_cast<std::uint8_t>(i));
+  record.data_hash_signature = to_bytes("dsig-" + std::to_string(i));
+  record.header_signature = to_bytes("hsig-" + std::to_string(i));
+  return record;
+}
+
+ObjectMeta object_meta(std::uint64_t i) {
+  ObjectMeta meta;
+  meta.key = "obj-" + std::to_string(i);
+  meta.version = i;
+  meta.stored_md5 = Bytes(16, static_cast<std::uint8_t>(i));
+  meta.stored_at = 3000 + static_cast<common::SimTime>(i);
+  meta.size = 100 * i;
+  meta.sha256 = Bytes(32, static_cast<std::uint8_t>(0x40 + i));
+  return meta;
+}
+
+SnapshotState sample_state() {
+  SnapshotState state;
+  state.wal_lsn = 17;
+  audit::AuditLedger ledger;
+  ledger.append(ledger_entry(0, audit::AuditVerdict::kVerified));
+  ledger.append(ledger_entry(1, audit::AuditVerdict::kMismatch));
+  ledger.append(ledger_entry(2, audit::AuditVerdict::kNoResponse));
+  state.ledger = ledger.entries();
+  state.evidence = {evidence_record(1), evidence_record(2)};
+  state.objects = {object_meta(1), object_meta(2), object_meta(3)};
+  return state;
+}
+
+void expect_equal(const SnapshotState& a, const SnapshotState& b) {
+  EXPECT_EQ(a.wal_lsn, b.wal_lsn);
+  ASSERT_EQ(a.ledger.size(), b.ledger.size());
+  for (std::size_t i = 0; i < a.ledger.size(); ++i) {
+    EXPECT_EQ(a.ledger[i].encode_full(), b.ledger[i].encode_full());
+  }
+  ASSERT_EQ(a.evidence.size(), b.evidence.size());
+  for (std::size_t i = 0; i < a.evidence.size(); ++i) {
+    EXPECT_EQ(a.evidence[i].encode(), b.evidence[i].encode());
+  }
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].encode(), b.objects[i].encode());
+  }
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrip) {
+  const SnapshotState state = sample_state();
+  const Bytes image = Snapshotter::encode(state);
+  const auto decoded = Snapshotter::decode(image);
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(state, *decoded);
+}
+
+TEST(SnapshotTest, EncodingIsDeterministic) {
+  EXPECT_EQ(Snapshotter::encode(sample_state()),
+            Snapshotter::encode(sample_state()));
+}
+
+TEST(SnapshotTest, EveryTruncatedPrefixIsRejected) {
+  const Bytes image = Snapshotter::encode(sample_state());
+  // A torn snapshot write can leave ANY prefix on the media: all of them
+  // must decode to nullopt, never to a partial state.
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    ASSERT_FALSE(Snapshotter::decode(BytesView(image).subspan(0, len)))
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(SnapshotTest, EveryFlippedByteIsRejected) {
+  const Bytes image = Snapshotter::encode(sample_state());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    Bytes damaged = image;
+    damaged[i] ^= 0x01;
+    ASSERT_FALSE(Snapshotter::decode(damaged))
+        << "flip at byte " << i << " decoded";
+  }
+}
+
+TEST(SnapshotTest, TrailingGarbageIsRejected) {
+  Bytes image = Snapshotter::encode(sample_state());
+  image.push_back(0xAB);
+  EXPECT_FALSE(Snapshotter::decode(image));
+}
+
+TEST(SnapshotTest, WriteThenDurableImageRoundTrips) {
+  Snapshotter snapshotter;
+  EXPECT_FALSE(snapshotter.has_snapshot());
+  EXPECT_TRUE(snapshotter.durable_image().empty());
+
+  const SnapshotState state = sample_state();
+  snapshotter.write(state);
+  EXPECT_TRUE(snapshotter.has_snapshot());
+  const auto decoded = Snapshotter::decode(snapshotter.durable_image());
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(state, *decoded);
+  EXPECT_GT(snapshotter.device_bytes(), 0u);
+}
+
+TEST(SnapshotTest, CrashMidWriteKeepsThePreviousSnapshot) {
+  auto faults = std::make_shared<FaultInjector>(11);
+  Snapshotter snapshotter(faults);
+  SnapshotState first = sample_state();
+  snapshotter.write(first);
+
+  // Crash while writing the replacement: write-new-then-swap means the old
+  // image is still the durable one.
+  SnapshotState second = sample_state();
+  second.wal_lsn = 99;
+  faults->arm({/*at_write=*/faults->writes_issued() + 1, /*torn_prefix=*/-1});
+  EXPECT_THROW(snapshotter.write(second), DeviceCrashed);
+
+  const auto decoded = Snapshotter::decode(snapshotter.durable_image());
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(first, *decoded);
+}
+
+}  // namespace
+}  // namespace tpnr::persist
