@@ -1,0 +1,366 @@
+// Chaos fault-matrix experiment: does TPNR still deliver its guarantees on
+// a hostile network, and what does surviving cost?
+//
+// Sweeps loss × duplication × reordering × partitions × TTP outages over
+// seeded transactions, with the reliable-delivery layer + protocol retries
+// ON vs the paper's single-shot baseline, and reports per configuration:
+// completion rate, evidence-safety violations (the number that must stay
+// zero), TTP-escalation rate, retransmit overhead bytes, and p50/p99
+// transaction completion latency. One JsonLine per configuration; all
+// randomness is Drbg-seeded, so every number here is bit-reproducible.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/network.h"
+#include "net/reliable.h"
+#include "nr/client.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+
+namespace {
+
+using namespace tpnr;  // NOLINT(google-build-using-namespace)
+using common::kMillisecond;
+using common::kSecond;
+
+/// One point of the fault matrix.
+struct FaultConfig {
+  std::string name;
+  double loss = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  bool partition = false;   ///< alice<->bob cut for [40ms, 2s)
+  bool ttp_outage = false;  ///< TTP down for [10s, 30s)
+  bool retries = false;     ///< reliable channel + store/resolve retries
+};
+
+struct TrialResult {
+  bool completed = false;  ///< holds a verified NRR (direct or via TTP)
+  bool escalated = false;  ///< the TTP had to be involved
+  bool violation = false;  ///< evidence-safety broken (must never happen)
+  common::SimTime latency = 0;  ///< store() -> terminal state
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retransmit_bytes = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// One transaction in its own seeded world, so partition/outage windows are
+/// relative to the transaction's start and latency is cleanly attributable.
+TrialResult run_trial(const FaultConfig& config, std::uint64_t seed) {
+  net::Network network(seed);
+  crypto::Drbg rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+
+  nr::ClientOptions options;
+  if (config.retries) {
+    options.store_retries = 2;
+    options.resolve_retries = 2;
+  }
+  auto& alice_id = const_cast<pki::Identity&>(bench::identity("alice"));
+  auto& bob_id = const_cast<pki::Identity&>(bench::identity("bob"));
+  auto& ttp_id = const_cast<pki::Identity&>(bench::identity("ttp"));
+  nr::ClientActor alice("alice", network, alice_id, rng, options);
+  nr::ProviderActor bob("bob", network, bob_id, rng);
+  nr::TtpActor ttp("ttp", network, ttp_id, rng);
+  alice.trust_peer("bob", bob_id.public_key());
+  alice.trust_peer("ttp", ttp_id.public_key());
+  bob.trust_peer("alice", alice_id.public_key());
+  bob.trust_peer("ttp", ttp_id.public_key());
+  ttp.trust_peer("alice", alice_id.public_key());
+  ttp.trust_peer("bob", bob_id.public_key());
+  if (config.retries) {
+    alice.use_reliable(seed + 1);
+    bob.use_reliable(seed + 2);
+    ttp.use_reliable(seed + 3);
+  }
+
+  net::LinkConfig link;
+  link.latency = 5 * kMillisecond;
+  link.jitter = 10 * kMillisecond;
+  link.loss_probability = config.loss;
+  link.duplicate_probability = config.duplicate;
+  link.reorder_probability = config.reorder;
+  link.reorder_window = 50 * kMillisecond;
+  network.set_default_link(link);
+  if (config.partition) {
+    network.partition("alice", "bob", 40 * kMillisecond, 2 * kSecond);
+  }
+  if (config.ttp_outage) {
+    network.set_endpoint_down("ttp", 10 * kSecond, 30 * kSecond);
+  }
+
+  const std::string txn =
+      alice.store("bob", "ttp", "obj", common::to_bytes("chaos payload"));
+  network.run();
+
+  const auto* state = alice.transaction(txn);
+  TrialResult result;
+  result.completed = state->state == nr::TxnState::kCompleted ||
+                     state->state == nr::TxnState::kResolvedCompleted;
+  result.escalated = state->resolve_attempts > 0;
+  result.latency = state->finished_at > 0
+                       ? state->finished_at - state->started_at
+                       : network.now() - state->started_at;
+  // Evidence safety: completed => verifiable NRR; aborted => abort receipt;
+  // never both. (No aborts in this workload, so "both" and "aborted
+  // without receipt" reduce to the NRR checks.)
+  const auto nrr = alice.present_nrr(txn);
+  if (result.completed) {
+    result.violation =
+        !nrr.has_value() ||
+        !nr::verify_evidence_signatures(bob_id.public_key(), nrr->first,
+                                        nrr->second);
+  } else {
+    result.violation = state->state == nr::TxnState::kAborted &&
+                       !state->abort_receipt.has_value();
+  }
+  if (nrr.has_value() && state->abort_receipt.has_value()) {
+    result.violation = true;
+  }
+
+  if (config.retries) {
+    result.retransmissions = alice.reliable_channel()->stats().retransmissions +
+                             bob.reliable_channel()->stats().retransmissions +
+                             ttp.reliable_channel()->stats().retransmissions;
+    result.retransmit_bytes =
+        alice.reliable_channel()->stats().bytes_retransmitted +
+        bob.reliable_channel()->stats().bytes_retransmitted +
+        ttp.reliable_channel()->stats().bytes_retransmitted;
+  }
+  const net::NetworkStats& s = network.stats();
+  result.delivered = s.messages_delivered;
+  result.dropped = s.messages_dropped_loss + s.messages_dropped_partition +
+                   s.messages_dropped_endpoint_down;
+  return result;
+}
+
+std::size_t trials_per_config() {
+  // CI runs a small sweep (TPNR_CHAOS_TRIALS=8); the default is sized for a
+  // workstation run.
+  const char* env = std::getenv("TPNR_CHAOS_TRIALS");
+  if (env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 32;
+}
+
+common::SimTime percentile(std::vector<common::SimTime> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+struct ConfigSummary {
+  std::size_t trials = 0;
+  std::size_t completed = 0;
+  std::size_t escalated = 0;
+  std::size_t violations = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retransmit_bytes = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+ConfigSummary run_config(const FaultConfig& config, std::size_t trials) {
+  ConfigSummary summary;
+  summary.trials = trials;
+  std::vector<common::SimTime> latencies;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const TrialResult r = run_trial(config, 1000 + i);
+    summary.completed += r.completed ? 1 : 0;
+    summary.escalated += r.escalated ? 1 : 0;
+    summary.violations += r.violation ? 1 : 0;
+    summary.retransmissions += r.retransmissions;
+    summary.retransmit_bytes += r.retransmit_bytes;
+    if (r.completed) latencies.push_back(r.latency);
+  }
+  summary.p50_ms = static_cast<double>(percentile(latencies, 0.50)) /
+                   static_cast<double>(kMillisecond);
+  summary.p99_ms = static_cast<double>(percentile(latencies, 0.99)) /
+                   static_cast<double>(kMillisecond);
+  return summary;
+}
+
+void emit(const std::string& sweep, const FaultConfig& config,
+          const ConfigSummary& s,
+          std::vector<std::vector<std::string>>& rows) {
+  const double completion =
+      static_cast<double>(s.completed) / static_cast<double>(s.trials);
+  const double escalation =
+      static_cast<double>(s.escalated) / static_cast<double>(s.trials);
+  rows.push_back({config.name, config.retries ? "yes" : "no",
+                  bench::fmt(completion * 100.0, 1) + "%",
+                  bench::fmt(escalation * 100.0, 1) + "%",
+                  std::to_string(s.violations),
+                  std::to_string(s.retransmit_bytes),
+                  bench::fmt(s.p50_ms, 0), bench::fmt(s.p99_ms, 0)});
+  bench::JsonLine("chaos")
+      .field("sweep", sweep)
+      .field("config", config.name)
+      .field("loss", config.loss)
+      .field("duplicate", config.duplicate)
+      .field("reorder", config.reorder)
+      .field("partition", config.partition)
+      .field("ttp_outage", config.ttp_outage)
+      .field("retries", config.retries)
+      .field("trials", static_cast<std::uint64_t>(s.trials))
+      .field("completed", static_cast<std::uint64_t>(s.completed))
+      .field("completion_rate", completion)
+      .field("escalated", static_cast<std::uint64_t>(s.escalated))
+      .field("escalation_rate", escalation)
+      .field("evidence_safety_violations",
+             static_cast<std::uint64_t>(s.violations))
+      .field("retransmissions", s.retransmissions)
+      .field("retransmit_overhead_bytes", s.retransmit_bytes)
+      .field("p50_latency_ms", s.p50_ms, 1)
+      .field("p99_latency_ms", s.p99_ms, 1)
+      .print();
+}
+
+/// Loss sweep, retries OFF vs ON: the headline table. At every loss level
+/// up to 20% the retry stack must complete 100% with zero evidence-safety
+/// violations and escalate to the TTP less often than the single-shot
+/// baseline (which burns a TTP round trip for every lost message).
+void print_loss_sweep() {
+  const std::size_t trials = trials_per_config();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"config", "retries", "completion", "ttp-escalation",
+                  "violations", "rexmit-bytes", "p50-ms", "p99-ms"});
+  for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    for (const bool retries : {false, true}) {
+      FaultConfig config;
+      config.name = "loss-" + bench::fmt(loss * 100.0, 0);
+      config.loss = loss;
+      config.retries = retries;
+      emit("loss", config, run_config(config, trials), rows);
+    }
+  }
+  bench::print_table("loss sweep: single-shot baseline vs reliable+retries",
+                     rows);
+}
+
+/// Composed fault matrix (all with retries ON): each row adds one more
+/// fault class on top of the previous.
+void print_fault_matrix() {
+  const std::size_t trials = trials_per_config();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"config", "retries", "completion", "ttp-escalation",
+                  "violations", "rexmit-bytes", "p50-ms", "p99-ms"});
+  std::vector<FaultConfig> matrix;
+  {
+    FaultConfig c;
+    c.name = "clean";
+    matrix.push_back(c);
+  }
+  {
+    FaultConfig c;
+    c.name = "loss20";
+    c.loss = 0.20;
+    matrix.push_back(c);
+  }
+  {
+    FaultConfig c;
+    c.name = "loss20+dup10";
+    c.loss = 0.20;
+    c.duplicate = 0.10;
+    matrix.push_back(c);
+  }
+  {
+    FaultConfig c;
+    c.name = "loss20+dup10+reorder20";
+    c.loss = 0.20;
+    c.duplicate = 0.10;
+    c.reorder = 0.20;
+    matrix.push_back(c);
+  }
+  {
+    FaultConfig c;
+    c.name = "loss20+dup10+reorder20+partition";
+    c.loss = 0.20;
+    c.duplicate = 0.10;
+    c.reorder = 0.20;
+    c.partition = true;
+    matrix.push_back(c);
+  }
+  {
+    FaultConfig c;
+    c.name = "loss20+dup10+reorder20+partition+ttp-outage";
+    c.loss = 0.20;
+    c.duplicate = 0.10;
+    c.reorder = 0.20;
+    c.partition = true;
+    c.ttp_outage = true;
+    matrix.push_back(c);
+  }
+  for (FaultConfig& config : matrix) {
+    config.retries = true;
+    emit("matrix", config, run_config(config, trials), rows);
+  }
+  bench::print_table("composed fault matrix (reliable+retries)", rows);
+}
+
+// --- micro-benchmarks ------------------------------------------------------
+
+void BM_ReliableRoundTripCleanLink(benchmark::State& state) {
+  net::Network network(1);
+  net::ReliableChannel alice(network, "alice", 1);
+  net::ReliableChannel bob(network, "bob", 2);
+  alice.attach([](const net::Envelope&) {});
+  bob.attach([](const net::Envelope&) {});
+  for (auto _ : state) {
+    alice.send("bob", "app", common::Bytes(256, 7));
+    network.run();
+  }
+  state.SetLabel("send+ack, 256 B payload");
+}
+BENCHMARK(BM_ReliableRoundTripCleanLink);
+
+void BM_ReliableRoundTripLossyLink(benchmark::State& state) {
+  net::Network network(2);
+  net::LinkConfig lossy;
+  lossy.loss_probability = 0.3;
+  network.set_default_link(lossy);
+  net::ReliableChannel alice(network, "alice", 1);
+  net::ReliableChannel bob(network, "bob", 2);
+  alice.attach([](const net::Envelope&) {});
+  bob.attach([](const net::Envelope&) {});
+  for (auto _ : state) {
+    alice.send("bob", "app", common::Bytes(256, 7));
+    network.run();
+  }
+  state.SetLabel("30% loss each way, RTO retransmission");
+}
+BENCHMARK(BM_ReliableRoundTripLossyLink);
+
+void BM_ChaosTransaction(benchmark::State& state) {
+  FaultConfig config;
+  config.name = "bm";
+  config.loss = 0.20;
+  config.duplicate = 0.10;
+  config.reorder = 0.20;
+  config.retries = true;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_trial(config, seed++));
+  }
+  state.SetLabel("full TPNR txn, 20% loss + dup + reorder");
+}
+BENCHMARK(BM_ChaosTransaction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_loss_sweep();
+  print_fault_matrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

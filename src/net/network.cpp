@@ -20,10 +20,73 @@ void Network::clear_adversary(const std::string& from, const std::string& to) {
   adversaries_.erase({from, to});
 }
 
+void Network::partition(const std::string& a, const std::string& b,
+                        SimTime from, SimTime until) {
+  partitions_.push_back({a, b, from, until});
+}
+
+bool Network::partitioned(const std::string& a, const std::string& b,
+                          SimTime at) const {
+  for (const PartitionWindow& w : partitions_) {
+    const bool matches = (w.a == a && w.b == b) || (w.a == b && w.b == a);
+    if (matches && at >= w.from && at < w.until) return true;
+  }
+  return false;
+}
+
+void Network::set_endpoint_down(const std::string& endpoint, SimTime from,
+                                SimTime until) {
+  down_windows_[endpoint].emplace_back(from, until);
+}
+
+bool Network::endpoint_down(const std::string& endpoint, SimTime at) const {
+  const auto it = down_windows_.find(endpoint);
+  if (it == down_windows_.end()) return false;
+  for (const auto& [from, until] : it->second) {
+    if (at >= from && at < until) return true;
+  }
+  return false;
+}
+
 const LinkConfig& Network::link_for(const std::string& from,
                                     const std::string& to) const {
   const auto it = links_.find({from, to});
   return it == links_.end() ? default_link_ : it->second;
+}
+
+SimTime Network::sample_delay(const LinkConfig& link,
+                              std::size_t payload_bytes, bool& reordered) {
+  SimTime delay = link.latency;
+  if (link.jitter > 0) {
+    delay += static_cast<SimTime>(
+        rng_.uniform(static_cast<std::uint64_t>(link.jitter) + 1));
+  }
+  if (link.bandwidth_bytes_per_sec > 0) {
+    delay += static_cast<SimTime>(payload_bytes) * common::kSecond /
+             static_cast<SimTime>(link.bandwidth_bytes_per_sec);
+  }
+  if (link.delay_spike_probability > 0.0 &&
+      rng_.chance(link.delay_spike_probability)) {
+    delay += link.delay_spike;
+  }
+  reordered = false;
+  if (link.reorder_probability > 0.0 && link.reorder_window > 0 &&
+      rng_.chance(link.reorder_probability)) {
+    delay += 1 + static_cast<SimTime>(rng_.uniform(
+                     static_cast<std::uint64_t>(link.reorder_window)));
+    reordered = true;
+  }
+  return delay;
+}
+
+void Network::enqueue_delivery(Envelope envelope, SimTime at) {
+  envelope.delivered_at = at;
+  Event event;
+  event.at = at;
+  event.seq = next_event_seq_++;
+  event.is_timer = false;
+  event.envelope = std::move(envelope);
+  events_.push(std::move(event));
 }
 
 std::uint64_t Network::send(const std::string& from, const std::string& to,
@@ -52,6 +115,7 @@ std::uint64_t Network::send(const std::string& from, const std::string& to,
     switch (action.kind) {
       case AdversaryAction::Kind::kDrop:
         ++stats_.messages_dropped_adversary;
+        ++topic_stats.messages_dropped_adversary;
         return env.id;
       case AdversaryAction::Kind::kModify:
         env.payload = std::move(action.modified_payload);
@@ -62,30 +126,44 @@ std::uint64_t Network::send(const std::string& from, const std::string& to,
     }
   }
 
-  const LinkConfig& link = link_for(from, to);
-  if (link.loss_probability > 0.0 && rng_.chance(link.loss_probability)) {
-    ++stats_.messages_dropped_loss;
+  // A cut link swallows anything entering it during the window.
+  if (partitioned(from, to, clock_.now())) {
+    ++stats_.messages_dropped_partition;
+    ++topic_stats.messages_dropped_partition;
     return env.id;
   }
 
-  SimTime delay = link.latency;
-  if (link.jitter > 0) {
-    delay += static_cast<SimTime>(
-        rng_.uniform(static_cast<std::uint64_t>(link.jitter) + 1));
+  const LinkConfig& link = link_for(from, to);
+  if (link.loss_probability > 0.0 && rng_.chance(link.loss_probability)) {
+    ++stats_.messages_dropped_loss;
+    ++topic_stats.messages_dropped_loss;
+    return env.id;
   }
-  if (link.bandwidth_bytes_per_sec > 0) {
-    delay += static_cast<SimTime>(env.payload.size()) * common::kSecond /
-             static_cast<SimTime>(link.bandwidth_bytes_per_sec);
+
+  bool reordered = false;
+  const SimTime delay = sample_delay(link, env.payload.size(), reordered);
+  if (reordered) {
+    ++stats_.messages_reordered;
+    ++topic_stats.messages_reordered;
   }
-  env.delivered_at = clock_.now() + delay;
   const std::uint64_t id = env.id;
 
-  Event event;
-  event.at = env.delivered_at;
-  event.seq = next_event_seq_++;
-  event.is_timer = false;
-  event.envelope = std::move(env);
-  events_.push(std::move(event));
+  // Duplication: a second, independently delayed copy of the same envelope
+  // (same id — the duplicate is indistinguishable on the wire).
+  if (link.duplicate_probability > 0.0 &&
+      rng_.chance(link.duplicate_probability)) {
+    ++stats_.messages_duplicated;
+    ++topic_stats.messages_duplicated;
+    bool copy_reordered = false;
+    const SimTime copy_delay =
+        sample_delay(link, env.payload.size(), copy_reordered);
+    if (copy_reordered) {
+      ++stats_.messages_reordered;
+      ++topic_stats.messages_reordered;
+    }
+    enqueue_delivery(env, clock_.now() + copy_delay);
+  }
+  enqueue_delivery(std::move(env), clock_.now() + delay);
   return id;
 }
 
@@ -106,6 +184,11 @@ std::size_t Network::run(std::size_t max_events) {
     clock_.advance_to(event.at);
     if (event.is_timer) {
       event.callback();
+    } else if (endpoint_down(event.envelope.to, event.at)) {
+      // The host is down when the message arrives: lost, like a connection
+      // refused. Timers keep firing — only traffic dies.
+      ++stats_.messages_dropped_endpoint_down;
+      ++stats_.by_topic[event.envelope.topic].messages_dropped_endpoint_down;
     } else {
       const auto it = handlers_.find(event.envelope.to);
       if (it != handlers_.end()) {

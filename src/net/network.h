@@ -41,12 +41,25 @@ struct Envelope {
   SimTime delivered_at = 0;
 };
 
-/// Per-link quality parameters.
+/// Per-link quality parameters. All probabilistic faults are sampled from
+/// the network's seeded Drbg, in a fixed order per send (loss, jitter,
+/// spike, reorder, duplicate), so runs are bit-reproducible.
 struct LinkConfig {
   SimTime latency = 5 * common::kMillisecond;
   SimTime jitter = 0;                      ///< uniform extra in [0, jitter]
   double loss_probability = 0.0;           ///< independent per message
   std::uint64_t bandwidth_bytes_per_sec = 0;  ///< 0 = infinite
+  /// Independent per message: deliver a second copy of the envelope, with
+  /// its own freshly sampled delay.
+  double duplicate_probability = 0.0;
+  /// Independent per message: add a uniform extra delay in
+  /// [1, reorder_window], which can violate FIFO relative to later sends.
+  double reorder_probability = 0.0;
+  SimTime reorder_window = 50 * common::kMillisecond;
+  /// Independent per message: add `delay_spike` to the delivery delay
+  /// (models a congestion burst / bufferbloat event).
+  double delay_spike_probability = 0.0;
+  SimTime delay_spike = 0;
 };
 
 /// Decision returned by an adversary for each observed envelope.
@@ -68,14 +81,30 @@ struct TopicStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t bytes_delivered = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
+  std::uint64_t messages_dropped_loss = 0;
+  std::uint64_t messages_dropped_adversary = 0;
+  std::uint64_t messages_dropped_partition = 0;
+  std::uint64_t messages_dropped_endpoint_down = 0;
 };
 
-/// Statistics for experiments.
+/// Statistics for experiments. Conservation invariant (asserted in tests):
+///   sent + duplicated ==
+///       delivered + dropped_loss + dropped_adversary
+///                 + dropped_partition + dropped_endpoint_down
+/// once the event queue has drained (duplicates are extra deliveries that
+/// were never counted as sent; every copy either lands or hits exactly one
+/// drop bucket).
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped_loss = 0;
   std::uint64_t messages_dropped_adversary = 0;
+  std::uint64_t messages_dropped_partition = 0;
+  std::uint64_t messages_dropped_endpoint_down = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
   std::uint64_t messages_modified = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
@@ -115,6 +144,24 @@ class Network {
                      Adversary adversary);
   void clear_adversary(const std::string& from, const std::string& to);
 
+  /// Cuts the (bidirectional) a <-> b link for absolute sim-time window
+  /// [from, until): messages ENTERING either direction during the window
+  /// are dropped (counted as messages_dropped_partition). Windows may
+  /// overlap; each call adds one.
+  void partition(const std::string& a, const std::string& b, SimTime from,
+                 SimTime until);
+  [[nodiscard]] bool partitioned(const std::string& a, const std::string& b,
+                                 SimTime at) const;
+
+  /// Marks `endpoint` down for absolute sim-time window [from, until):
+  /// messages ARRIVING at a down endpoint are dropped (counted as
+  /// messages_dropped_endpoint_down). `schedule` timers are unaffected —
+  /// an outage loses traffic, not the simulation's clockwork.
+  void set_endpoint_down(const std::string& endpoint, SimTime from,
+                         SimTime until);
+  [[nodiscard]] bool endpoint_down(const std::string& endpoint,
+                                   SimTime at) const;
+
   /// Queues a message; throws NetError if `to` was never attached.
   /// Returns the envelope id (also when the message will later be dropped).
   std::uint64_t send(const std::string& from, const std::string& to,
@@ -145,8 +192,21 @@ class Network {
     }
   };
 
+  struct PartitionWindow {
+    std::string a;
+    std::string b;
+    SimTime from = 0;
+    SimTime until = 0;
+  };
+
   [[nodiscard]] const LinkConfig& link_for(const std::string& from,
                                            const std::string& to) const;
+  /// Samples one delivery delay for `link` (jitter + spike + reorder extra);
+  /// sets `reordered` when the reorder extra was applied.
+  [[nodiscard]] SimTime sample_delay(const LinkConfig& link,
+                                     std::size_t payload_bytes,
+                                     bool& reordered);
+  void enqueue_delivery(Envelope envelope, SimTime at);
 
   common::SimClock clock_;
   crypto::Drbg rng_;
@@ -155,6 +215,9 @@ class Network {
   std::map<std::string, Handler> handlers_;
   std::map<std::pair<std::string, std::string>, LinkConfig> links_;
   std::map<std::pair<std::string, std::string>, Adversary> adversaries_;
+  std::vector<PartitionWindow> partitions_;
+  std::map<std::string, std::vector<std::pair<SimTime, SimTime>>>
+      down_windows_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::uint64_t next_envelope_id_ = 1;
   std::uint64_t next_event_seq_ = 1;

@@ -9,21 +9,35 @@ NrActor::NrActor(std::string id, net::Network& network,
     : network_(&network), identity_(&identity), rng_(&rng),
       id_(std::move(id)) {
   network_->attach(id_, [this](const net::Envelope& envelope) {
-    ++stats_.received;
-    NrMessage message;
-    try {
-      message = NrMessage::decode(envelope.payload);
-    } catch (const common::SerialError&) {
-      ++stats_.rejected_bad_hash;
-      return;
-    }
-    if (!screen(message)) return;
-    ++stats_.accepted;
-    // Replies sent from inside on_message stay on the inbound topic, so a
-    // whole conversation is accounted under one topic.
-    reply_topic_ = envelope.topic;
-    on_message(message);
-    reply_topic_.clear();
+    receive(envelope);
+  });
+}
+
+void NrActor::receive(const net::Envelope& envelope) {
+  ++stats_.received;
+  NrMessage message;
+  try {
+    message = NrMessage::decode(envelope.payload);
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  if (!screen(message)) return;
+  ++stats_.accepted;
+  // Replies sent from inside on_message stay on the inbound topic, so a
+  // whole conversation is accounted under one topic.
+  reply_topic_ = envelope.topic;
+  on_message(message);
+  reply_topic_.clear();
+}
+
+void NrActor::use_reliable(std::uint64_t seed, net::ReliableOptions options) {
+  channel_ = std::make_unique<net::ReliableChannel>(*network_, id_, seed,
+                                                    options);
+  // The channel takes over the network endpoint; deduped app payloads come
+  // back through the same screening path.
+  channel_->attach([this](const net::Envelope& envelope) {
+    receive(envelope);
   });
 }
 
@@ -81,9 +95,13 @@ bool NrActor::screen(const NrMessage& message) {
 
 void NrActor::send(const std::string& to, NrMessage message) {
   ++stats_.sent;
-  network_->send(id_, to,
-                 reply_topic_.empty() ? default_topic_ : reply_topic_,
-                 message.encode());
+  const std::string& topic =
+      reply_topic_.empty() ? default_topic_ : reply_topic_;
+  if (channel_ != nullptr) {
+    channel_->send(to, topic, message.encode());
+  } else {
+    network_->send(id_, to, topic, message.encode());
+  }
 }
 
 void NrActor::journal_evidence(const std::string& role,

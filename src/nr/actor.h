@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
 #include "crypto/drbg.h"
 #include "crypto/hash.h"
 #include "net/network.h"
+#include "net/reliable.h"
 #include "nr/evidence.h"
 #include "nr/message.h"
 #include "persist/journal.h"
@@ -76,6 +78,16 @@ class NrActor {
     return journal_;
   }
 
+  /// Puts this actor's traffic behind a ReliableChannel: everything it
+  /// sends is sequenced/acked/retransmitted, and inbound duplicates are
+  /// suppressed below the protocol layer. Raw inbound traffic from peers
+  /// without a channel still gets through (frame passthrough).
+  void use_reliable(std::uint64_t seed,
+                    net::ReliableOptions options = net::ReliableOptions{});
+  [[nodiscard]] net::ReliableChannel* reliable_channel() noexcept {
+    return channel_.get();
+  }
+
  protected:
   /// Subclass dispatch for an already-screened message.
   virtual void on_message(const NrMessage& message) = 0;
@@ -119,6 +131,12 @@ class NrActor {
   persist::Journal* journal_ = nullptr;
 
  private:
+  /// The shared inbound path (decode, screen, dispatch) — reached directly
+  /// from the network, or through the reliable channel's dedup when one is
+  /// installed.
+  void receive(const net::Envelope& envelope);
+
+  std::unique_ptr<net::ReliableChannel> channel_;
   std::string id_;
   std::string default_topic_ = "nr";
   std::string reply_topic_;  ///< topic of the message currently being handled

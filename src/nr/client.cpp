@@ -20,10 +20,14 @@ std::string txn_state_name(TxnState state) {
       return "abort-errored";
     case TxnState::kResolvePending:
       return "resolve-pending";
+    case TxnState::kResolveRetrying:
+      return "resolve-retrying";
     case TxnState::kResolvedCompleted:
       return "resolved-completed";
     case TxnState::kResolvedFailed:
       return "resolved-failed";
+    case TxnState::kTtpUnreachable:
+      return "ttp-unreachable";
     case TxnState::kTimedOut:
       return "timed-out";
   }
@@ -70,6 +74,12 @@ std::string ClientActor::store_chunked(const std::string& provider,
   return store_impl(provider, ttp, object_key, data, chunk_size);
 }
 
+void ClientActor::set_state(Txn& txn, TxnState state) {
+  txn.state = state;
+  txn.history.emplace_back(network_->now(), state);
+  if (txn_state_terminal(state)) txn.finished_at = network_->now();
+}
+
 std::string ClientActor::store_impl(const std::string& provider,
                                     const std::string& ttp,
                                     const std::string& object_key,
@@ -90,55 +100,103 @@ std::string ClientActor::store_impl(const std::string& provider,
     chunk_count = tree.leaf_count();
   }
 
-  MessageHeader header =
-      next_header(MsgType::kStoreRequest, provider, ttp, txn_id, data_hash,
-                  network_->now() + options_.reply_window);
-  const Bytes evidence =
-      make_evidence(*identity_, *provider_key, header, *rng_);
-
   Txn txn;
   txn.provider = provider;
   txn.ttp = ttp;
   txn.object_key = object_key;
   txn.data_hash = data_hash;
-  txn.store_header = header;
-  txn.store_evidence = evidence;
   txn.chunk_size = chunk_size;
   txn.chunk_count = chunk_count;
+  txn.started_at = network_->now();
+  txn.history.emplace_back(network_->now(), TxnState::kStorePending);
+  // Keep the object bytes only if re-sending the NRO is allowed — the
+  // retry path must rebuild the exact payload.
+  if (options_.store_retries > 0) {
+    txn.retry_data = Bytes(data.begin(), data.end());
+  }
   txns_[txn_id] = std::move(txn);
 
+  transmit_store(txn_id, data);
+  return txn_id;
+}
+
+void ClientActor::transmit_store(const std::string& txn_id, BytesView data) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  const crypto::RsaPublicKey* provider_key = peer_key(txn.provider);
+  if (provider_key == nullptr) return;
+
+  // Every (re-)send carries a fresh header: new nonce/seq so the replay
+  // defence stays intact, new time_limit so the deadline is live. The
+  // txn_id and data_hash bind it to the same transaction; the provider
+  // treats a repeated NRO for a known transaction idempotently.
+  MessageHeader header =
+      next_header(MsgType::kStoreRequest, txn.provider, txn.ttp, txn_id,
+                  txn.data_hash, network_->now() + options_.reply_window);
+  const Bytes evidence =
+      make_evidence(*identity_, *provider_key, header, *rng_);
+  txn.store_header = header;
+  txn.store_evidence = evidence;
+  ++txn.store_attempts;
+
   common::BinaryWriter payload;
-  payload.str(object_key);
+  payload.str(txn.object_key);
   payload.bytes(data);
-  payload.u32(static_cast<std::uint32_t>(chunk_size));
+  payload.u32(static_cast<std::uint32_t>(txn.chunk_size));
 
   NrMessage message;
   message.header = std::move(header);
   message.payload = payload.take();
   message.evidence = evidence;
-  send(provider, std::move(message));
+  send(txn.provider, std::move(message));
+  arm_receipt_timer(txn_id, txn.store_attempts);
+}
 
+void ClientActor::send_store(const std::string& txn_id) {
+  const auto it = txns_.find(txn_id);
+  if (it == txns_.end() || it->second.retry_data.empty()) return;
+  if (it->second.state != TxnState::kStorePending) {
+    set_state(it->second, TxnState::kStorePending);
+  }
+  transmit_store(txn_id, it->second.retry_data);
+}
+
+void ClientActor::arm_receipt_timer(const std::string& txn_id,
+                                    std::size_t attempt) {
   // §4.3: "if Alice has sent the NRO and has not received the NRR before
-  // the time out, she can initiate the Resolve mode."
-  network_->schedule(options_.receipt_timeout, [this, txn_id] {
+  // the time out, she can initiate the Resolve mode." With retries
+  // configured she first re-sends the NRO (linear backoff) and escalates
+  // only once the budget is spent.
+  const common::SimTime wait =
+      options_.receipt_timeout +
+      options_.store_retry_backoff * static_cast<common::SimTime>(attempt - 1);
+  network_->schedule(wait, [this, txn_id, attempt] {
     const auto it = txns_.find(txn_id);
-    if (it == txns_.end() || it->second.state != TxnState::kStorePending) {
+    // Guard on state AND attempt: a timer firing after the NRR arrived (or
+    // the txn aborted/resolved) must do nothing, and a stale timer from a
+    // superseded attempt must not double-fire the escalation.
+    if (it == txns_.end() || it->second.state != TxnState::kStorePending ||
+        it->second.store_attempts != attempt) {
+      return;
+    }
+    if (attempt <= options_.store_retries) {
+      send_store(txn_id);
       return;
     }
     if (options_.auto_resolve && !it->second.ttp.empty()) {
       resolve(txn_id, "no NRR before timeout");
     } else {
-      it->second.state = TxnState::kTimedOut;
+      set_state(it->second, TxnState::kTimedOut);
     }
   });
-  return txn_id;
 }
 
 void ClientActor::abort(const std::string& txn_id) {
   const auto it = txns_.find(txn_id);
   if (it == txns_.end()) return;
   Txn& txn = it->second;
-  txn.state = TxnState::kAbortPending;
+  set_state(txn, TxnState::kAbortPending);
 
   // "Alice is only required to send Bob the transaction ID with the NRO."
   common::BinaryWriter payload;
@@ -200,7 +258,6 @@ void ClientActor::resolve(const std::string& txn_id,
   if (it == txns_.end()) return;
   Txn& txn = it->second;
   if (txn.ttp.empty()) return;
-  txn.state = TxnState::kResolvePending;
 
   // "Alice sends the transaction ID, the NRO, and a report of anomalies to
   // TTP." The original header travels too, plus Alice's signature over it
@@ -218,7 +275,54 @@ void ClientActor::resolve(const std::string& txn_id,
       next_header(MsgType::kResolveRequest, txn.ttp, txn.ttp, txn_id,
                   txn.data_hash, network_->now() + options_.reply_window);
   message.payload = payload.take();
-  send(txn.ttp, std::move(message));
+
+  // Only an UNSETTLED transaction escalates: a resolve of a transaction
+  // that already completed or aborted still sends the request (the TTP
+  // will answer and log it), but must not un-settle local state — a late
+  // verdict for it is ignored by the state guard in
+  // handle_resolve_verdict. This is what keeps a stray timer or caller
+  // from turning held evidence into a contradictory outcome.
+  switch (txn.state) {
+    case TxnState::kStorePending:
+    case TxnState::kResolvePending:
+    case TxnState::kResolveRetrying:
+    case TxnState::kTimedOut:
+      if (txn.state != TxnState::kResolvePending) {
+        set_state(txn, TxnState::kResolvePending);
+      }
+      ++txn.resolve_attempts;
+      send(txn.ttp, std::move(message));
+      arm_verdict_timer(txn_id, txn.resolve_attempts);
+      break;
+    default:
+      send(txn.ttp, std::move(message));
+      break;
+  }
+}
+
+void ClientActor::arm_verdict_timer(const std::string& txn_id,
+                                    std::size_t attempt) {
+  if (options_.resolve_retries == 0) return;  // paper mode: wait forever
+  const common::SimTime wait =
+      options_.resolve_timeout +
+      options_.resolve_backoff * static_cast<common::SimTime>(attempt - 1);
+  network_->schedule(wait, [this, txn_id, attempt] {
+    const auto it = txns_.find(txn_id);
+    if (it == txns_.end() || it->second.state != TxnState::kResolvePending ||
+        it->second.resolve_attempts != attempt) {
+      return;
+    }
+    Txn& txn = it->second;
+    if (attempt > options_.resolve_retries) {
+      // Every attempt went unanswered — the TTP is unreachable. The txn is
+      // parked in a degraded terminal state the caller can account for.
+      set_state(txn, TxnState::kTtpUnreachable);
+      return;
+    }
+    // Back off and re-resolve — this is what rides out a TTP down-window.
+    set_state(txn, TxnState::kResolveRetrying);
+    resolve(txn_id, "re-resolve: no verdict before timeout");
+  });
 }
 
 void ClientActor::on_message(const NrMessage& message) {
@@ -285,10 +389,18 @@ void ClientActor::handle_resolve_query(const NrMessage& message) {
 void ClientActor::handle_store_receipt(const NrMessage& message) {
   const MessageHeader& h = message.header;
   const auto it = txns_.find(h.txn_id);
-  if (it == txns_.end() || it->second.state != TxnState::kStorePending) {
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  // A receipt settles the txn from any still-waiting state — including
+  // mid-escalation, when a delayed NRR overtakes the TTP verdict. Any
+  // other state (already completed, aborted, settled by verdict) makes
+  // this a duplicate or a straggler: drop it without touching state or the
+  // journal.
+  if (txn.state != TxnState::kStorePending &&
+      txn.state != TxnState::kResolvePending &&
+      txn.state != TxnState::kResolveRetrying) {
     return;
   }
-  Txn& txn = it->second;
   if (h.sender != txn.provider || h.data_hash != txn.data_hash) {
     ++stats_.rejected_bad_hash;
     return;
@@ -302,7 +414,7 @@ void ClientActor::handle_store_receipt(const NrMessage& message) {
   }
   txn.nrr_header = h;
   txn.nrr = *nrr;
-  txn.state = TxnState::kCompleted;
+  set_state(txn, TxnState::kCompleted);
   // The NRR is the artifact §4.4 arbitration depends on: journal it the
   // moment it is verified so it survives a crash.
   journal_evidence("nrr", h.txn_id, txn.provider, txn.object_key,
@@ -391,7 +503,7 @@ void ClientActor::handle_abort_reply(const NrMessage& message) {
   if (txn.state != TxnState::kAbortPending) return;
 
   if (h.flag == MsgType::kAbortError) {
-    txn.state = TxnState::kAbortErrored;
+    set_state(txn, TxnState::kAbortErrored);
     return;
   }
   const crypto::RsaPublicKey* provider_key = peer_key(txn.provider);
@@ -403,8 +515,8 @@ void ClientActor::handle_abort_reply(const NrMessage& message) {
   }
   txn.abort_receipt_header = h;
   txn.abort_receipt = *receipt;
-  txn.state = h.flag == MsgType::kAbortAccept ? TxnState::kAborted
-                                              : TxnState::kAbortRejected;
+  set_state(txn, h.flag == MsgType::kAbortAccept ? TxnState::kAborted
+                                                 : TxnState::kAbortRejected);
   journal_evidence("abort-receipt", h.txn_id, txn.provider, txn.object_key,
                    txn.chunk_size, h, *receipt);
 }
@@ -412,10 +524,16 @@ void ClientActor::handle_abort_reply(const NrMessage& message) {
 void ClientActor::handle_resolve_verdict(const NrMessage& message) {
   const MessageHeader& h = message.header;
   const auto it = txns_.find(h.txn_id);
-  if (it == txns_.end() || it->second.state != TxnState::kResolvePending) {
+  if (it == txns_.end()) return;
+  Txn& txn = it->second;
+  // Only a txn still waiting on the TTP may be settled by a verdict. A
+  // duplicate (or a verdict overtaken by the real NRR, or one provoked by
+  // a post-settlement resolve call) must not move the state or append
+  // evidence again.
+  if (txn.state != TxnState::kResolvePending &&
+      txn.state != TxnState::kResolveRetrying) {
     return;
   }
-  Txn& txn = it->second;
 
   std::string outcome;
   Bytes receipt_header_bytes;
@@ -447,7 +565,7 @@ void ClientActor::handle_resolve_verdict(const NrMessage& message) {
     if (nrr) {
       txn.nrr_header = receipt_header;
       txn.nrr = *nrr;
-      txn.state = TxnState::kResolvedCompleted;
+      set_state(txn, TxnState::kResolvedCompleted);
       journal_evidence("nrr", h.txn_id, txn.provider, txn.object_key,
                        txn.chunk_size, receipt_header, *nrr);
       return;
@@ -462,7 +580,15 @@ void ClientActor::handle_resolve_verdict(const NrMessage& message) {
     txn.ttp_statement = ttp_statement;
     txn.ttp_statement_signature = ttp_signature;
   }
-  txn.state = TxnState::kResolvedFailed;
+  // A "restart" verdict means the provider asked to redo the exchange
+  // (§4.3). If the retry budget still has room and the object bytes were
+  // kept, re-send the NRO instead of failing the session.
+  if (outcome == "restart" && !txn.retry_data.empty() &&
+      txn.store_attempts < 1 + options_.store_retries) {
+    send_store(h.txn_id);
+    return;
+  }
+  set_state(txn, TxnState::kResolvedFailed);
 }
 
 }  // namespace tpnr::nr

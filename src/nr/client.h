@@ -22,17 +22,46 @@ enum class TxnState {
   kAbortRejected,
   kAbortErrored,       ///< provider asked for a regenerated request
   kResolvePending,     ///< TTP involved, waiting for verdict
+  kResolveRetrying,    ///< verdict overdue (TTP down?), backing off to retry
   kResolvedCompleted,  ///< NRR arrived through the TTP
   kResolvedFailed,     ///< TTP attests the provider did not respond
+  kTtpUnreachable,     ///< every resolve attempt went unanswered (degraded)
   kTimedOut,           ///< no receipt and resolve disabled
 };
 
 std::string txn_state_name(TxnState state);
 
+/// True for states no further message or timer may advance.
+[[nodiscard]] constexpr bool txn_state_terminal(TxnState state) noexcept {
+  switch (state) {
+    case TxnState::kCompleted:
+    case TxnState::kAborted:
+    case TxnState::kAbortRejected:
+    case TxnState::kResolvedCompleted:
+    case TxnState::kResolvedFailed:
+    case TxnState::kTtpUnreachable:
+      return true;
+    default:
+      return false;
+  }
+}
+
 struct ClientOptions {
   common::SimTime reply_window = 10 * common::kSecond;  ///< header time limit
   common::SimTime receipt_timeout = 15 * common::kSecond;
   bool auto_resolve = true;  ///< on timeout, escalate to the TTP
+  /// §5.5 fault tolerance: re-send the store request (fresh header, same
+  /// txn/data) this many times BEFORE escalating to the TTP. 0 keeps the
+  /// paper's single-shot behaviour. Also spent on "restart" verdicts.
+  std::size_t store_retries = 0;
+  /// Extra receipt wait added per successive store attempt (linear backoff).
+  common::SimTime store_retry_backoff = 5 * common::kSecond;
+  /// Re-send the resolve request this many times when no verdict arrives —
+  /// this is what rides out a TTP down-window. 0 = wait forever (paper).
+  std::size_t resolve_retries = 0;
+  common::SimTime resolve_timeout = 20 * common::kSecond;
+  /// Extra verdict wait added per successive resolve attempt.
+  common::SimTime resolve_backoff = 10 * common::kSecond;
 };
 
 class ClientActor final : public NrActor {
@@ -60,6 +89,14 @@ class ClientActor final : public NrActor {
     std::size_t chunk_size = 0;   ///< 0 = flat object
     std::size_t chunk_count = 0;
     std::vector<ChunkAuditResult> audits;
+    // Fault-tolerance bookkeeping.
+    common::SimTime started_at = 0;
+    common::SimTime finished_at = 0;  ///< set on entering a terminal state
+    std::size_t store_attempts = 0;   ///< store transmissions incl. first
+    std::size_t resolve_attempts = 0;
+    Bytes retry_data;  ///< object bytes, kept only when store_retries > 0
+    /// Every state transition with its sim time (index 0 = kStorePending).
+    std::vector<std::pair<common::SimTime, TxnState>> history;
   };
 
   ClientActor(std::string id, net::Network& network, pki::Identity& identity,
@@ -108,6 +145,15 @@ class ClientActor final : public NrActor {
   std::string store_impl(const std::string& provider, const std::string& ttp,
                          const std::string& object_key, BytesView data,
                          std::size_t chunk_size);
+  /// Single point every state change goes through: appends to the history
+  /// timeline and stamps finished_at on terminal states.
+  void set_state(Txn& txn, TxnState state);
+  /// (Re-)sends the store request with a fresh header over the same
+  /// txn/data and re-arms the receipt timer.
+  void send_store(const std::string& txn_id);
+  void transmit_store(const std::string& txn_id, BytesView data);
+  void arm_receipt_timer(const std::string& txn_id, std::size_t attempt);
+  void arm_verdict_timer(const std::string& txn_id, std::size_t attempt);
   void handle_store_receipt(const NrMessage& message);
   void handle_fetch_response(const NrMessage& message);
   void handle_chunk_response(const NrMessage& message);

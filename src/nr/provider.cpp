@@ -122,6 +122,32 @@ void ProviderActor::handle_store(const NrMessage& message) {
     return;
   }
 
+  // Idempotent re-store (§5.5 fault tolerance): a client that lost the
+  // receipt re-sends the NRO under a fresh header. Same txn + same agreed
+  // hash → nothing is re-stored or re-journalled; only the receipt is
+  // re-issued. A different hash under a known txn id is an attack, not a
+  // retry.
+  const auto existing = txns_.find(h.txn_id);
+  if (existing != txns_.end()) {
+    TxnRecord& known = existing->second;
+    if (h.data_hash != known.data_hash) {
+      ++stats_.rejected_bad_hash;
+      return;
+    }
+    if (known.state == TxnRecord::State::kAborted) return;  // stays aborted
+    ++receipts_resent_;
+    if (!behavior_.send_store_receipts) return;
+    auto [receipt_header, evidence] =
+        make_receipt(h.txn_id, h.sender, MsgType::kStoreReceipt, h.data_hash,
+                     network_->now() + kReplyWindow);
+    known.receipt_header = receipt_header;
+    NrMessage reply;
+    reply.header = std::move(receipt_header);
+    reply.evidence = std::move(evidence);
+    send(h.sender, std::move(reply));
+    return;
+  }
+
   TxnRecord record;
   record.object_key = object_key;
   record.data_hash = h.data_hash;

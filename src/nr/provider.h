@@ -72,6 +72,12 @@ class ProviderActor final : public NrActor {
   [[nodiscard]] const TxnRecord* transaction(const std::string& txn_id) const;
   [[nodiscard]] storage::ObjectStore& store() noexcept { return store_; }
 
+  /// How many store receipts were re-issued for retried NROs without
+  /// touching the store or the journal (idempotence accounting).
+  [[nodiscard]] std::uint64_t receipts_resent() const noexcept {
+    return receipts_resent_;
+  }
+
   /// Administrator tamper: rewrite the object behind a transaction.
   bool tamper(const std::string& txn_id, BytesView new_data);
 
@@ -110,6 +116,7 @@ class ProviderActor final : public NrActor {
   ProviderBehavior behavior_;
   storage::ObjectStore store_;
   std::map<std::string, TxnRecord> txns_;
+  std::uint64_t receipts_resent_ = 0;
 };
 
 }  // namespace tpnr::nr

@@ -72,6 +72,17 @@ void TtpActor::handle_resolve_request(const NrMessage& message) {
               original_header.recipient == respondent &&
               peer_key(respondent) != nullptr;
   }
+  // Idempotence: a repeated genuine request for a transaction we already
+  // handled does not re-open the case. Settled → re-send the cached
+  // verdict (the client's retry means the first copy was lost); still
+  // in-flight → the respondent query and its timer are already armed, so
+  // the duplicate is simply dropped.
+  const auto existing = pending_.find(h.txn_id);
+  if (genuine && existing != pending_.end() &&
+      existing->second.initiator == h.sender) {
+    if (existing->second.settled) resend_verdict(h.txn_id);
+    return;
+  }
   if (!genuine) {
     PendingResolve bad;
     bad.initiator = h.sender;
@@ -138,7 +149,7 @@ void TtpActor::deliver_verdict(const std::string& txn_id,
                                BytesView receipt_header,
                                BytesView receipt_evidence) {
   auto it = pending_.find(txn_id);
-  if (it == pending_.end()) return;
+  if (it == pending_.end() || it->second.settled) return;
   it->second.settled = true;
 
   // The signed statement: outcome bound to txn, parties and time.
@@ -161,6 +172,18 @@ void TtpActor::deliver_verdict(const std::string& txn_id,
   record.statement_signature = signature;
   log_.push_back(record);
 
+  // Cache everything a duplicate request needs answered verbatim. The
+  // statement embeds the decision time, so re-signing on resend would
+  // produce a DIFFERENT statement for the same verdict — the cache keeps
+  // the evidence canonical.
+  it->second.outcome = outcome;
+  it->second.receipt_header = Bytes(receipt_header.begin(),
+                                    receipt_header.end());
+  it->second.receipt_evidence = Bytes(receipt_evidence.begin(),
+                                      receipt_evidence.end());
+  it->second.statement = statement_bytes;
+  it->second.statement_signature = signature;
+
   common::BinaryWriter payload;
   payload.str(outcome);
   payload.bytes(receipt_header);
@@ -168,6 +191,29 @@ void TtpActor::deliver_verdict(const std::string& txn_id,
   payload.bytes(statement_bytes);
   payload.bytes(signature);
 
+  NrMessage verdict;
+  verdict.header = next_header(
+      MsgType::kResolveVerdict, it->second.initiator, id(), txn_id,
+      it->second.original_header.data_hash,
+      network_->now() + options_.reply_window);
+  verdict.payload = payload.take();
+  send(it->second.initiator, std::move(verdict));
+}
+
+void TtpActor::resend_verdict(const std::string& txn_id) {
+  const auto it = pending_.find(txn_id);
+  if (it == pending_.end() || !it->second.settled) return;
+  ++verdicts_resent_;
+
+  common::BinaryWriter payload;
+  payload.str(it->second.outcome);
+  payload.bytes(it->second.receipt_header);
+  payload.bytes(it->second.receipt_evidence);
+  payload.bytes(it->second.statement);
+  payload.bytes(it->second.statement_signature);
+
+  // Fresh header (new nonce/seq, live deadline) over the CACHED verdict
+  // bytes — the peer's replay screen accepts it, the decision is unchanged.
   NrMessage verdict;
   verdict.header = next_header(
       MsgType::kResolveVerdict, it->second.initiator, id(), txn_id,

@@ -43,6 +43,11 @@ class TtpActor final : public NrActor {
   /// Latest verdict for a transaction, if any.
   [[nodiscard]] std::optional<TtpVerdictRecord> verdict_for(
       const std::string& txn_id) const;
+  /// How many duplicate resolve requests were answered from the cached
+  /// verdict instead of being re-adjudicated (idempotence accounting).
+  [[nodiscard]] std::uint64_t verdicts_resent() const noexcept {
+    return verdicts_resent_;
+  }
 
  protected:
   void on_message(const NrMessage& message) override;
@@ -54,16 +59,27 @@ class TtpActor final : public NrActor {
     MessageHeader original_header;
     std::string report;
     bool settled = false;
+    // Cached verdict material, kept so a duplicate resolve request (client
+    // retry after a lost verdict) gets the SAME decision re-sent — same
+    // statement bytes, same signature — instead of being re-adjudicated.
+    std::string outcome;
+    Bytes receipt_header;
+    Bytes receipt_evidence;
+    Bytes statement;
+    Bytes statement_signature;
   };
 
   void handle_resolve_request(const NrMessage& message);
   void handle_resolve_response(const NrMessage& message);
   void deliver_verdict(const std::string& txn_id, const std::string& outcome,
                        BytesView receipt_header, BytesView receipt_evidence);
+  /// Re-sends the cached verdict under a fresh header; no new log entry.
+  void resend_verdict(const std::string& txn_id);
 
   TtpOptions options_;
   std::map<std::string, PendingResolve> pending_;
   std::vector<TtpVerdictRecord> log_;
+  std::uint64_t verdicts_resent_ = 0;
 };
 
 }  // namespace tpnr::nr

@@ -259,5 +259,238 @@ TEST(NetworkTest, TopicStatsCountDropsAsSentNotDelivered) {
   EXPECT_EQ(network.stats().bytes_delivered, 0u);
 }
 
+TEST(NetworkFaultTest, DuplicationDeliversSecondIdenticalCopy) {
+  Network network(1);
+  std::vector<Envelope> received;
+  network.attach("sink", [&received](const Envelope& envelope) {
+    received.push_back(envelope);
+  });
+  LinkConfig link;
+  link.duplicate_probability = 1.0;
+  network.set_default_link(link);
+  network.send("a", "sink", "t", to_bytes("once"));
+  network.run();
+
+  ASSERT_EQ(received.size(), 2u);
+  // The duplicate is indistinguishable on the wire: same id, same bytes.
+  EXPECT_EQ(received[0].id, received[1].id);
+  EXPECT_EQ(received[0].payload, received[1].payload);
+  EXPECT_EQ(network.stats().messages_sent, 1u);
+  EXPECT_EQ(network.stats().messages_duplicated, 1u);
+  EXPECT_EQ(network.stats().messages_delivered, 2u);
+}
+
+TEST(NetworkFaultTest, ReorderingViolatesFifoOnOneLink) {
+  Network network(11);
+  std::vector<int> order;
+  network.attach("sink", [&order](const Envelope& envelope) {
+    order.push_back(envelope.payload.empty() ? -1 : envelope.payload[0]);
+  });
+  LinkConfig link;
+  link.latency = 1 * kMillisecond;
+  link.reorder_probability = 0.5;
+  link.reorder_window = 100 * kMillisecond;
+  network.set_default_link(link);
+  for (int i = 0; i < 50; ++i) {
+    network.send("a", "sink", "t", common::Bytes(1, static_cast<char>(i)));
+  }
+  network.run();
+
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_GT(network.stats().messages_reordered, 0u);
+  // At least one inversion: a later send delivered before an earlier one.
+  bool inverted = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) inverted = true;
+  }
+  EXPECT_TRUE(inverted);
+}
+
+TEST(NetworkFaultTest, DelaySpikeAddsConfiguredDelay) {
+  Network network(1);
+  network.attach("sink", [](const Envelope&) {});
+  LinkConfig link;
+  link.latency = 0;
+  link.delay_spike_probability = 1.0;
+  link.delay_spike = 2 * kSecond;
+  network.set_default_link(link);
+  network.send("a", "sink", "t", {});
+  network.run();
+  EXPECT_EQ(network.now(), 2 * kSecond);
+}
+
+TEST(NetworkFaultTest, PartitionDropsOnlyDuringWindowBothDirections) {
+  Network network(1);
+  int delivered = 0;
+  network.attach("a", [&delivered](const Envelope&) { ++delivered; });
+  network.attach("b", [&delivered](const Envelope&) { ++delivered; });
+  LinkConfig link;
+  link.latency = 1 * kMillisecond;
+  network.set_default_link(link);
+  network.partition("a", "b", 10 * kMillisecond, 20 * kMillisecond);
+
+  EXPECT_FALSE(network.partitioned("a", "b", 9 * kMillisecond));
+  EXPECT_TRUE(network.partitioned("a", "b", 10 * kMillisecond));
+  EXPECT_TRUE(network.partitioned("b", "a", 19 * kMillisecond));
+  EXPECT_FALSE(network.partitioned("a", "b", 20 * kMillisecond));
+
+  // Sends at 5ms (before), 15ms (inside, both directions), 25ms (after).
+  network.schedule(5 * kMillisecond,
+                   [&] { network.send("a", "b", "t", {}); });
+  network.schedule(15 * kMillisecond, [&] {
+    network.send("a", "b", "t", {});
+    network.send("b", "a", "t", {});
+  });
+  network.schedule(25 * kMillisecond,
+                   [&] { network.send("a", "b", "t", {}); });
+  network.run();
+
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(network.stats().messages_dropped_partition, 2u);
+  EXPECT_EQ(network.stats().topic("t").messages_dropped_partition, 2u);
+}
+
+TEST(NetworkFaultTest, PartitionLeavesOtherLinksAlone) {
+  Network network(1);
+  int delivered = 0;
+  network.attach("b", [](const Envelope&) {});
+  network.attach("c", [&delivered](const Envelope&) { ++delivered; });
+  network.partition("a", "b", 0, kSecond);
+  network.send("a", "c", "t", {});
+  network.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(network.stats().messages_dropped_partition, 0u);
+}
+
+TEST(NetworkFaultTest, EndpointDownDropsAtDeliveryTime) {
+  Network network(1);
+  int delivered = 0;
+  network.attach("sink", [&delivered](const Envelope&) { ++delivered; });
+  LinkConfig link;
+  link.latency = 10 * kMillisecond;
+  network.set_default_link(link);
+  network.set_endpoint_down("sink", 5 * kMillisecond, 50 * kMillisecond);
+
+  // Sent while the endpoint is up, but ARRIVES (t=10ms) inside the down
+  // window: dropped.
+  network.send("a", "sink", "t", {});
+  // Arrives at t=60ms, after the window: delivered.
+  network.schedule(50 * kMillisecond,
+                   [&] { network.send("a", "sink", "t", {}); });
+  // Timers are unaffected by down windows.
+  bool timer_fired = false;
+  network.schedule(20 * kMillisecond, [&] { timer_fired = true; });
+  network.run();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(timer_fired);
+  EXPECT_EQ(network.stats().messages_dropped_endpoint_down, 1u);
+  EXPECT_EQ(network.stats().topic("t").messages_dropped_endpoint_down, 1u);
+}
+
+TEST(NetworkFaultTest, PerTopicCountersAttributeFaults) {
+  Network network(3);
+  network.attach("sink", [](const Envelope&) {});
+  LinkConfig dup;
+  dup.duplicate_probability = 1.0;
+  network.set_link("a", "sink", dup);
+  LinkConfig lossy;
+  lossy.loss_probability = 1.0;
+  network.set_link("b", "sink", lossy);
+
+  network.send("a", "sink", "app", {});
+  network.send("b", "sink", "audit", {});
+  network.run();
+
+  EXPECT_EQ(network.stats().topic("app").messages_duplicated, 1u);
+  EXPECT_EQ(network.stats().topic("app").messages_dropped_loss, 0u);
+  EXPECT_EQ(network.stats().topic("audit").messages_dropped_loss, 1u);
+  EXPECT_EQ(network.stats().topic("audit").messages_duplicated, 0u);
+}
+
+TEST(NetworkFaultTest, ConservationInvariantHoldsUnderAllFaults) {
+  Network network(1234);
+  network.attach("a", [](const Envelope&) {});
+  network.attach("b", [](const Envelope&) {});
+  LinkConfig chaos;
+  chaos.latency = 2 * kMillisecond;
+  chaos.jitter = 3 * kMillisecond;
+  chaos.loss_probability = 0.2;
+  chaos.duplicate_probability = 0.15;
+  chaos.reorder_probability = 0.25;
+  chaos.reorder_window = 40 * kMillisecond;
+  chaos.delay_spike_probability = 0.05;
+  chaos.delay_spike = 100 * kMillisecond;
+  network.set_default_link(chaos);
+  network.partition("a", "b", 50 * kMillisecond, 150 * kMillisecond);
+  network.set_endpoint_down("b", 200 * kMillisecond, 300 * kMillisecond);
+  int dropped_by_adversary = 0;
+  network.set_adversary("b", "a", [&](const Envelope&) {
+    AdversaryAction action;
+    if (++dropped_by_adversary % 7 == 0) {
+      action.kind = AdversaryAction::Kind::kDrop;
+    }
+    return action;
+  });
+
+  for (int i = 0; i < 400; ++i) {
+    const SimTime at = static_cast<SimTime>(i) * kMillisecond;
+    network.schedule(at, [&network, i] {
+      if (i % 2 == 0) {
+        network.send("a", "b", "t", common::Bytes(8, 1));
+      } else {
+        network.send("b", "a", "t", common::Bytes(8, 2));
+      }
+    });
+  }
+  network.run();
+
+  const NetworkStats& s = network.stats();
+  // Every copy either lands or hits exactly one drop bucket.
+  EXPECT_EQ(s.messages_sent + s.messages_duplicated,
+            s.messages_delivered + s.messages_dropped_loss +
+                s.messages_dropped_adversary + s.messages_dropped_partition +
+                s.messages_dropped_endpoint_down);
+  // Each fault class actually fired in this configuration.
+  EXPECT_GT(s.messages_dropped_loss, 0u);
+  EXPECT_GT(s.messages_dropped_adversary, 0u);
+  EXPECT_GT(s.messages_dropped_partition, 0u);
+  EXPECT_GT(s.messages_dropped_endpoint_down, 0u);
+  EXPECT_GT(s.messages_duplicated, 0u);
+  EXPECT_GT(s.messages_reordered, 0u);
+
+  // The same invariant holds per topic.
+  const TopicStats t = s.topic("t");
+  EXPECT_EQ(t.messages_sent + t.messages_duplicated,
+            t.messages_delivered + t.messages_dropped_loss +
+                t.messages_dropped_adversary + t.messages_dropped_partition +
+                t.messages_dropped_endpoint_down);
+}
+
+TEST(NetworkFaultTest, FaultSamplingIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Network network(seed);
+    network.attach("sink", [](const Envelope&) {});
+    LinkConfig chaos;
+    chaos.latency = kMillisecond;
+    chaos.jitter = 5 * kMillisecond;
+    chaos.loss_probability = 0.3;
+    chaos.duplicate_probability = 0.2;
+    chaos.reorder_probability = 0.3;
+    chaos.reorder_window = 30 * kMillisecond;
+    chaos.delay_spike_probability = 0.1;
+    chaos.delay_spike = 50 * kMillisecond;
+    network.set_default_link(chaos);
+    for (int i = 0; i < 300; ++i) network.send("a", "sink", "t", {});
+    network.run();
+    const NetworkStats& s = network.stats();
+    return std::make_tuple(s.messages_delivered, s.messages_dropped_loss,
+                           s.messages_duplicated, s.messages_reordered,
+                           network.now());
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(run_once(99), run_once(100));
+}
+
 }  // namespace
 }  // namespace tpnr::net
