@@ -67,7 +67,7 @@ struct AuditWorld {
   void tamper_one_byte(const std::string& txn) {
     const auto* record = bob.transaction(txn);
     auto stored = bob.store().get(record->object_key);
-    common::Bytes tampered = stored->data;
+    common::Bytes tampered = stored->data.to_bytes();
     tampered[tampered.size() / 2] ^= 0x01;
     bob.tamper(txn, tampered);
   }

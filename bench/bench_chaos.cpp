@@ -53,7 +53,7 @@ struct TrialResult {
 /// One transaction in its own seeded world, so partition/outage windows are
 /// relative to the transaction's start and latency is cleanly attributable.
 TrialResult run_trial(const FaultConfig& config, std::uint64_t seed) {
-  net::Network network(seed);
+  net::Network network(seed, bench::options_from_env());
   crypto::Drbg rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
 
   nr::ClientOptions options;
@@ -310,7 +310,7 @@ void print_fault_matrix() {
 // --- micro-benchmarks ------------------------------------------------------
 
 void BM_ReliableRoundTripCleanLink(benchmark::State& state) {
-  net::Network network(1);
+  net::Network network(1, bench::options_from_env());
   net::ReliableChannel alice(network, "alice", 1);
   net::ReliableChannel bob(network, "bob", 2);
   alice.attach([](const net::Envelope&) {});
@@ -324,7 +324,7 @@ void BM_ReliableRoundTripCleanLink(benchmark::State& state) {
 BENCHMARK(BM_ReliableRoundTripCleanLink);
 
 void BM_ReliableRoundTripLossyLink(benchmark::State& state) {
-  net::Network network(2);
+  net::Network network(2, bench::options_from_env());
   net::LinkConfig lossy;
   lossy.loss_probability = 0.3;
   network.set_default_link(lossy);

@@ -24,7 +24,7 @@ using namespace tpnr;  // NOLINT(google-build-using-namespace)
 struct TpnrWorld {
   explicit TpnrWorld(std::uint64_t seed = 1,
                      nr::ClientOptions options = nr::ClientOptions{})
-      : network(seed),
+      : network(seed, bench::options_from_env()),
         rng(seed ^ 0xabcd),
         alice_id(bench::identity("alice")),
         bob_id(bench::identity("bob")),
@@ -118,7 +118,7 @@ void print_mode_comparison() {
 
   // Traditional 4-step baseline.
   {
-    net::Network network(4);
+    net::Network network(4, bench::options_from_env());
     crypto::Drbg rng(std::uint64_t{6});
     auto alice = bench::identity("alice");
     auto bob = bench::identity("bob");
@@ -177,7 +177,7 @@ void BM_NormalStore(benchmark::State& state) {
 BENCHMARK(BM_NormalStore)->Range(1 << 10, 1 << 20);
 
 void BM_TraditionalExchange(benchmark::State& state) {
-  net::Network network(12);
+  net::Network network(12, bench::options_from_env());
   crypto::Drbg rng(std::uint64_t{13});
   auto alice = bench::identity("alice");
   auto bob = bench::identity("bob");

@@ -1,0 +1,475 @@
+// Scale experiment for the sharded runtime + zero-copy payload refactor.
+//
+// Drives thousands of concurrent TPNR transactions (P client/provider pairs
+// sharing one TTP, each pair storing then fetching T objects) and reports,
+// per (shards, workers) point:
+//   - wall-clock txns/sec and the parallel speedup over the serial engine,
+//   - p50/p99 simulated store-completion latency,
+//   - a protocol-outcome digest: SHA-256 over every transaction's terminal
+//     state, evidence, fetch result and the network totals. The digest must
+//     be IDENTICAL for every shard/worker combination — that is the
+//     determinism contract of runtime::Engine, checked here end to end.
+//
+// A second A/B sweep re-runs the workload with common::Payload's eager-copy
+// mode on (emulating the old by-value seed) vs normal COW sharing, on a
+// clean link and on a lossy/duplicating chaos link, and reports how many
+// byte copies the COW representation eliminated.
+//
+// Env knobs: TPNR_SHARDS / TPNR_WORKERS add an extra sweep point;
+// TPNR_SCALE_PAIRS / TPNR_SCALE_TXNS_PER_PAIR resize the workload (CI uses
+// a small instance); TPNR_BENCH_JSON collects the JsonLine records.
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/payload.h"
+#include "common/serial.h"
+#include "crypto/hash.h"
+#include "net/network.h"
+#include "nr/client.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+
+namespace {
+
+using namespace tpnr;  // NOLINT(google-build-using-namespace)
+using common::kMillisecond;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+std::size_t pairs() { return env_size("TPNR_SCALE_PAIRS", 8); }
+std::size_t txns_per_pair() { return env_size("TPNR_SCALE_TXNS_PER_PAIR", 64); }
+
+struct ScaleConfig {
+  std::string name;
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
+  std::size_t payload_bytes = 4096;
+  bool chaos = false;    ///< loss + duplication + reordering, reliable ARQ on
+  bool eager_copy = false;  ///< emulate the by-value payload baseline
+};
+
+struct ScaleResult {
+  std::size_t txns = 0;
+  std::size_t completed = 0;
+  std::size_t fetch_ok = 0;
+  double wall_ms = 0.0;
+  double txns_per_sec = 0.0;
+  double p50_ms = 0.0;  ///< simulated store-completion latency
+  double p99_ms = 0.0;
+  std::string digest;   ///< protocol-outcome digest (shard-invariant)
+  common::PayloadCounters payload;
+  std::uint64_t events = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t parallel_rounds = 0;
+};
+
+common::SimTime percentile(std::vector<common::SimTime> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+std::uint64_t peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
+ScaleResult run_scale(const ScaleConfig& config) {
+  common::Payload::set_eager_copy_mode(config.eager_copy);
+  common::Payload::reset_counters();
+
+  const std::size_t n_pairs = pairs();
+  const std::size_t n_txns = txns_per_pair();
+
+  net::Network network(42, {config.shards, config.workers});
+  net::LinkConfig link;
+  link.latency = 5 * kMillisecond;
+  if (config.chaos) {
+    link.jitter = 10 * kMillisecond;
+    link.loss_probability = 0.05;
+    link.duplicate_probability = 0.10;
+    link.reorder_probability = 0.05;
+    link.reorder_window = 50 * kMillisecond;
+  }
+  network.set_default_link(link);
+
+  // Actors: per-actor Drbg streams (a shared stream would race under worker
+  // threads and make draw order depend on scheduling). Keypairs come from a
+  // 3-entry pool — keygen would otherwise dominate setup at this scale.
+  struct Pair {
+    std::unique_ptr<crypto::Drbg> client_rng;
+    std::unique_ptr<crypto::Drbg> provider_rng;
+    std::unique_ptr<pki::Identity> client_id;
+    std::unique_ptr<pki::Identity> provider_id;
+    std::unique_ptr<nr::ClientActor> client;
+    std::unique_ptr<nr::ProviderActor> provider;
+    std::vector<std::string> txns;
+  };
+  crypto::Drbg ttp_rng(1);
+  auto ttp_identity = bench::pooled_identity("ttp", "scale-ttp");
+  nr::TtpActor ttp("ttp", network, ttp_identity, ttp_rng);
+
+  std::vector<Pair> actors(n_pairs);
+  nr::ClientOptions client_options;
+  if (config.chaos) {
+    client_options.store_retries = 2;
+    client_options.resolve_retries = 2;
+  }
+  // Clients first, then providers: endpoints are round-robined over shards
+  // in registration order, so this interleaving spreads BOTH roles across
+  // every shard — each protocol phase (client signing, provider
+  // verification) then keeps all workers busy instead of half of them.
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    Pair& pair = actors[i];
+    const std::string alice = "alice-" + std::to_string(i);
+    pair.client_rng = std::make_unique<crypto::Drbg>(1000 + i);
+    pair.client_id = std::make_unique<pki::Identity>(
+        bench::pooled_identity(alice, "scale-client"));
+    pair.client = std::make_unique<nr::ClientActor>(
+        alice, network, *pair.client_id, *pair.client_rng, client_options);
+  }
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    Pair& pair = actors[i];
+    const std::string bob = "bob-" + std::to_string(i);
+    pair.provider_rng = std::make_unique<crypto::Drbg>(2000 + i);
+    pair.provider_id = std::make_unique<pki::Identity>(
+        bench::pooled_identity(bob, "scale-provider"));
+    pair.provider = std::make_unique<nr::ProviderActor>(
+        bob, network, *pair.provider_id, *pair.provider_rng);
+  }
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    Pair& pair = actors[i];
+    const std::string alice = "alice-" + std::to_string(i);
+    const std::string bob = "bob-" + std::to_string(i);
+    pair.client->trust_peer(bob, pair.provider_id->public_key());
+    pair.client->trust_peer("ttp", ttp_identity.public_key());
+    pair.provider->trust_peer(alice, pair.client_id->public_key());
+    pair.provider->trust_peer("ttp", ttp_identity.public_key());
+    ttp.trust_peer(alice, pair.client_id->public_key());
+    ttp.trust_peer(bob, pair.provider_id->public_key());
+    if (config.chaos) {
+      pair.client->use_reliable(3000 + i);
+      pair.provider->use_reliable(4000 + i);
+    }
+  }
+
+  crypto::Drbg data_rng(7);
+  std::vector<common::Bytes> objects(n_txns);
+  for (auto& object : objects) object = data_rng.bytes(config.payload_bytes);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  // Phase 1: every pair stores every object. Submissions are posted into
+  // each client's execution context (its shard) rather than called from
+  // driver code, so the client-side evidence crypto — the dominant cost —
+  // runs inside parallel rounds instead of serially between them.
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    Pair& pair = actors[i];
+    const std::string alice = "alice-" + std::to_string(i);
+    const std::string bob = "bob-" + std::to_string(i);
+    network.post(alice, 0, [&pair, bob, n_txns, &objects] {
+      for (std::size_t t = 0; t < n_txns; ++t) {
+        pair.txns.push_back(pair.client->store(
+            bob, "ttp", "obj-" + std::to_string(t), objects[t]));
+      }
+    });
+  }
+  network.run(1 << 26);
+  // Phase 2: fetch everything back (integrity-checked downloads), again
+  // from each client's own shard.
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    Pair& pair = actors[i];
+    const std::string alice = "alice-" + std::to_string(i);
+    network.post(alice, 0, [&pair] {
+      for (const std::string& txn : pair.txns) pair.client->fetch(txn);
+    });
+  }
+  network.run(1 << 26);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ScaleResult result;
+  result.txns = n_pairs * n_txns;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  result.txns_per_sec =
+      result.wall_ms > 0.0
+          ? static_cast<double>(result.txns) / (result.wall_ms / 1000.0)
+          : 0.0;
+
+  // Digest + latency: iterate in deterministic program order. Everything
+  // hashed here is protocol outcome — independent of shard count, worker
+  // count and wall-clock speed by the engine's determinism contract.
+  common::BinaryWriter digest;
+  std::vector<common::SimTime> latencies;
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    for (const std::string& txn : actors[i].txns) {
+      const auto* state = actors[i].client->transaction(txn);
+      digest.str(txn);
+      digest.str(nr::txn_state_name(state->state));
+      digest.bytes(state->data_hash);
+      digest.u64(state->nrr.has_value() ? 1 : 0);
+      digest.u64(state->fetched ? 1 : 0);
+      digest.u64(state->fetch_integrity_ok ? 1 : 0);
+      digest.bytes(crypto::sha256(state->fetched_data));
+      digest.i64(state->finished_at);
+      if (nr::txn_state_terminal(state->state)) {
+        result.completed += state->state == nr::TxnState::kCompleted ||
+                                    state->state ==
+                                        nr::TxnState::kResolvedCompleted
+                                ? 1
+                                : 0;
+      }
+      result.fetch_ok += state->fetched && state->fetch_integrity_ok ? 1 : 0;
+      if (state->finished_at > 0) {
+        latencies.push_back(state->finished_at - state->started_at);
+      }
+    }
+  }
+  const net::NetworkStats& stats = network.stats();
+  digest.u64(stats.messages_sent);
+  digest.u64(stats.messages_delivered);
+  digest.u64(stats.messages_duplicated);
+  digest.u64(stats.bytes_delivered);
+  result.digest = common::to_hex(crypto::sha256(digest.data()));
+  result.p50_ms = static_cast<double>(percentile(latencies, 0.50)) /
+                  static_cast<double>(kMillisecond);
+  result.p99_ms = static_cast<double>(percentile(latencies, 0.99)) /
+                  static_cast<double>(kMillisecond);
+  result.payload = common::Payload::counters();
+  result.events = network.engine().stats().events_executed;
+  result.rounds = network.engine().stats().rounds;
+  result.parallel_rounds = network.engine().stats().parallel_rounds;
+  common::Payload::set_eager_copy_mode(false);
+  return result;
+}
+
+void emit(const ScaleConfig& config, const ScaleResult& r,
+          std::vector<std::vector<std::string>>& rows) {
+  rows.push_back({config.name, std::to_string(config.shards),
+                  std::to_string(config.workers), std::to_string(r.txns),
+                  std::to_string(r.completed), bench::fmt(r.wall_ms, 0),
+                  bench::fmt(r.txns_per_sec, 0), bench::fmt(r.p50_ms, 0),
+                  bench::fmt(r.p99_ms, 0), r.digest.substr(0, 12)});
+  bench::JsonLine("scale")
+      .field("config", config.name)
+      .field("shards", static_cast<std::uint64_t>(config.shards))
+      .field("workers", static_cast<std::uint64_t>(config.workers))
+      .field("chaos", config.chaos)
+      .field("eager_copy", config.eager_copy)
+      .field("txns", static_cast<std::uint64_t>(r.txns))
+      .field("completed", static_cast<std::uint64_t>(r.completed))
+      .field("fetch_ok", static_cast<std::uint64_t>(r.fetch_ok))
+      .field("wall_ms", r.wall_ms, 1)
+      .field("txns_per_sec", r.txns_per_sec, 1)
+      .field("p50_store_latency_ms", r.p50_ms, 1)
+      .field("p99_store_latency_ms", r.p99_ms, 1)
+      .field("outcome_digest", r.digest)
+      .field("payload_copies", r.payload.copies)
+      .field("payload_copy_bytes", r.payload.copy_bytes)
+      .field("payload_shares", r.payload.shares)
+      .field("payload_share_bytes", r.payload.share_bytes)
+      .field("events", r.events)
+      .field("rounds", r.rounds)
+      .field("parallel_rounds", r.parallel_rounds)
+      .field("peak_rss_kb", peak_rss_kb())
+      .print();
+}
+
+/// Shard/worker sweep: the digest column must be one value repeated — any
+/// divergence is a determinism bug in the runtime, not a perf artifact.
+void print_shard_sweep() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"config", "shards", "workers", "txns", "completed",
+                  "wall-ms", "txns/s", "p50-ms", "p99-ms", "digest"});
+  std::vector<ScaleConfig> sweep;
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    for (const std::uint32_t workers : {1u, 4u}) {
+      if (workers > 1 && shards == 1) continue;  // nothing to fan out
+      ScaleConfig config;
+      config.name = "s" + std::to_string(shards) + "w" +
+                    std::to_string(workers);
+      config.shards = shards;
+      config.workers = workers;
+      sweep.push_back(config);
+    }
+  }
+  // An explicit TPNR_SHARDS/TPNR_WORKERS point joins the sweep (e.g. the
+  // TSan job runs exactly one threaded point).
+  const net::NetworkOptions env = bench::options_from_env();
+  if (env.shards != 1 || env.workers != 1) {
+    ScaleConfig config;
+    config.name = "env-s" + std::to_string(env.shards) + "w" +
+                  std::to_string(env.workers);
+    config.shards = env.shards;
+    config.workers = env.workers;
+    sweep.push_back(config);
+  }
+
+  std::string baseline_digest;
+  double baseline_txns_per_sec = 0.0;
+  bool digests_match = true;
+  double best_speedup = 0.0;
+  for (const ScaleConfig& config : sweep) {
+    const ScaleResult result = run_scale(config);
+    if (baseline_digest.empty()) {
+      baseline_digest = result.digest;
+      baseline_txns_per_sec = result.txns_per_sec;
+    }
+    digests_match = digests_match && result.digest == baseline_digest;
+    if (baseline_txns_per_sec > 0.0) {
+      best_speedup = std::max(
+          best_speedup, result.txns_per_sec / baseline_txns_per_sec);
+    }
+    emit(config, result, rows);
+  }
+  bench::print_table("scale sweep: shards x workers (digest must not vary)",
+                     rows);
+  // Wall-clock speedup is hardware-gated: on a single-core box the engine
+  // still fans rounds out (see parallel_rounds) but cannot run them
+  // concurrently, so the speedup ratio is only meaningful when cores > 1.
+  const std::uint64_t cores = std::thread::hardware_concurrency();
+  bench::JsonLine("scale")
+      .field("config", "sweep-summary")
+      .field("digests_match", digests_match)
+      .field("best_parallel_speedup", best_speedup, 2)
+      .field("hardware_cores", cores)
+      .print();
+  std::printf("digests match across shard/worker sweep: %s\n",
+              digests_match ? "yes" : "NO — DETERMINISM BUG");
+  std::printf("best parallel speedup: %.2fx on %llu core(s)%s\n", best_speedup,
+              static_cast<unsigned long long>(cores),
+              cores <= 1 ? " (single core: no concurrent execution possible)"
+                         : "");
+}
+
+/// COW vs by-value A/B: same workload, payload copy counters compared. The
+/// chaos point (loss + 10%% duplication + ARQ retransmissions) is where
+/// by-value semantics hurt most — every retransmit and duplicate re-copied
+/// the object bytes in the seed implementation.
+void print_copy_ab() {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"config", "mode", "copies", "copy-MB", "shares",
+                  "txns/s"});
+  for (const bool chaos : {false, true}) {
+    std::uint64_t eager_bytes = 0;
+    std::uint64_t eager_copies = 0;
+    for (const bool eager : {true, false}) {
+      ScaleConfig config;
+      config.name = chaos ? "chaos" : "clean";
+      config.chaos = chaos;
+      config.eager_copy = eager;
+      const ScaleResult result = run_scale(config);
+      if (eager) {
+        eager_bytes = result.payload.copy_bytes;
+        eager_copies = result.payload.copies;
+      }
+      rows.push_back({config.name, eager ? "by-value" : "cow",
+                      std::to_string(result.payload.copies),
+                      bench::fmt(static_cast<double>(
+                                     result.payload.copy_bytes) /
+                                     (1024.0 * 1024.0),
+                                 1),
+                      std::to_string(result.payload.shares),
+                      bench::fmt(result.txns_per_sec, 0)});
+      if (!eager) {
+        const double copy_reduction =
+            eager_copies > 0
+                ? 1.0 - static_cast<double>(result.payload.copies) /
+                            static_cast<double>(eager_copies)
+                : 0.0;
+        const double byte_reduction =
+            eager_bytes > 0
+                ? 1.0 - static_cast<double>(result.payload.copy_bytes) /
+                            static_cast<double>(eager_bytes)
+                : 0.0;
+        bench::JsonLine("scale")
+            .field("config",
+                   std::string(chaos ? "chaos" : "clean") + "-copy-ab")
+            .field("txns", static_cast<std::uint64_t>(result.txns))
+            .field("eager_copies", eager_copies)
+            .field("cow_copies", result.payload.copies)
+            .field("copy_reduction", copy_reduction, 4)
+            .field("eager_copy_bytes", eager_bytes)
+            .field("cow_copy_bytes", result.payload.copy_bytes)
+            .field("copy_byte_reduction", byte_reduction, 4)
+            .print();
+      }
+    }
+  }
+  bench::print_table("payload copies: by-value baseline vs COW", rows);
+}
+
+void BM_ScaleStoreFetchSerial(benchmark::State& state) {
+  for (auto _ : state) {
+    ScaleConfig config;
+    config.name = "bm-serial";
+    const ScaleResult result = run_scale(config);
+    benchmark::DoNotOptimize(result.completed);
+  }
+}
+BENCHMARK(BM_ScaleStoreFetchSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ScaleStoreFetchSharded(benchmark::State& state) {
+  for (auto _ : state) {
+    ScaleConfig config;
+    config.name = "bm-sharded";
+    config.shards = 4;
+    config.workers = 4;
+    const ScaleResult result = run_scale(config);
+    benchmark::DoNotOptimize(result.completed);
+  }
+}
+BENCHMARK(BM_ScaleStoreFetchSharded)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // TPNR_SCALE_RSS_PROBE=eager|cow runs exactly ONE chaos workload in that
+  // payload mode and exits. Peak RSS is a process-wide high-water mark, so
+  // comparing the by-value baseline against COW requires one process per
+  // mode — EXPERIMENTS.md quotes these probes.
+  if (const char* probe = std::getenv("TPNR_SCALE_RSS_PROBE");
+      probe != nullptr && *probe != '\0') {
+    ScaleConfig config;
+    config.name = std::string("rss-probe-") + probe;
+    config.chaos = true;
+    config.eager_copy = std::string(probe) == "eager";
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"config", "shards", "workers", "txns", "completed",
+                    "wall-ms", "txns/s", "p50-ms", "p99-ms", "digest"});
+    emit(config, run_scale(config), rows);
+    return 0;
+  }
+  // TPNR_SCALE_SWEEP=0 skips the experiment sweeps (e.g. to run only the
+  // google-benchmark timings, or a single env-selected point via
+  // TPNR_SHARDS/TPNR_WORKERS in a sanitizer job).
+  if (env_flag("TPNR_SCALE_SWEEP", true)) {
+    print_shard_sweep();
+    print_copy_ab();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

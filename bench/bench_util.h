@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "crypto/drbg.h"
+#include "net/network.h"
 #include "pki/identity.h"
 
 namespace tpnr::bench {
@@ -25,6 +26,30 @@ inline const pki::Identity& identity(const std::string& name,
     it = pool->emplace(key, pki::Identity(name, bits, rng)).first;
   }
   return it->second;
+}
+
+/// A fresh Identity named `id` reusing the pooled keypair `key_name` — the
+/// cheap way to mint hundreds of actors (keygen dominates setup otherwise).
+inline pki::Identity pooled_identity(const std::string& id,
+                                     const std::string& key_name) {
+  const pki::Identity& pooled = identity(key_name);
+  return {id, crypto::RsaKeyPair{pooled.public_key(), pooled.private_key()}};
+}
+
+/// Shard/worker knobs from the environment (`TPNR_SHARDS`, `TPNR_WORKERS`),
+/// so any bench re-runs sharded or threaded without a rebuild. Protocol
+/// outcomes are shard-invariant by construction; only wall-clock changes.
+inline net::NetworkOptions options_from_env() {
+  net::NetworkOptions options;
+  const auto parse = [](const char* name, std::uint32_t fallback) {
+    const char* env = std::getenv(name);
+    if (env == nullptr || *env == '\0') return fallback;
+    const long value = std::strtol(env, nullptr, 10);
+    return value > 0 ? static_cast<std::uint32_t>(value) : fallback;
+  };
+  options.shards = parse("TPNR_SHARDS", options.shards);
+  options.workers = parse("TPNR_WORKERS", options.workers);
+  return options;
 }
 
 /// Prints a fixed-width table: header row then data rows.

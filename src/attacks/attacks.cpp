@@ -103,7 +103,7 @@ AttackReport run_replay(bool defended, std::uint64_t seed) {
   Bytes recorded;
   world.network.set_adversary(
       "alice", "bob", [&recorded](const net::Envelope& envelope) {
-        if (recorded.empty()) recorded = envelope.payload;
+        if (recorded.empty()) recorded = envelope.payload.to_bytes();
         return net::AdversaryAction{};
       });
 
@@ -170,7 +170,7 @@ AttackReport run_reflection(bool defended, std::uint64_t seed) {
   Bytes recorded;
   world.network.set_adversary(
       "alice", "bob", [&recorded](const net::Envelope& envelope) {
-        recorded = envelope.payload;
+        recorded = envelope.payload.to_bytes();
         net::AdversaryAction action;
         action.kind = net::AdversaryAction::Kind::kDrop;
         return action;
@@ -227,7 +227,7 @@ AttackReport run_interleaving(bool defended, std::uint64_t seed) {
   Bytes recorded_receipt;
   world.network.set_adversary(
       "bob", "alice", [&recorded_receipt](const net::Envelope& envelope) {
-        if (recorded_receipt.empty()) recorded_receipt = envelope.payload;
+        if (recorded_receipt.empty()) recorded_receipt = envelope.payload.to_bytes();
         return net::AdversaryAction{};
       });
   const Bytes data1 = sample_data(world.rng);
@@ -296,7 +296,7 @@ AttackReport run_timeliness(bool defended, std::uint64_t seed) {
   Bytes held;
   world.network.set_adversary("alice", "bob",
                               [&held](const net::Envelope& envelope) {
-                                held = envelope.payload;
+                                held = envelope.payload.to_bytes();
                                 net::AdversaryAction action;
                                 action.kind =
                                     net::AdversaryAction::Kind::kDrop;
@@ -374,7 +374,7 @@ AttackReport run_mitm(bool defended, std::uint64_t seed) {
   std::vector<Bytes> captured;
   world.network.set_adversary(
       "alice", "bob", [&captured](const net::Envelope& envelope) {
-        captured.push_back(envelope.payload);
+        captured.push_back(envelope.payload.to_bytes());
         net::AdversaryAction action;
         action.kind = net::AdversaryAction::Kind::kDrop;
         return action;

@@ -1,49 +1,68 @@
-// Discrete-event simulated network.
+// Simulated network: a transport *policy* layer over the sharded
+// deterministic runtime (runtime::Engine).
 //
-// Endpoints register handlers; send() stamps the message with link latency
-// (plus size/bandwidth serialization delay and optional jitter) and enqueues
-// a delivery event; run() drains events in timestamp order, advancing the
-// shared SimClock. Timers share the same event queue, which is how protocol
-// time limits (§5.5) are driven.
+// The engine owns event queues, timers, shards, worker threads and
+// per-endpoint random streams; this layer owns everything that makes a
+// network a network — link quality (latency, jitter, bandwidth, loss,
+// duplication, reordering, delay spikes), partitions, endpoint down
+// windows, interposed adversaries, and traffic statistics.
+//
+// Endpoints register handlers; send() samples the link's fault model from
+// the SENDER's deterministic Drbg stream and posts a delivery event on the
+// receiver's shard; run() drains events in deterministic merge order,
+// advancing the shared SimClock. Timers share the same event loop, which is
+// how protocol time limits (§5.5) are driven.
 //
 // An adversary can be interposed on any link: it sees every traversing
 // envelope and may pass, drop, modify, or inject — the basis of the §5
-// attack harness. All randomness is drawn from a seeded Drbg, so runs are
-// bit-reproducible.
+// attack harness. All randomness is seeded, so runs are bit-reproducible —
+// for ANY shard count and worker count (see runtime/engine.h).
+//
+// Hot path: endpoint and topic names are interned to dense ids once;
+// per-send work is id-indexed vector/flat-hash access, never a
+// std::map<std::string, ...> probe. Latency-critical callers can cache ids
+// (endpoint_id(), topic_id()) and use the id-based send() overload to skip
+// string hashing entirely.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/error.h"
-#include "crypto/drbg.h"
+#include "common/payload.h"
+#include "runtime/engine.h"
 
 namespace tpnr::net {
 
 using common::Bytes;
 using common::BytesView;
 using common::SimTime;
+using EndpointId = runtime::EndpointId;
+using TopicId = runtime::NameId;
 
-/// A message in flight or delivered.
+/// A message in flight or delivered. The payload is a copy-on-write
+/// common::Payload: duplicates, retransmissions, and fan-outs share one
+/// allocation instead of copying the bytes.
 struct Envelope {
   std::uint64_t id = 0;
   std::string from;
   std::string to;
   std::string topic;  ///< free-form dispatch hint ("nr.msg", "rest.req", ...)
-  Bytes payload;
+  common::Payload payload;
   SimTime sent_at = 0;
   SimTime delivered_at = 0;
 };
 
 /// Per-link quality parameters. All probabilistic faults are sampled from
-/// the network's seeded Drbg, in a fixed order per send (loss, jitter,
-/// spike, reorder, duplicate), so runs are bit-reproducible.
+/// the sending endpoint's seeded Drbg stream, in a fixed order per send
+/// (loss, jitter, spike, reorder, duplicate), so runs are bit-reproducible
+/// regardless of shard or worker count.
 struct LinkConfig {
   SimTime latency = 5 * common::kMillisecond;
   SimTime jitter = 0;                      ///< uniform extra in [0, jitter]
@@ -117,27 +136,53 @@ struct NetworkStats {
   }
 };
 
+/// Sharding/threading knobs, forwarded to the runtime engine. The default
+/// (1 shard, 1 worker) is the classic serial simulator; any combination
+/// produces bit-identical protocol outcomes for the same seed.
+struct NetworkOptions {
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
+};
+
 class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
   using TimerCallback = std::function<void()>;
 
-  explicit Network(std::uint64_t seed = 1)
-      : rng_(seed) {}
+  explicit Network(std::uint64_t seed = 1,
+                   NetworkOptions options = NetworkOptions{});
 
-  common::SimClock& clock() noexcept { return clock_; }
-  [[nodiscard]] SimTime now() const noexcept { return clock_.now(); }
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  common::SimClock& clock() noexcept { return engine_.clock(); }
+  /// Current sim-time: the executing event's timestamp inside a handler or
+  /// timer, the global high-watermark outside.
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
+  /// Merged view of per-shard counters. Call from driver code (between
+  /// run()s), not from inside handlers running on worker threads.
+  [[nodiscard]] const NetworkStats& stats() const;
+
+  /// The underlying sharded runtime (shard/worker introspection).
+  [[nodiscard]] runtime::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const runtime::Engine& engine() const noexcept {
+    return engine_;
+  }
 
   /// Registers an endpoint; replaces the handler if it already exists.
   void attach(const std::string& endpoint, Handler handler);
+
+  /// Dense id for an endpoint name (registers it if new). Cache it to skip
+  /// string hashing on the send hot path.
+  EndpointId endpoint_id(const std::string& endpoint) {
+    return engine_.endpoint(endpoint);
+  }
+  /// Dense id for a topic name (interns it if new).
+  TopicId topic_id(const std::string& topic) { return topics_.intern(topic); }
 
   /// Configures the directed link from -> to (default link otherwise).
   void set_link(const std::string& from, const std::string& to,
                 LinkConfig config);
 
   /// Default config for links without an explicit entry.
-  void set_default_link(LinkConfig config) { default_link_ = config; }
+  void set_default_link(LinkConfig config);
 
   /// Interposes an adversary on the directed link from -> to.
   void set_adversary(const std::string& from, const std::string& to,
@@ -164,63 +209,81 @@ class Network {
 
   /// Queues a message; throws NetError if `to` was never attached.
   /// Returns the envelope id (also when the message will later be dropped).
+  /// Envelope ids are per-sender deterministic: (sender rank, counter).
   std::uint64_t send(const std::string& from, const std::string& to,
-                     const std::string& topic, Bytes payload);
+                     const std::string& topic, common::Payload payload);
 
-  /// Schedules `callback` to fire at now() + delay.
+  /// Hot-path overload: ids were interned up front, the payload is shared.
+  std::uint64_t send(EndpointId from, EndpointId to, TopicId topic,
+                     common::Payload payload);
+
+  /// Schedules `callback` to fire at now() + delay. Inside a handler or
+  /// timer the new timer binds to the executing endpoint's shard; from
+  /// driver code it runs serially between rounds.
   void schedule(SimTime delay, TimerCallback callback);
 
+  /// Schedules `callback` to fire at now() + delay in `endpoint`'s execution
+  /// context — on its shard, with now()/sends/timers bound to it. This is
+  /// how drivers inject per-endpoint work (e.g. a client submitting
+  /// transactions) so it parallelizes across shards instead of executing
+  /// serially between rounds like schedule(). Ordering is deterministic:
+  /// same-time posts run in call order, independent of shard count.
+  void post(const std::string& endpoint, SimTime delay,
+            TimerCallback callback);
+
   /// Processes events until the queue is empty (or `max_events` is hit).
-  /// Returns the number of events processed.
+  /// Returns the number of events processed (exact in serial mode, checked
+  /// at round boundaries when worker threads are enabled).
   std::size_t run(std::size_t max_events = 1 << 20);
 
   /// True if no events are pending.
-  [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
+  [[nodiscard]] bool idle() const { return engine_.idle(); }
 
  private:
-  struct Event {
-    SimTime at = 0;
-    std::uint64_t seq = 0;  ///< FIFO tie-break
-    bool is_timer = false;
-    Envelope envelope;       // valid when !is_timer
-    TimerCallback callback;  // valid when is_timer
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
   struct PartitionWindow {
-    std::string a;
-    std::string b;
+    EndpointId a = 0;
+    EndpointId b = 0;
     SimTime from = 0;
     SimTime until = 0;
   };
 
-  [[nodiscard]] const LinkConfig& link_for(const std::string& from,
-                                           const std::string& to) const;
-  /// Samples one delivery delay for `link` (jitter + spike + reorder extra);
-  /// sets `reordered` when the reorder extra was applied.
-  [[nodiscard]] SimTime sample_delay(const LinkConfig& link,
-                                     std::size_t payload_bytes,
-                                     bool& reordered);
-  void enqueue_delivery(Envelope envelope, SimTime at);
+  /// Per-shard statistics bucket (+1 external bucket for driver context).
+  /// Each bucket is only written by the thread executing that shard, then
+  /// summed in stats() — order-independent, so merging is deterministic.
+  struct StatsBucket {
+    NetworkStats totals;                ///< by_topic left empty
+    std::vector<TopicStats> by_topic;   ///< indexed by TopicId
+  };
 
-  common::SimClock clock_;
-  crypto::Drbg rng_;
-  NetworkStats stats_;
+  static std::uint64_t link_key(EndpointId from, EndpointId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  [[nodiscard]] const LinkConfig& link_for(EndpointId from,
+                                           EndpointId to) const;
+  [[nodiscard]] bool partitioned_ids(EndpointId a, EndpointId b,
+                                     SimTime at) const;
+  [[nodiscard]] bool endpoint_down_id(EndpointId endpoint, SimTime at) const;
+  /// Samples one delivery delay for `link` (jitter + spike + reorder extra)
+  /// from `rng`; sets `reordered` when the reorder extra was applied.
+  [[nodiscard]] static SimTime sample_delay(const LinkConfig& link,
+                                            std::size_t payload_bytes,
+                                            crypto::Drbg& rng,
+                                            bool& reordered);
+  TopicStats& topic_slot(StatsBucket& bucket, TopicId topic) const;
+  StatsBucket& bucket();
+  void deliver(EndpointId to, TopicId topic, Envelope env);
+  void recompute_lookahead();
+
+  runtime::Engine engine_;
+  runtime::NameInterner topics_;
   LinkConfig default_link_;
-  std::map<std::string, Handler> handlers_;
-  std::map<std::pair<std::string, std::string>, LinkConfig> links_;
-  std::map<std::pair<std::string, std::string>, Adversary> adversaries_;
+  std::vector<Handler> handlers_;  ///< indexed by EndpointId
+  std::unordered_map<std::uint64_t, LinkConfig> links_;
+  std::unordered_map<std::uint64_t, Adversary> adversaries_;
   std::vector<PartitionWindow> partitions_;
-  std::map<std::string, std::vector<std::pair<SimTime, SimTime>>>
-      down_windows_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  std::uint64_t next_envelope_id_ = 1;
-  std::uint64_t next_event_seq_ = 1;
+  std::vector<std::vector<std::pair<SimTime, SimTime>>> down_windows_;
+  std::vector<StatsBucket> stats_buckets_;  ///< shards + 1 external
+  mutable NetworkStats merged_stats_;
 };
 
 }  // namespace tpnr::net

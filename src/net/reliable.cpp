@@ -31,6 +31,8 @@ ReliableChannel::ReliableChannel(Network& network, std::string endpoint,
                                  std::uint64_t seed, ReliableOptions options)
     : network_(&network),
       endpoint_(std::move(endpoint)),
+      self_id_(network.endpoint_id(endpoint_)),
+      ack_topic_id_(network.topic_id(kAckTopic)),
       rng_(seed),
       options_(options) {}
 
@@ -42,7 +44,8 @@ void ReliableChannel::attach(DeliverHandler handler) {
 }
 
 std::uint64_t ReliableChannel::send(const std::string& to,
-                                    const std::string& topic, Bytes payload) {
+                                    const std::string& topic,
+                                    BytesView payload) {
   const std::uint64_t seq = next_seq_++;
   common::BinaryWriter frame;
   frame.u8(kDataFrame);
@@ -52,6 +55,8 @@ std::uint64_t ReliableChannel::send(const std::string& to,
   Pending pending;
   pending.to = to;
   pending.topic = topic;
+  pending.to_id = network_->endpoint_id(to);
+  pending.topic_id = network_->topic_id(topic);
   pending.frame = frame.take();
   pending.rto = options_.initial_rto;
   pending_[seq] = std::move(pending);
@@ -79,7 +84,7 @@ void ReliableChannel::transmit(std::uint64_t seq) {
   record(p.attempts > 1 ? ChannelEvent::Kind::kRetransmit
                         : ChannelEvent::Kind::kSend,
          p.to, seq, p.attempts);
-  network_->send(endpoint_, p.to, p.topic, p.frame);
+  network_->send(self_id_, p.to_id, p.topic_id, p.frame);
 
   common::SimTime delay = p.rto;
   if (options_.rto_jitter > 0) {
@@ -184,7 +189,8 @@ void ReliableChannel::on_envelope(const Envelope& envelope) {
   ack.u64(seq);
   ++stats_.acks_sent;
   record(ChannelEvent::Kind::kAckSent, envelope.from, seq, 0);
-  network_->send(endpoint_, envelope.from, kAckTopic, ack.take());
+  network_->send(self_id_, network_->endpoint_id(envelope.from),
+                 ack_topic_id_, ack.take());
 
   if (!note_received(envelope.from, seq)) {
     ++stats_.dups_suppressed;
@@ -192,7 +198,15 @@ void ReliableChannel::on_envelope(const Envelope& envelope) {
     return;
   }
   if (handler_) {
-    Envelope unwrapped = envelope;
+    // Field-by-field: copying the whole envelope would pointlessly alias the
+    // framed payload we are about to replace.
+    Envelope unwrapped;
+    unwrapped.id = envelope.id;
+    unwrapped.from = envelope.from;
+    unwrapped.to = envelope.to;
+    unwrapped.topic = envelope.topic;
+    unwrapped.sent_at = envelope.sent_at;
+    unwrapped.delivered_at = envelope.delivered_at;
     unwrapped.payload = std::move(app_payload);
     handler_(unwrapped);
   }

@@ -113,7 +113,7 @@ class ReliableChannel {
   /// Queues `payload` for reliable delivery; returns the channel sequence
   /// number (use with status()).
   std::uint64_t send(const std::string& to, const std::string& topic,
-                     Bytes payload);
+                     BytesView payload);
 
   [[nodiscard]] DeliveryStatus status(std::uint64_t seq) const;
   [[nodiscard]] const RetryStats& stats() const noexcept { return stats_; }
@@ -133,9 +133,13 @@ class ReliableChannel {
 
  private:
   struct Pending {
-    std::string to;
+    std::string to;             ///< peer name (events, unreachable handler)
     std::string topic;
-    Bytes frame;  ///< encoded data frame, retransmitted byte-identically
+    EndpointId to_id = 0;       ///< interned once; retransmits skip strings
+    TopicId topic_id = 0;
+    /// Encoded data frame, retransmitted byte-identically. COW: every
+    /// transmission shares this buffer with the in-flight envelope.
+    common::Payload frame;
     std::uint32_t attempts = 0;
     common::SimTime rto = 0;  ///< next backoff step
   };
@@ -156,6 +160,8 @@ class ReliableChannel {
 
   Network* network_;
   std::string endpoint_;
+  EndpointId self_id_;      ///< interned once in the constructor
+  TopicId ack_topic_id_;
   crypto::Drbg rng_;
   ReliableOptions options_;
   DeliverHandler handler_;

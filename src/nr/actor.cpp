@@ -11,6 +11,7 @@ NrActor::NrActor(std::string id, net::Network& network,
   network_->attach(id_, [this](const net::Envelope& envelope) {
     receive(envelope);
   });
+  self_id_ = network_->endpoint_id(id_);
 }
 
 void NrActor::receive(const net::Envelope& envelope) {
@@ -100,7 +101,8 @@ void NrActor::send(const std::string& to, NrMessage message) {
   if (channel_ != nullptr) {
     channel_->send(to, topic, message.encode());
   } else {
-    network_->send(id_, to, topic, message.encode());
+    network_->send(self_id_, network_->endpoint_id(to),
+                   network_->topic_id(topic), message.encode());
   }
 }
 

@@ -138,6 +138,7 @@ class NrActor {
 
   std::unique_ptr<net::ReliableChannel> channel_;
   std::string id_;
+  net::EndpointId self_id_ = 0;  ///< interned once; sends skip string hashing
   std::string default_topic_ = "nr";
   std::string reply_topic_;  ///< topic of the message currently being handled
   ScreeningPolicy policy_;

@@ -112,7 +112,7 @@ std::string ClientActor::store_impl(const std::string& provider,
   // Keep the object bytes only if re-sending the NRO is allowed — the
   // retry path must rebuild the exact payload.
   if (options_.store_retries > 0) {
-    txn.retry_data = Bytes(data.begin(), data.end());
+    txn.retry_data = common::Payload::copy_of(data);
   }
   txns_[txn_id] = std::move(txn);
 
@@ -134,8 +134,10 @@ void ClientActor::transmit_store(const std::string& txn_id, BytesView data) {
   MessageHeader header =
       next_header(MsgType::kStoreRequest, txn.provider, txn.ttp, txn_id,
                   txn.data_hash, network_->now() + options_.reply_window);
-  const Bytes evidence =
-      make_evidence(*identity_, *provider_key, header, *rng_);
+  // Wrap the evidence once; the txn record and the outgoing message share
+  // the same buffer.
+  common::Payload evidence(make_evidence(*identity_, *provider_key, header,
+                                         *rng_));
   txn.store_header = header;
   txn.store_evidence = evidence;
   ++txn.store_attempts;
@@ -148,7 +150,7 @@ void ClientActor::transmit_store(const std::string& txn_id, BytesView data) {
   NrMessage message;
   message.header = std::move(header);
   message.payload = payload.take();
-  message.evidence = evidence;
+  message.evidence = std::move(evidence);
   send(txn.provider, std::move(message));
   arm_receipt_timer(txn_id, txn.store_attempts);
 }

@@ -72,8 +72,8 @@ class ClientActor final : public NrActor {
     std::string ttp;
     std::string object_key;
     Bytes data_hash;
-    MessageHeader store_header;   ///< the header the NRO covered
-    Bytes store_evidence;         ///< raw NRO (replayable toward Bob/TTP)
+    MessageHeader store_header;       ///< the header the NRO covered
+    common::Payload store_evidence;   ///< raw NRO (replayable toward Bob/TTP)
     std::optional<MessageHeader> nrr_header;
     std::optional<OpenedEvidence> nrr;
     std::optional<MessageHeader> abort_receipt_header;
@@ -84,7 +84,7 @@ class ClientActor final : public NrActor {
     // Fetch results.
     bool fetched = false;
     bool fetch_integrity_ok = false;
-    Bytes fetched_data;
+    common::Payload fetched_data;  ///< shares the response payload's buffer
     // Chunked-object bookkeeping (extension; see nr/chunked.h).
     std::size_t chunk_size = 0;   ///< 0 = flat object
     std::size_t chunk_count = 0;
@@ -94,7 +94,7 @@ class ClientActor final : public NrActor {
     common::SimTime finished_at = 0;  ///< set on entering a terminal state
     std::size_t store_attempts = 0;   ///< store transmissions incl. first
     std::size_t resolve_attempts = 0;
-    Bytes retry_data;  ///< object bytes, kept only when store_retries > 0
+    common::Payload retry_data;  ///< object bytes, iff store_retries > 0
     /// Every state transition with its sim time (index 0 = kStorePending).
     std::vector<std::pair<common::SimTime, TxnState>> history;
   };

@@ -13,6 +13,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/payload.h"
 
 namespace tpnr::nr {
 
@@ -63,10 +64,12 @@ struct MessageHeader {
 };
 
 /// A full protocol message as it crosses the (simulated SSL) channel.
+/// Payload and evidence are COW buffers: an actor that stores, retransmits,
+/// and forwards the same object shares one allocation throughout.
 struct NrMessage {
   MessageHeader header;
-  Bytes payload;   ///< object bytes on store/fetch, reports elsewhere
-  Bytes evidence;  ///< Encrypt_recipient{Sign(H(data)), Sign(header)}
+  common::Payload payload;   ///< object bytes on store/fetch, reports elsewhere
+  common::Payload evidence;  ///< Encrypt_recipient{Sign(H(data)), Sign(header)}
 
   [[nodiscard]] Bytes encode() const;
   static NrMessage decode(BytesView data);

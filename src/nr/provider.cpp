@@ -42,7 +42,7 @@ std::optional<Bytes> ProviderActor::produce_object(const std::string& txn_id) {
   if (it == txns_.end()) return std::nullopt;
   auto record = store_.get(it->second.object_key);
   if (!record) return std::nullopt;
-  return record->data;
+  return record->data.to_bytes();
 }
 
 std::pair<MessageHeader, Bytes> ProviderActor::make_receipt(
@@ -152,10 +152,14 @@ void ProviderActor::handle_store(const NrMessage& message) {
   record.object_key = object_key;
   record.data_hash = h.data_hash;
   record.chunk_size = chunk_size;
-  if (chunk_size > 0) record.original_data = data;
   record.nro_header = h;
   record.nro = *nro;
-  store_.put(object_key, data, crypto::md5(data), network_->now());
+  // Wrap the decoded bytes once; the txn record's equivocation snapshot and
+  // the store's current version then alias that single buffer.
+  const Bytes data_md5 = crypto::md5(data);
+  common::Payload stored(std::move(data));
+  if (chunk_size > 0) record.original_data = stored;
+  store_.put(object_key, stored, data_md5, network_->now());
   txns_[h.txn_id] = std::move(record);
   // The NRO is Bob's proof Alice sent these bytes: journal it with the
   // transaction facts before acknowledging anything.
@@ -292,9 +296,9 @@ void ProviderActor::handle_chunk_request(const NrMessage& message) {
   // tamper anywhere makes every recomputed proof fail against the signed
   // root. Equivocating provider: serve proofs from the ORIGINAL tree so
   // audits of clean chunks pass; only the tampered chunks themselves fail.
-  const Bytes& proof_source = behavior_.equivocate_chunk_proofs
-                                  ? it->second.original_data
-                                  : record->data;
+  const common::Payload& proof_source = behavior_.equivocate_chunk_proofs
+                                            ? it->second.original_data
+                                            : record->data;
   const crypto::MerkleTree tree(proof_source, it->second.chunk_size);
   if (chunk_index >= tree.leaf_count()) return;
   const std::size_t offset = chunk_index * it->second.chunk_size;

@@ -54,7 +54,7 @@ class ProviderActor final : public NrActor {
     std::string object_key;
     Bytes data_hash;
     std::size_t chunk_size = 0;  ///< 0 = flat object; else Merkle chunking
-    Bytes original_data;         ///< kept for chunked txns (equivocation)
+    common::Payload original_data;  ///< chunked txns (equivocation); shared
     MessageHeader nro_header;
     OpenedEvidence nro;
     /// The receipt header Bob signed (basis for Bob-initiated Resolve).

@@ -75,7 +75,7 @@ std::optional<Bytes> ReplicationCoordinator::healthy_copy(
   for (const auto& [provider, txn_id] : it->second.txns) {
     const ClientActor::Txn* txn = client_->transaction(txn_id);
     if (txn != nullptr && txn->fetched && txn->fetch_integrity_ok) {
-      return txn->fetched_data;
+      return txn->fetched_data.to_bytes();
     }
   }
   return std::nullopt;

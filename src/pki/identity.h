@@ -22,6 +22,12 @@ class Identity {
   Identity(std::string id, std::size_t key_bits, crypto::Drbg& rng)
       : id_(std::move(id)), keys_(crypto::rsa_generate(key_bits, rng)) {}
 
+  /// Adopts an existing keypair instead of generating one. Keygen dominates
+  /// large-scale experiment setup; this lets a bench mint thousands of
+  /// actors from a small pool of pre-generated keys.
+  Identity(std::string id, crypto::RsaKeyPair keys)
+      : id_(std::move(id)), keys_(std::move(keys)) {}
+
   [[nodiscard]] const std::string& id() const noexcept { return id_; }
   [[nodiscard]] const crypto::RsaPublicKey& public_key() const noexcept {
     return keys_.pub;

@@ -150,7 +150,7 @@ AwsImportExport::ExportResult AwsImportExport::serve_export(
     ReportEntry entry{device_key, record->data.size(),
                       crypto::md5(record->data), "ok"};
     result.report.entries.push_back(entry);
-    result.device[device_key] = std::move(record->data);
+    result.device[device_key] = record->data.to_bytes();
   }
   // Return shipping.
   clock_->advance(shipping_transit_);
@@ -168,7 +168,7 @@ UploadReceipt AwsImportExport::upload(const std::string& user,
   if (crypto::md5(data) != Bytes(md5.begin(), md5.end())) {
     return {false, "MD5 mismatch on upload", {}};
   }
-  bucket_.put(key, data, md5, clock_->now());
+  bucket_.put(key, common::Payload::copy_of(data), md5, clock_->now());
   return {true, "", Bytes(md5.begin(), md5.end())};
 }
 
@@ -188,7 +188,7 @@ DownloadResult AwsImportExport::download(const std::string& user,
   result.ok = true;
   // AWS behaviour: recompute from the bytes being served.
   result.md5_returned = crypto::md5(record->data);
-  result.data = std::move(record->data);
+  result.data = record->data.to_bytes();
   return result;
 }
 

@@ -236,7 +236,7 @@ RestResponse AzureRestService::handle_blob_put(const std::string& account,
 RestResponse AzureRestService::handle_blob_get(const RestRequest& request) {
   const auto record = blobs_.get(request.path);
   if (!record) return {404, {}, {}, "no such blob"};
-  RestResponse response{200, {}, record->data, ""};
+  RestResponse response{200, {}, record->data.to_bytes(), ""};
   // "if the Content-MD5 request header was set when the Blob has been
   // uploaded, it will be returned in the response header" — the STORED
   // value, not a recomputation. This is the §2.4 vulnerability surface.

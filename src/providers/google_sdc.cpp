@@ -90,7 +90,7 @@ SdcResponse GoogleSdcService::handle(const SignedRequest& request) {
   if (request.method == "GET") {
     auto record = datastore_.get(request.resource);
     if (!record) return {404, {}, "datastore: no such entity"};
-    return {200, std::move(record->data), ""};
+    return {200, record->data.to_bytes(), ""};
   }
   return {400, {}, "unsupported method " + request.method};
 }

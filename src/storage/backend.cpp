@@ -10,11 +10,12 @@ namespace tpnr::storage {
 
 namespace fs = std::filesystem;
 
-void MemoryBackend::put(const std::string& key, BytesView data) {
-  objects_[key] = Bytes(data.begin(), data.end());
+void MemoryBackend::put(const std::string& key, common::Payload data) {
+  objects_[key] = std::move(data);
 }
 
-std::optional<Bytes> MemoryBackend::get(const std::string& key) const {
+std::optional<common::Payload> MemoryBackend::get(
+    const std::string& key) const {
   const auto it = objects_.find(key);
   if (it == objects_.end()) return std::nullopt;
   return it->second;
@@ -41,7 +42,10 @@ bool MemoryBackend::corrupt(const std::string& key, std::size_t offset,
                             std::uint8_t xor_mask) {
   const auto it = objects_.find(key);
   if (it == objects_.end() || it->second.empty()) return false;
-  it->second[offset % it->second.size()] ^= xor_mask;
+  // mutate() detaches from any outstanding shares first: corruption hits the
+  // STORED copy, exactly like the old by-value behaviour.
+  Bytes& bytes = it->second.mutate();
+  bytes[offset % bytes.size()] ^= xor_mask;
   return true;
 }
 
@@ -59,7 +63,7 @@ std::string DiskBackend::path_for(const std::string& key) const {
          common::to_hex(common::to_bytes(key)) + ".obj";
 }
 
-void DiskBackend::put(const std::string& key, BytesView data) {
+void DiskBackend::put(const std::string& key, common::Payload data) {
   std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
   if (!out) throw common::StorageError("DiskBackend: cannot open for write");
   out.write(reinterpret_cast<const char*>(data.data()),
@@ -67,7 +71,7 @@ void DiskBackend::put(const std::string& key, BytesView data) {
   if (!out) throw common::StorageError("DiskBackend: write failed");
 }
 
-std::optional<Bytes> DiskBackend::get(const std::string& key) const {
+std::optional<common::Payload> DiskBackend::get(const std::string& key) const {
   std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
   if (!in) return std::nullopt;
   const std::streamsize size = in.tellg();
@@ -75,7 +79,7 @@ std::optional<Bytes> DiskBackend::get(const std::string& key) const {
   Bytes data(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(data.data()), size);
   if (!in) throw common::StorageError("DiskBackend: read failed");
-  return data;
+  return common::Payload(std::move(data));
 }
 
 bool DiskBackend::remove(const std::string& key) {
@@ -108,8 +112,9 @@ bool DiskBackend::corrupt(const std::string& key, std::size_t offset,
                           std::uint8_t xor_mask) {
   auto data = get(key);
   if (!data || data->empty()) return false;
-  (*data)[offset % data->size()] ^= xor_mask;
-  put(key, *data);
+  Bytes& bytes = data->mutate();
+  bytes[offset % bytes.size()] ^= xor_mask;
+  put(key, std::move(*data));
   return true;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/payload.h"
 
 namespace tpnr::storage {
 
@@ -19,10 +20,13 @@ class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
 
-  /// Stores (replaces) the object bytes at `key`.
-  virtual void put(const std::string& key, BytesView data) = 0;
-  /// Returns the bytes, or nullopt if absent.
-  [[nodiscard]] virtual std::optional<Bytes> get(const std::string& key) const = 0;
+  /// Stores (replaces) the object bytes at `key`. The backend shares the
+  /// payload's buffer; callers keep aliasing it for free.
+  virtual void put(const std::string& key, common::Payload data) = 0;
+  /// Returns the stored payload (a share for in-memory backends — no byte
+  /// copy), or nullopt if absent.
+  [[nodiscard]] virtual std::optional<common::Payload> get(
+      const std::string& key) const = 0;
   /// Removes the object; returns false if it did not exist.
   virtual bool remove(const std::string& key) = 0;
   [[nodiscard]] virtual bool exists(const std::string& key) const = 0;
@@ -41,8 +45,9 @@ class StorageBackend {
 /// std::map-backed store.
 class MemoryBackend final : public StorageBackend {
  public:
-  void put(const std::string& key, BytesView data) override;
-  [[nodiscard]] std::optional<Bytes> get(const std::string& key) const override;
+  void put(const std::string& key, common::Payload data) override;
+  [[nodiscard]] std::optional<common::Payload> get(
+      const std::string& key) const override;
   bool remove(const std::string& key) override;
   [[nodiscard]] bool exists(const std::string& key) const override;
   [[nodiscard]] std::vector<std::string> list() const override;
@@ -51,7 +56,7 @@ class MemoryBackend final : public StorageBackend {
                std::uint8_t xor_mask) override;
 
  private:
-  std::map<std::string, Bytes> objects_;
+  std::map<std::string, common::Payload> objects_;
 };
 
 /// Filesystem-backed store rooted at a directory; keys are hex-encoded into
@@ -61,8 +66,9 @@ class DiskBackend final : public StorageBackend {
   /// Creates the directory if needed. Throws StorageError on I/O failure.
   explicit DiskBackend(std::string root);
 
-  void put(const std::string& key, BytesView data) override;
-  [[nodiscard]] std::optional<Bytes> get(const std::string& key) const override;
+  void put(const std::string& key, common::Payload data) override;
+  [[nodiscard]] std::optional<common::Payload> get(
+      const std::string& key) const override;
   bool remove(const std::string& key) override;
   [[nodiscard]] bool exists(const std::string& key) const override;
   [[nodiscard]] std::vector<std::string> list() const override;

@@ -39,25 +39,25 @@ ObjectStore::ObjectStore(std::unique_ptr<StorageBackend> backend,
   }
 }
 
-std::uint64_t ObjectStore::put(const std::string& key, BytesView data,
+std::uint64_t ObjectStore::put(const std::string& key, common::Payload data,
                                BytesView client_md5, SimTime now) {
   ObjectRecord& record = index_[key];
   if (record.version > 0) {
-    history_[key].push_back(record.data);
+    history_[key].push_back(record.data);  // share, not a byte copy
   }
-  record.data = Bytes(data.begin(), data.end());
+  record.data = std::move(data);
   record.stored_md5 = Bytes(client_md5.begin(), client_md5.end());
   record.stored_at = now;
   ++record.version;
-  backend_->put(key, data);
+  backend_->put(key, record.data);  // backend aliases the same buffer
   if (journal_ != nullptr) {
     persist::ObjectMeta meta;
     meta.key = key;
     meta.version = record.version;
     meta.stored_md5 = record.stored_md5;
     meta.stored_at = now;
-    meta.size = data.size();
-    meta.sha256 = crypto::sha256(data);
+    meta.size = record.data.size();
+    meta.sha256 = crypto::sha256(record.data);
     journal_->record(persist::RecordType::kObjectPut, meta.encode());
   }
   return record.version;
@@ -67,10 +67,17 @@ std::optional<ObjectRecord> ObjectStore::get(const std::string& key) {
   const auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
   // Serve from the backend so out-of-band backend corruption is visible.
-  const auto raw = backend_->get(key);
+  auto raw = backend_->get(key);
   if (!raw) return std::nullopt;
-  ObjectRecord record = it->second;
-  record.data = *raw;
+  // Build the served record field by field: the data comes from the backend
+  // (so out-of-band backend corruption is visible) and is a share of the
+  // stored buffer, not a copy.
+  ObjectRecord record;
+  record.stored_md5 = it->second.stored_md5;
+  record.version = it->second.version;
+  record.stored_at = it->second.stored_at;
+  record.metadata = it->second.metadata;
+  record.data = std::move(*raw);
   apply_fault(key, record);
   if (record.version == 0) return std::nullopt;  // kLoss marker
   return record;
@@ -114,12 +121,14 @@ void ObjectStore::apply_fault(const std::string& key, ObjectRecord& record) {
           fault_rng_.uniform(record.data.size()));
       const auto mask =
           static_cast<std::uint8_t>(1u << fault_rng_.uniform(8));
-      record.data[pos] ^= mask;
+      // mutate() detaches the served record from the stored buffer first:
+      // the fault corrupts what the reader sees, not the store's copy.
+      record.data.mutate()[pos] ^= mask;
       break;
     }
     case FaultKind::kTruncate: {
       if (record.data.size() < 2) break;
-      record.data.resize(record.data.size() / 2);
+      record.data.mutate().resize(record.data.size() / 2);
       break;
     }
     case FaultKind::kOverwrite: {
@@ -129,8 +138,9 @@ void ObjectStore::apply_fault(const std::string& key, ObjectRecord& record) {
       const std::size_t len = std::min<std::size_t>(
           record.data.size() - start, 16);
       const Bytes junk = fault_rng_.bytes(len);
+      Bytes& bytes = record.data.mutate();
       std::copy(junk.begin(), junk.end(),
-                record.data.begin() + static_cast<std::ptrdiff_t>(start));
+                bytes.begin() + static_cast<std::ptrdiff_t>(start));
       break;
     }
     case FaultKind::kStaleVersion: {
@@ -154,8 +164,8 @@ bool ObjectStore::tamper(const std::string& key, BytesView new_data) {
   // administrator rewrites bytes behind the bookkeeping's back. The fault
   // log still records it — the log belongs to the experiment harness, not
   // to the provider's (fooled) bookkeeping.
-  it->second.data = Bytes(new_data.begin(), new_data.end());
-  backend_->put(key, new_data);
+  it->second.data = common::Payload::copy_of(new_data);
+  backend_->put(key, it->second.data);  // share the tampered buffer
   log_fault(key, FaultKind::kAdminTamper, it->second.version);
   return true;
 }

@@ -20,9 +20,11 @@ namespace tpnr::storage {
 
 using common::SimTime;
 
-/// Everything the provider records about one object.
+/// Everything the provider records about one object. `data` is a COW
+/// common::Payload: the index, the backend, and records handed to readers
+/// all alias one buffer until somebody (a fault injector) mutates it.
 struct ObjectRecord {
-  Bytes data;
+  common::Payload data;
   Bytes stored_md5;        ///< MD5 recorded at upload time (Azure keeps this)
   std::uint64_t version = 0;
   SimTime stored_at = 0;
@@ -70,7 +72,7 @@ class ObjectStore {
 
   /// Stores a new version; records the MD5 the client supplied (the Azure
   /// behaviour) and returns the assigned version.
-  std::uint64_t put(const std::string& key, BytesView data,
+  std::uint64_t put(const std::string& key, common::Payload data,
                     BytesView client_md5, SimTime now);
 
   /// Plain read (fault injection applies).
@@ -128,7 +130,7 @@ class ObjectStore {
 
   std::unique_ptr<StorageBackend> backend_;
   std::map<std::string, ObjectRecord> index_;          // metadata + current
-  std::map<std::string, std::vector<Bytes>> history_;  // for kStaleVersion
+  std::map<std::string, std::vector<common::Payload>> history_;  // kStaleVersion
   FaultPolicy policy_;
   crypto::Drbg fault_rng_;
   std::uint64_t faults_injected_ = 0;

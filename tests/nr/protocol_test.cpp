@@ -159,7 +159,7 @@ TEST_F(ProtocolTest, CorruptedPayloadInFlightIsRejected) {
   network_.set_adversary("alice", "bob", [](const net::Envelope& envelope) {
     net::AdversaryAction action;
     action.kind = net::AdversaryAction::Kind::kModify;
-    action.modified_payload = envelope.payload;
+    action.modified_payload = envelope.payload.to_bytes();
     action.modified_payload[action.modified_payload.size() / 2] ^= 1;
     return action;
   });

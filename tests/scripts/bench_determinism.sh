@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Determinism regression for the sharded runtime.
+#
+# The experiment benches emit one JsonLine record per protocol experiment;
+# every field in those records is a protocol outcome (completion counts,
+# simulated latencies, evidence checks) — nothing wall-clock. The runtime's
+# contract says those outcomes are a pure function of the seed, so the
+# emitted records must be BYTE-IDENTICAL:
+#   * across repeated runs of the same binary (no hidden global state), and
+#   * across shard/worker configurations TPNR_SHARDS=1,2,4 x TPNR_WORKERS=1,4
+#     (shard-count and thread-count invariance).
+#
+# Usage: bench_determinism.sh <dir-with-bench-binaries>
+set -euo pipefail
+
+BENCH_DIR="${1:?usage: bench_determinism.sh <bench-dir>}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Small instances: determinism does not depend on workload size.
+export TPNR_CHAOS_TRIALS=6
+
+run_bench() { # <binary> <tag> <shards> <workers> -> path of captured JsonLine
+  local binary="$1" tag="$2" shards="$3" workers="$4"
+  local out="$WORKDIR/${binary}.${tag}.jsonl"
+  TPNR_BENCH_JSON="$out" TPNR_SHARDS="$shards" TPNR_WORKERS="$workers" \
+    "$BENCH_DIR/$binary" --benchmark_filter=NONE >/dev/null
+  echo "$out"
+}
+
+status=0
+for binary in bench_fig6_tpnr_modes bench_chaos; do
+  if [[ ! -x "$BENCH_DIR/$binary" ]]; then
+    echo "SKIP: $BENCH_DIR/$binary not built" >&2
+    continue
+  fi
+  baseline="$(run_bench "$binary" baseline 1 1)"
+  for config in repeat:1:1 s2w1:2:1 s4w1:4:1 s4w4:4:4; do
+    IFS=: read -r tag shards workers <<< "$config"
+    candidate="$(run_bench "$binary" "$tag" "$shards" "$workers")"
+    if diff -u "$baseline" "$candidate" >/dev/null; then
+      echo "OK:   $binary $tag (shards=$shards workers=$workers) matches baseline"
+    else
+      echo "FAIL: $binary $tag (shards=$shards workers=$workers) diverged:" >&2
+      diff -u "$baseline" "$candidate" >&2 || true
+      status=1
+    fi
+  done
+done
+
+if [[ "$status" -eq 0 ]]; then
+  echo "bench determinism: all runs byte-identical"
+else
+  echo "bench determinism: DIVERGENCE DETECTED" >&2
+fi
+exit "$status"
