@@ -12,6 +12,7 @@
 #include "audit/report.h"
 #include "audit/scheduler.h"
 #include "bench_util.h"
+#include "crypto/counters.h"
 #include "net/network.h"
 #include "nr/client.h"
 #include "nr/provider.h"
@@ -273,6 +274,27 @@ void BM_LedgerVerifyChain(benchmark::State& state) {
 }
 BENCHMARK(BM_LedgerVerifyChain);
 
+// Crypto-acceleration accounting for everything the experiments above did.
+// Deliberately a SEPARATE record from "audit_detection": those records are
+// determinism-gated (byte-diffed accel on/off and across shard counts) and
+// counter values are timing-free but config-dependent, so they must never
+// be folded into a gated record.
+void print_crypto_counters() {
+  const crypto::CounterSnapshot snap = crypto::counters().snapshot();
+  const crypto::AccelConfig config = crypto::accel();
+  bench::JsonLine json("crypto_counters");
+  json.field("accel_multi_lane", config.multi_lane);
+  json.field("accel_merkle_cache", config.merkle_cache);
+  json.field("scalar_blocks", snap.scalar_blocks);
+  json.field("mb_lane_blocks", snap.mb_lane_blocks);
+  json.field("mb_batches", snap.mb_batches);
+  json.field("hmac_midstate_hits", snap.hmac_midstate_hits);
+  json.field("tree_builds", snap.tree_builds);
+  json.field("tree_rebuilds_avoided", snap.tree_rebuilds_avoided);
+  json.field("verify_memo_hits", snap.verify_memo_hits);
+  json.print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,5 +303,6 @@ int main(int argc, char** argv) {
   print_equivocation_false_negatives();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  print_crypto_counters();
   return 0;
 }

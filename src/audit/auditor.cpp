@@ -1,6 +1,9 @@
 #include "audit/auditor.h"
 
+#include <array>
+
 #include "common/serial.h"
+#include "crypto/sha256_mb.h"
 #include "nr/chunked.h"
 #include "nr/evidence.h"
 
@@ -196,10 +199,20 @@ void AuditorActor::handle_chunk_response(const nr::NrMessage& message) {
     return;
   }
 
+  // Stages 3 and 4 each hash the full chunk — the evidence digest (flat
+  // SHA-256) and the Merkle leaf (0x00-tagged SHA-256). Fuse them into one
+  // multi-lane dispatch so the chunk's blocks stream through the compressor
+  // once, two lanes wide.
+  const std::array<crypto::TaggedMessage, 2> chunk_hashes = {
+      crypto::TaggedMessage{chunk, -1},    // evidence digest
+      crypto::TaggedMessage{chunk, 0x00},  // Merkle leaf
+  };
+  const std::vector<Bytes> digests = crypto::sha256_many_mixed(chunk_hashes);
+
   // Stage 3: the response evidence — the provider signed the hash of the
   // chunk it served NOW, so it cannot later repudiate this audit answer.
   const crypto::RsaPublicKey* provider_key = peer_key(target.provider);
-  if (provider_key == nullptr || crypto::sha256(chunk) != h.data_hash ||
+  if (provider_key == nullptr || digests[0] != h.data_hash ||
       !nr::open_evidence(*identity_, *provider_key, h, message.evidence)) {
     ++stats_.rejected_bad_evidence;
     conclude(key, pending, AuditVerdict::kBadEvidence,
@@ -209,9 +222,10 @@ void AuditorActor::handle_chunk_response(const nr::NrMessage& message) {
 
   // Stage 4: the audit proper — does the served chunk chain to the Merkle
   // root both parties signed at store time?
-  const bool chains = proof.leaf_index == chunk_index &&
-                      proof.leaf_count == target.chunk_count &&
-                      crypto::MerkleTree::verify(chunk, proof, target.root);
+  const bool chains =
+      proof.leaf_index == chunk_index &&
+      proof.leaf_count == target.chunk_count &&
+      crypto::MerkleTree::verify_from_leaf(digests[1], proof, target.root);
   conclude(key, pending,
            chains ? AuditVerdict::kVerified : AuditVerdict::kMismatch,
            chains ? "chunk verified against the signed root"

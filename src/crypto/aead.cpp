@@ -6,15 +6,22 @@
 
 namespace tpnr::crypto {
 
-Aead::Aead(BytesView key) {
-  if (key.size() != kKeySize) {
+namespace {
+
+Bytes checked_subkey(BytesView key, const char* label) {
+  if (key.size() != Aead::kKeySize) {
     throw common::CryptoError("Aead: key must be 32 bytes");
   }
-  // Derive independent subkeys so a flaw in one primitive cannot leak the
-  // other's key: K_enc = HMAC(K, "enc"), K_mac = HMAC(K, "mac").
-  enc_key_ = hmac_sha256(key, common::to_bytes("tpnr-aead-enc"));
-  mac_key_ = hmac_sha256(key, common::to_bytes("tpnr-aead-mac"));
+  return hmac_sha256(key, common::to_bytes(label));
 }
+
+}  // namespace
+
+// Derive independent subkeys so a flaw in one primitive cannot leak the
+// other's key: K_enc = HMAC(K, "enc"), K_mac = HMAC(K, "mac").
+Aead::Aead(BytesView key)
+    : enc_key_(checked_subkey(key, "tpnr-aead-enc")),
+      mac_state_(HashKind::kSha256, checked_subkey(key, "tpnr-aead-mac")) {}
 
 Bytes Aead::mac_input(BytesView nonce, BytesView aad,
                       BytesView ciphertext) const {
@@ -36,7 +43,7 @@ Bytes Aead::seal(BytesView plaintext, BytesView aad, Drbg& rng) const {
   AesCtr ctr(enc_key_, nonce);
   ctr.apply(ciphertext);
 
-  const Bytes tag = hmac_sha256(mac_key_, mac_input(nonce, aad, ciphertext));
+  const Bytes tag = mac_state_.mac(mac_input(nonce, aad, ciphertext));
 
   Bytes out;
   out.reserve(kNonceSize + ciphertext.size() + kTagSize);
@@ -55,8 +62,7 @@ Bytes Aead::open(BytesView sealed, BytesView aad) const {
       sealed.subspan(kNonceSize, sealed.size() - kOverhead);
   const BytesView tag = sealed.subspan(sealed.size() - kTagSize);
 
-  const Bytes expected =
-      hmac_sha256(mac_key_, mac_input(nonce, aad, ciphertext));
+  const Bytes expected = mac_state_.mac(mac_input(nonce, aad, ciphertext));
   if (!common::constant_time_equal(expected, tag)) {
     throw common::CryptoError("Aead::open: authentication failed");
   }

@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "crypto/drbg.h"
+#include "crypto/hmac.h"
 
 namespace tpnr::crypto {
 
@@ -33,7 +34,10 @@ class Aead {
   Bytes mac_input(BytesView nonce, BytesView aad, BytesView ciphertext) const;
 
   Bytes enc_key_;
-  Bytes mac_key_;
+  // Per-instance key state, not the global cache: session keys are random
+  // one-shots and would only churn a shared cache. The pad midstates are
+  // still computed once here instead of once per seal/open.
+  HmacKeyState mac_state_;
 };
 
 }  // namespace tpnr::crypto

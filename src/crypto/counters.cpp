@@ -1,0 +1,69 @@
+#include "crypto/counters.h"
+
+#include <cstdlib>
+
+namespace tpnr::crypto {
+
+CounterSnapshot Counters::snapshot() const noexcept {
+  CounterSnapshot s;
+  s.scalar_blocks = scalar_blocks.load(std::memory_order_relaxed);
+  s.mb_lane_blocks = mb_lane_blocks.load(std::memory_order_relaxed);
+  s.mb_batches = mb_batches.load(std::memory_order_relaxed);
+  s.hmac_midstate_hits = hmac_midstate_hits.load(std::memory_order_relaxed);
+  s.hmac_midstate_misses =
+      hmac_midstate_misses.load(std::memory_order_relaxed);
+  s.tree_builds = tree_builds.load(std::memory_order_relaxed);
+  s.tree_rebuilds_avoided =
+      tree_rebuilds_avoided.load(std::memory_order_relaxed);
+  s.verify_memo_hits = verify_memo_hits.load(std::memory_order_relaxed);
+  s.verify_memo_misses = verify_memo_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Counters::reset() noexcept {
+  scalar_blocks.store(0, std::memory_order_relaxed);
+  mb_lane_blocks.store(0, std::memory_order_relaxed);
+  mb_batches.store(0, std::memory_order_relaxed);
+  hmac_midstate_hits.store(0, std::memory_order_relaxed);
+  hmac_midstate_misses.store(0, std::memory_order_relaxed);
+  tree_builds.store(0, std::memory_order_relaxed);
+  tree_rebuilds_avoided.store(0, std::memory_order_relaxed);
+  verify_memo_hits.store(0, std::memory_order_relaxed);
+  verify_memo_misses.store(0, std::memory_order_relaxed);
+}
+
+Counters& counters() noexcept {
+  static Counters instance;
+  return instance;
+}
+
+namespace {
+
+AccelConfig initial_config() noexcept {
+  AccelConfig config;
+  const char* env = std::getenv("TPNR_CRYPTO_ACCEL");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    config.multi_lane = false;
+    config.hmac_midstate = false;
+    config.merkle_cache = false;
+    config.verify_memo = false;
+  }
+  return config;
+}
+
+AccelConfig& config_storage() noexcept {
+  static AccelConfig config = initial_config();
+  return config;
+}
+
+}  // namespace
+
+AccelConfig accel() noexcept { return config_storage(); }
+
+void set_accel(AccelConfig config) noexcept { config_storage() = config; }
+
+void set_accel_enabled(bool enabled) noexcept {
+  set_accel(AccelConfig{enabled, enabled, enabled, enabled});
+}
+
+}  // namespace tpnr::crypto

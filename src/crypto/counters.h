@@ -1,0 +1,69 @@
+// Process-wide crypto acceleration accounting and the switch that turns the
+// acceleration layer off for A/B runs. Every mechanism (multi-lane SHA-256,
+// HMAC key-state caching, Merkle tree reuse, RSA verify memoization) bumps
+// its own counters so a benchmark can attribute a speedup per mechanism.
+//
+// The counters are monotonic atomics: safe to bump from sharded runtime
+// worker threads. They are NOT part of any protocol outcome — acceleration
+// may never change a digest, only how fast it is computed — so none of these
+// values may ever be folded into a determinism-gated JsonLine record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tpnr::crypto {
+
+/// Snapshot of the acceleration counters (plain integers, copyable).
+struct CounterSnapshot {
+  std::uint64_t scalar_blocks = 0;       ///< SHA-256 blocks hashed one-lane
+  std::uint64_t mb_lane_blocks = 0;      ///< lane-blocks hashed multi-lane
+  std::uint64_t mb_batches = 0;          ///< multi-lane compression batches
+  std::uint64_t hmac_midstate_hits = 0;  ///< HMACs served from a key state
+  std::uint64_t hmac_midstate_misses = 0;  ///< key states derived from scratch
+  std::uint64_t tree_builds = 0;           ///< Merkle trees built in full
+  std::uint64_t tree_rebuilds_avoided = 0;  ///< proofs served from a cached tree
+  std::uint64_t verify_memo_hits = 0;       ///< RSA verifies answered by memo
+  std::uint64_t verify_memo_misses = 0;     ///< RSA verifies done in full
+};
+
+/// The live counters. Access through counters().
+struct Counters {
+  std::atomic<std::uint64_t> scalar_blocks{0};
+  std::atomic<std::uint64_t> mb_lane_blocks{0};
+  std::atomic<std::uint64_t> mb_batches{0};
+  std::atomic<std::uint64_t> hmac_midstate_hits{0};
+  std::atomic<std::uint64_t> hmac_midstate_misses{0};
+  std::atomic<std::uint64_t> tree_builds{0};
+  std::atomic<std::uint64_t> tree_rebuilds_avoided{0};
+  std::atomic<std::uint64_t> verify_memo_hits{0};
+  std::atomic<std::uint64_t> verify_memo_misses{0};
+
+  [[nodiscard]] CounterSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+};
+
+/// The process-wide instance.
+Counters& counters() noexcept;
+
+/// Which acceleration mechanisms are live. All default to on; the
+/// environment variable TPNR_CRYPTO_ACCEL=0 turns everything off at process
+/// start (the unaccelerated baseline CI diffs digests against).
+struct AccelConfig {
+  bool multi_lane = true;    ///< batch SHA-256 uses the lane engine
+  bool hmac_midstate = true; ///< HMAC ipad/opad midstate caching
+  bool merkle_cache = true;  ///< per-object Merkle tree reuse
+  bool verify_memo = true;   ///< RSA verify result memoization
+};
+
+/// Current configuration (initialized from the environment on first use).
+[[nodiscard]] AccelConfig accel() noexcept;
+
+/// Replaces the configuration — benchmarks and tests sweep mechanisms
+/// on/off. Not intended to be raced against in-flight crypto calls.
+void set_accel(AccelConfig config) noexcept;
+
+/// Convenience: everything on (true) / everything off (false).
+void set_accel_enabled(bool enabled) noexcept;
+
+}  // namespace tpnr::crypto

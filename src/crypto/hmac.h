@@ -5,11 +5,14 @@
 #include <memory>
 
 #include "crypto/hash.h"
+#include "crypto/sha256.h"
 
 namespace tpnr::crypto {
 
 /// Streaming HMAC. Keys longer than the block size are hashed first, per the
-/// RFC.
+/// RFC. For the SHA-256 family the keyed ipad/opad blocks are compressed
+/// once at construction and every subsequent MAC resumes from the captured
+/// midstates, skipping two compressions per tag.
 class Hmac {
  public:
   Hmac(HashKind kind, BytesView key);
@@ -29,6 +32,38 @@ class Hmac {
   std::unique_ptr<Hash> outer_;
   Bytes ipad_;
   Bytes opad_;
+  bool use_midstate_ = false;
+  Sha256Midstate inner_mid_;
+  Sha256Midstate outer_mid_;
+};
+
+/// Precomputed HMAC key state for the SHA-256 family: the keyed ipad and
+/// opad blocks are compressed exactly once, here, and every mac() resumes
+/// from the stored midstates. Immutable after construction and safe to share
+/// across threads; mac() allocates nothing but the result.
+///
+/// This is the per-key object behind hmac_sha256_cached() — SharedKey
+/// request signing and TPNR session MACs reuse one key across thousands of
+/// messages, so the two pad compressions amortize to zero.
+class HmacKeyState {
+ public:
+  /// `kind` must be kSha224 or kSha256; throws CryptoError otherwise.
+  HmacKeyState(HashKind kind, BytesView key);
+
+  /// HMAC(key, data), resumed from the cached midstates.
+  [[nodiscard]] Bytes mac(BytesView data) const;
+  /// Constant-time tag check.
+  [[nodiscard]] bool verify(BytesView data, BytesView tag) const;
+
+  [[nodiscard]] HashKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t tag_size() const noexcept {
+    return kind_ == HashKind::kSha224 ? 28 : 32;
+  }
+
+ private:
+  HashKind kind_;
+  Sha256Midstate inner_mid_;
+  Sha256Midstate outer_mid_;
 };
 
 /// One-shot convenience.
@@ -36,6 +71,15 @@ Bytes hmac(HashKind kind, BytesView key, BytesView data);
 
 /// One-shot HMAC-SHA256, the variant used by SharedKey and the NR channel.
 Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// HMAC-SHA256 through a process-wide HmacKeyState cache keyed by the key's
+/// digest: the first call for a key derives its pad midstates, later calls
+/// resume them. Bit-identical to hmac_sha256; falls back to it when
+/// accel().hmac_midstate is off. Thread-safe.
+Bytes hmac_sha256_cached(BytesView key, BytesView data);
+
+/// Drops every cached HmacKeyState (tests and the ablation sweep).
+void hmac_cache_clear();
 
 /// Constant-time tag check.
 bool hmac_verify(HashKind kind, BytesView key, BytesView data, BytesView tag);

@@ -4,21 +4,33 @@
 #include <thread>
 
 #include "common/error.h"
+#include "crypto/sha256_mb.h"
 
 namespace tpnr::crypto {
 
+namespace {
+
+constexpr std::uint8_t kLeafTag = 0x00;
+constexpr std::uint8_t kNodeTag = 0x01;
+
+/// True when this kind's hashing should go through the multi-lane SHA-256
+/// engine (same digests, lanes-at-a-time throughput).
+bool use_lanes(HashKind kind) {
+  return kind == HashKind::kSha256 && sha256_mb_lanes() > 1;
+}
+
+}  // namespace
+
 Bytes MerkleTree::leaf_hash(HashKind kind, BytesView chunk) {
   auto h = make_hash(kind);
-  const std::uint8_t tag = 0x00;
-  h->update(BytesView(&tag, 1));
+  h->update(BytesView(&kLeafTag, 1));
   h->update(chunk);
   return h->finish();
 }
 
 Bytes MerkleTree::node_hash(HashKind kind, BytesView left, BytesView right) {
   auto h = make_hash(kind);
-  const std::uint8_t tag = 0x01;
-  h->update(BytesView(&tag, 1));
+  h->update(BytesView(&kNodeTag, 1));
   h->update(left);
   h->update(right);
   return h->finish();
@@ -40,12 +52,28 @@ MerkleTree::MerkleTree(BytesView data, std::size_t chunk_size, HashKind kind,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, leaf_count));
 
+  const bool lanes = use_lanes(kind);
   auto hash_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
+    auto chunk_at = [&](std::size_t i) {
       const std::size_t offset = i * chunk_size;
       const std::size_t len =
           data.empty() ? 0 : std::min(chunk_size, data.size() - offset);
-      leaves[i] = leaf_hash(kind, data.subspan(offset, len));
+      return data.subspan(offset, len);
+    };
+    if (lanes) {
+      // Each worker feeds its whole range to the lane engine in one call;
+      // SIMD breadth multiplies with thread breadth.
+      std::vector<BytesView> views;
+      views.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) views.push_back(chunk_at(i));
+      auto digests = sha256_many_tagged(kLeafTag, views);
+      for (std::size_t i = begin; i < end; ++i) {
+        leaves[i] = std::move(digests[i - begin]);
+      }
+      return;
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      leaves[i] = leaf_hash(kind, chunk_at(i));
     }
   };
 
@@ -68,12 +96,31 @@ MerkleTree::MerkleTree(BytesView data, std::size_t chunk_size, HashKind kind,
   while (levels_.back().size() > 1) {
     const auto& below = levels_.back();
     std::vector<Bytes> level((below.size() + 1) / 2);
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      const Bytes& left = below[2 * i];
-      // Odd node is paired with itself (Bitcoin-style duplication).
-      const Bytes& right =
-          (2 * i + 1 < below.size()) ? below[2 * i + 1] : below[2 * i];
-      level[i] = node_hash(kind_, left, right);
+    if (use_lanes(kind_) && level.size() > 1) {
+      // Interior level in one lane dispatch: concatenate each left||right
+      // pair into a scratch row and batch-hash the rows.
+      const std::size_t digest_len = below[0].size();
+      std::vector<std::uint8_t> scratch(level.size() * 2 * digest_len);
+      std::vector<BytesView> rows(level.size());
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        const Bytes& left = below[2 * i];
+        // Odd node is paired with itself (Bitcoin-style duplication).
+        const Bytes& right =
+            (2 * i + 1 < below.size()) ? below[2 * i + 1] : below[2 * i];
+        std::uint8_t* row = scratch.data() + i * 2 * digest_len;
+        std::copy(left.begin(), left.end(), row);
+        std::copy(right.begin(), right.end(), row + digest_len);
+        rows[i] = BytesView(row, 2 * digest_len);
+      }
+      level = sha256_many_tagged(kNodeTag, rows);
+    } else {
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        const Bytes& left = below[2 * i];
+        // Odd node is paired with itself (Bitcoin-style duplication).
+        const Bytes& right =
+            (2 * i + 1 < below.size()) ? below[2 * i + 1] : below[2 * i];
+        level[i] = node_hash(kind_, left, right);
+      }
     }
     levels_.push_back(std::move(level));
   }
@@ -99,7 +146,13 @@ MerkleProof MerkleTree::prove(std::size_t index) const {
 
 bool MerkleTree::verify(BytesView chunk, const MerkleProof& proof,
                         BytesView root, HashKind kind) {
-  Bytes acc = leaf_hash(kind, chunk);
+  return verify_from_leaf(leaf_hash(kind, chunk), proof, root, kind);
+}
+
+bool MerkleTree::verify_from_leaf(BytesView leaf_digest,
+                                  const MerkleProof& proof, BytesView root,
+                                  HashKind kind) {
+  Bytes acc(leaf_digest.begin(), leaf_digest.end());
   std::size_t i = proof.leaf_index;
   std::size_t width = proof.leaf_count;
   for (const Bytes& sibling : proof.siblings) {
@@ -113,6 +166,68 @@ bool MerkleTree::verify(BytesView chunk, const MerkleProof& proof,
   }
   if (width != 1) return false;
   return common::constant_time_equal(acc, root);
+}
+
+std::vector<std::uint8_t> MerkleTree::verify_many(
+    std::span<const BytesView> chunks, std::span<const MerkleProof> proofs,
+    std::span<const BytesView> roots, HashKind kind) {
+  if (chunks.size() != proofs.size() || chunks.size() != roots.size()) {
+    throw common::CryptoError("MerkleTree::verify_many: span size mismatch");
+  }
+  const std::size_t n = chunks.size();
+  if (!use_lanes(kind)) {
+    std::vector<std::uint8_t> ok(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ok[i] = verify(chunks[i], proofs[i], roots[i], kind) ? 1 : 0;
+    }
+    return ok;
+  }
+
+  // Leaf hashes for the whole batch in one dispatch, then fold all proofs
+  // upward in lock-step: level k of every still-open proof goes through the
+  // engine together.
+  std::vector<Bytes> acc = sha256_many_tagged(kLeafTag, chunks);
+  std::vector<std::size_t> idx(n);
+  std::vector<std::size_t> width(n);
+  std::size_t max_depth = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = proofs[i].leaf_index;
+    width[i] = proofs[i].leaf_count;
+    max_depth = std::max(max_depth, proofs[i].siblings.size());
+  }
+  const std::size_t digest_len = 32;
+  for (std::size_t level = 0; level < max_depth; ++level) {
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level < proofs[i].siblings.size()) active.push_back(i);
+    }
+    std::vector<std::uint8_t> scratch(active.size() * 2 * digest_len);
+    std::vector<BytesView> rows(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::size_t i = active[a];
+      const Bytes& sibling = proofs[i].siblings[level];
+      std::uint8_t* row = scratch.data() + a * 2 * digest_len;
+      const Bytes& left = (idx[i] % 2 == 0) ? acc[i] : sibling;
+      const Bytes& right = (idx[i] % 2 == 0) ? sibling : acc[i];
+      std::copy(left.begin(), left.end(), row);
+      std::copy(right.begin(), right.end(), row + digest_len);
+      rows[a] = BytesView(row, 2 * digest_len);
+    }
+    std::vector<Bytes> parents = sha256_many_tagged(kNodeTag, rows);
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::size_t i = active[a];
+      acc[i] = std::move(parents[a]);
+      idx[i] /= 2;
+      width[i] = (width[i] + 1) / 2;
+    }
+  }
+  std::vector<std::uint8_t> ok(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ok[i] = (width[i] == 1 && common::constant_time_equal(acc[i], roots[i]))
+                ? 1
+                : 0;
+  }
+  return ok;
 }
 
 }  // namespace tpnr::crypto

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/error.h"
+
 namespace tpnr::crypto {
 
 namespace {
@@ -33,6 +35,22 @@ inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
 }
 
 }  // namespace
+
+Sha256Midstate Sha256Core::midstate() const {
+  if (buffered_ != 0) {
+    throw common::CryptoError("Sha256: midstate requires a block boundary");
+  }
+  return {state_, total_bytes_};
+}
+
+void Sha256Core::restore(const Sha256Midstate& mid) {
+  if (mid.total_bytes % 64 != 0) {
+    throw common::CryptoError("Sha256: midstate byte count not block-aligned");
+  }
+  state_ = mid.state;
+  total_bytes_ = mid.total_bytes;
+  buffered_ = 0;
+}
 
 void Sha256Core::reset() {
   state_ = iv();

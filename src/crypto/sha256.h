@@ -9,6 +9,15 @@
 
 namespace tpnr::crypto {
 
+/// Captured compression state at a 64-byte block boundary. Lets a caller
+/// absorb a fixed prefix once (HMAC's ipad/opad blocks) and resume any
+/// number of later hashes from the same point instead of re-hashing the
+/// prefix each time.
+struct Sha256Midstate {
+  std::array<std::uint32_t, 8> state{};
+  std::uint64_t total_bytes = 0;  ///< must be a multiple of 64
+};
+
 /// Common core: SHA-224 differs only in IV and truncation.
 class Sha256Core : public Hash {
  public:
@@ -17,6 +26,14 @@ class Sha256Core : public Hash {
   void reset() override;
 
   [[nodiscard]] std::size_t block_size() const noexcept override { return 64; }
+
+  /// The compression state, valid only when the absorbed byte count is a
+  /// multiple of the block size. Throws CryptoError otherwise.
+  [[nodiscard]] Sha256Midstate midstate() const;
+  /// Resumes from a previously exported midstate (discarding any buffered
+  /// input). Throws CryptoError if the midstate's byte count is not
+  /// block-aligned.
+  void restore(const Sha256Midstate& mid);
 
  protected:
   /// IV per FIPS 180-4 §5.3.2 / §5.3.3.

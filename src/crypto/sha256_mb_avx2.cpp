@@ -1,0 +1,12 @@
+// 8-lane SHA-256 compression, compiled with -mavx2 (see crypto/CMakeLists):
+// the 32-byte vectors in sha256_mb_lanes.inl land in YMM registers here.
+// Only sha256_mb.cpp's runtime dispatch calls into this TU, and only after
+// __builtin_cpu_supports("avx2") — nothing else may be defined here, or a
+// non-AVX2 host could fault on an incidentally vectorized symbol.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#define TPNR_MB_LANES 8
+#define TPNR_MB_FN sha256_mb_compress_x8_avx2
+#include "crypto/sha256_mb_lanes.inl"

@@ -1,0 +1,123 @@
+// Lane-parallel SHA-256 compression: TPNR_MB_LANES independent messages
+// advance through the FIPS 180-4 rounds simultaneously, one message per
+// SIMD lane. Word layout is struct-of-arrays — every working variable is a
+// vector whose element l belongs to message l — so the 64 rounds are pure
+// element-wise vector arithmetic; only the big-endian block loads gather
+// lane-by-lane.
+//
+// This file is included (not compiled) by exactly one translation unit per
+// lane width; the TU defines, before inclusion:
+//   TPNR_MB_LANES  lane count (vector width = 4*TPNR_MB_LANES bytes)
+//   TPNR_MB_FN     name of the emitted compression function
+// The including TU controls the target flags (e.g. -mavx2 for the 8-lane
+// build); the code itself is plain GNU vector extensions, portable across
+// GCC/Clang and legalized by the compiler on any target.
+//
+// Emitted signature:
+//   void TPNR_MB_FN(std::uint32_t* state,              // [8][LANES] word-major
+//                   const std::uint8_t* const* blocks, // LANES buffers
+//                   std::size_t nblocks);              // blocks per lane
+// Every lane buffer must hold nblocks * 64 readable bytes.
+
+#ifndef TPNR_MB_LANES
+#error "define TPNR_MB_LANES before including sha256_mb_lanes.inl"
+#endif
+#ifndef TPNR_MB_FN
+#error "define TPNR_MB_FN before including sha256_mb_lanes.inl"
+#endif
+
+namespace tpnr::crypto::detail {
+
+namespace {
+
+typedef std::uint32_t MbVec __attribute__((vector_size(4 * TPNR_MB_LANES)));
+
+inline MbVec mb_rotr(MbVec x, int n) { return (x >> n) | (x << (32 - n)); }
+
+/// FIPS 180-4 §4.2.2 round constants (same table as the scalar core).
+constexpr std::uint32_t kMbK[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+}  // namespace
+
+void TPNR_MB_FN(std::uint32_t* state, const std::uint8_t* const* blocks,
+                std::size_t nblocks) {
+  constexpr int kW = TPNR_MB_LANES;
+  MbVec h[8];
+  for (int i = 0; i < 8; ++i) {
+    std::memcpy(&h[i], state + static_cast<std::size_t>(i) * kW,
+                sizeof(MbVec));
+  }
+
+  for (std::size_t block = 0; block < nblocks; ++block) {
+    const std::size_t offset = block * 64;
+    MbVec w[64];
+    for (int t = 0; t < 16; ++t) {
+      MbVec v{};
+      for (int l = 0; l < kW; ++l) {
+        const std::uint8_t* p = blocks[l] + offset + 4 * t;
+        v[l] = (static_cast<std::uint32_t>(p[0]) << 24) |
+               (static_cast<std::uint32_t>(p[1]) << 16) |
+               (static_cast<std::uint32_t>(p[2]) << 8) |
+               static_cast<std::uint32_t>(p[3]);
+      }
+      w[t] = v;
+    }
+    for (int t = 16; t < 64; ++t) {
+      const MbVec s0 =
+          mb_rotr(w[t - 15], 7) ^ mb_rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+      const MbVec s1 =
+          mb_rotr(w[t - 2], 17) ^ mb_rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+
+    MbVec a = h[0], b = h[1], c = h[2], d = h[3], e = h[4], f = h[5],
+          g = h[6], hh = h[7];
+    for (int t = 0; t < 64; ++t) {
+      const MbVec s1 = mb_rotr(e, 6) ^ mb_rotr(e, 11) ^ mb_rotr(e, 25);
+      const MbVec ch = (e & f) ^ (~e & g);
+      const MbVec t1 = hh + s1 + ch + kMbK[t] + w[t];
+      const MbVec s0 = mb_rotr(a, 2) ^ mb_rotr(a, 13) ^ mb_rotr(a, 22);
+      const MbVec maj = (a & b) ^ (a & c) ^ (b & c);
+      const MbVec t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    std::memcpy(state + static_cast<std::size_t>(i) * kW, &h[i],
+                sizeof(MbVec));
+  }
+}
+
+}  // namespace tpnr::crypto::detail
+
+#undef TPNR_MB_LANES
+#undef TPNR_MB_FN

@@ -1,0 +1,24 @@
+// Memoized RSA signature verification. Verification is a pure function of
+// (public key, hash kind, message, signature), so its result — true OR
+// false — can be cached and replayed. The NR protocol re-verifies the same
+// evidence signatures at every hop (provider, TTP, arbitrator, auditor);
+// the memo turns each repeat into one SHA-256 pass and a map lookup instead
+// of a modular exponentiation.
+#pragma once
+
+#include "crypto/hash.h"
+#include "crypto/rsa.h"
+
+namespace tpnr::crypto {
+
+/// rsa_verify with a process-wide memo keyed by
+/// SHA-256(pubkey-encoding || kind || SHA-256(message) || SHA-256(signature)).
+/// Bit-identical results to rsa_verify; falls back to it when
+/// accel().verify_memo is off. Thread-safe.
+bool rsa_verify_memo(const RsaPublicKey& key, HashKind kind, BytesView message,
+                     BytesView signature);
+
+/// Drops every memoized verdict (tests and the ablation sweep).
+void verify_memo_clear();
+
+}  // namespace tpnr::crypto

@@ -24,9 +24,17 @@ const ProviderActor::TxnRecord* ProviderActor::transaction(
   return it == txns_.end() ? nullptr : &it->second;
 }
 
+std::string ProviderActor::proof_cache_key(const std::string& object_key,
+                                           bool equivocating) {
+  return equivocating ? object_key + "#orig" : object_key;
+}
+
 bool ProviderActor::tamper(const std::string& txn_id, BytesView new_data) {
   const auto it = txns_.find(txn_id);
   if (it == txns_.end()) return false;
+  // Alias validation already forces a rebuild on the next proof request;
+  // dropping the entry also releases the pinned pre-tamper buffer.
+  merkle_cache_.invalidate(proof_cache_key(it->second.object_key, false));
   return store_.tamper(it->second.object_key, new_data);
 }
 
@@ -101,17 +109,24 @@ void ProviderActor::handle_store(const NrMessage& message) {
     ++stats_.rejected_bad_hash;
     return;
   }
+  // Wrap the decoded bytes once, up front: hash validation, the txn
+  // record's equivocation snapshot and the store's current version all
+  // alias this single buffer — and the Merkle tree built for validation is
+  // cached against it, so later chunk proofs are served without a rebuild.
+  common::Payload stored(std::move(data));
   // "The peers should check the consistency between the hash of the
   // plaintext and the plaintext at first." For chunked objects the agreed
   // hash is the Merkle root over the declared chunking.
   if (chunk_size == 0) {
-    if (crypto::sha256(data) != h.data_hash) {
+    if (crypto::sha256(stored) != h.data_hash) {
       ++stats_.rejected_bad_hash;
       return;
     }
   } else {
-    const crypto::MerkleTree tree(data, chunk_size);
-    if (tree.root() != h.data_hash) {
+    const auto tree = merkle_cache_.get_or_build(
+        proof_cache_key(object_key, false), stored, chunk_size);
+    if (tree->root() != h.data_hash) {
+      merkle_cache_.invalidate(proof_cache_key(object_key, false));
       ++stats_.rejected_bad_hash;
       return;
     }
@@ -154,10 +169,7 @@ void ProviderActor::handle_store(const NrMessage& message) {
   record.chunk_size = chunk_size;
   record.nro_header = h;
   record.nro = *nro;
-  // Wrap the decoded bytes once; the txn record's equivocation snapshot and
-  // the store's current version then alias that single buffer.
-  const Bytes data_md5 = crypto::md5(data);
-  common::Payload stored(std::move(data));
+  const Bytes data_md5 = crypto::md5(stored);
   if (chunk_size > 0) record.original_data = stored;
   store_.put(object_key, stored, data_md5, network_->now());
   txns_[h.txn_id] = std::move(record);
@@ -292,15 +304,20 @@ void ProviderActor::handle_chunk_request(const NrMessage& message) {
   auto record = store_.get(it->second.object_key);
   if (!record) return;
 
-  // Honest provider: build the tree over what is in the store NOW — any
-  // tamper anywhere makes every recomputed proof fail against the signed
-  // root. Equivocating provider: serve proofs from the ORIGINAL tree so
-  // audits of clean chunks pass; only the tampered chunks themselves fail.
-  const common::Payload& proof_source = behavior_.equivocate_chunk_proofs
-                                            ? it->second.original_data
-                                            : record->data;
-  const crypto::MerkleTree tree(proof_source, it->second.chunk_size);
-  if (chunk_index >= tree.leaf_count()) return;
+  // Honest provider: the tree covers what is in the store NOW — any tamper
+  // anywhere makes every recomputed proof fail against the signed root.
+  // Equivocating provider: serve proofs from the ORIGINAL tree so audits of
+  // clean chunks pass; only the tampered chunks themselves fail. Either way
+  // the tree comes from the cache, which validates by buffer identity: a
+  // cache hit proves the bytes are the exact bytes the tree was built over,
+  // so cached service can never hide a modification.
+  const bool equivocating = behavior_.equivocate_chunk_proofs;
+  const common::Payload& proof_source =
+      equivocating ? it->second.original_data : record->data;
+  const auto tree = merkle_cache_.get_or_build(
+      proof_cache_key(it->second.object_key, equivocating), proof_source,
+      it->second.chunk_size);
+  if (chunk_index >= tree->leaf_count()) return;
   const std::size_t offset = chunk_index * it->second.chunk_size;
   if (offset >= record->data.size()) return;
   const std::size_t len = std::min(it->second.chunk_size,
@@ -317,7 +334,7 @@ void ProviderActor::handle_chunk_request(const NrMessage& message) {
   common::BinaryWriter payload;
   payload.u64(chunk_index);
   payload.bytes(chunk);
-  payload.bytes(encode_proof(tree.prove(chunk_index)));
+  payload.bytes(encode_proof(tree->prove(chunk_index)));
 
   NrMessage reply;
   reply.header = std::move(response_header);
@@ -370,6 +387,8 @@ void ProviderActor::handle_abort(const NrMessage& message) {
   if (can_abort && it != txns_.end()) {
     it->second.state = TxnRecord::State::kAborted;
     store_.remove(it->second.object_key);
+    merkle_cache_.invalidate(proof_cache_key(it->second.object_key, false));
+    merkle_cache_.invalidate(proof_cache_key(it->second.object_key, true));
   }
   auto [reply_header, evidence] =
       make_receipt(h.txn_id, h.sender, verdict, original_header.data_hash,

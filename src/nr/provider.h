@@ -11,6 +11,7 @@
 #include <string>
 
 #include "nr/actor.h"
+#include "storage/merkle_cache.h"
 #include "storage/object_store.h"
 
 namespace tpnr::nr {
@@ -71,6 +72,9 @@ class ProviderActor final : public NrActor {
 
   [[nodiscard]] const TxnRecord* transaction(const std::string& txn_id) const;
   [[nodiscard]] storage::ObjectStore& store() noexcept { return store_; }
+  [[nodiscard]] const storage::MerkleCache& merkle_cache() const noexcept {
+    return merkle_cache_;
+  }
 
   /// How many store receipts were re-issued for retried NROs without
   /// touching the store or the journal (idempotence accounting).
@@ -113,8 +117,18 @@ class ProviderActor final : public NrActor {
                                                BytesView data_hash,
                                                common::SimTime time_limit);
 
+  /// The cache key proofs for `object_key` are served under. Equivocating
+  /// service keeps a separate entry (suffix "#orig") so the original tree
+  /// and the honest current-bytes tree don't evict each other.
+  static std::string proof_cache_key(const std::string& object_key,
+                                     bool equivocating);
+
   ProviderBehavior behavior_;
   storage::ObjectStore store_;
+  /// Each stored object's tree is built once (at store-time validation) and
+  /// every chunk proof afterwards is served from the cached tree. Entries
+  /// self-invalidate on any byte change via Payload buffer identity.
+  storage::MerkleCache merkle_cache_;
   std::map<std::string, TxnRecord> txns_;
   std::uint64_t receipts_resent_ = 0;
 };

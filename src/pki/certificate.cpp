@@ -1,6 +1,7 @@
 #include "pki/certificate.h"
 
 #include "common/serial.h"
+#include "crypto/verify_memo.h"
 
 namespace tpnr::pki {
 
@@ -42,8 +43,10 @@ Certificate Certificate::decode(BytesView data) {
 
 bool Certificate::verify_signature(
     const crypto::RsaPublicKey& issuer_key) const {
-  return crypto::rsa_verify(issuer_key, crypto::HashKind::kSha256,
-                            tbs_encode(), signature);
+  // Chain checks re-verify the same certificates on every handshake and
+  // every piece of evidence; the memo collapses the repeats.
+  return crypto::rsa_verify_memo(issuer_key, crypto::HashKind::kSha256,
+                                 tbs_encode(), signature);
 }
 
 }  // namespace tpnr::pki

@@ -12,6 +12,7 @@
 
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
+#include "crypto/verify_memo.h"
 #include "pki/authority.h"
 #include "pki/certificate.h"
 
@@ -46,12 +47,14 @@ class Identity {
     return crypto::rsa_sign(keys_.priv, crypto::HashKind::kSha256, message);
   }
 
-  /// Verifies a signature allegedly by `signer_key`.
+  /// Verifies a signature allegedly by `signer_key`. Memoized: evidence
+  /// signatures are re-checked at every protocol hop, and repeats cost a
+  /// hash instead of a modular exponentiation.
   [[nodiscard]] static bool verify(const crypto::RsaPublicKey& signer_key,
                                    common::BytesView message,
                                    common::BytesView signature) {
-    return crypto::rsa_verify(signer_key, crypto::HashKind::kSha256, message,
-                              signature);
+    return crypto::rsa_verify_memo(signer_key, crypto::HashKind::kSha256,
+                                   message, signature);
   }
 
   /// Encrypt_peer{message}.

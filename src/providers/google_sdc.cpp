@@ -2,6 +2,7 @@
 
 #include "common/serial.h"
 #include "crypto/hash.h"
+#include "crypto/verify_memo.h"
 
 namespace tpnr::providers {
 
@@ -75,8 +76,9 @@ SdcResponse GoogleSdcService::handle(const SignedRequest& request) {
   }
 
   // 3. Service server validates the signed request and credentials.
-  if (!crypto::rsa_verify(consumer.key, crypto::HashKind::kSha256,
-                          request.canonical_encode(), request.signature)) {
+  if (!crypto::rsa_verify_memo(consumer.key, crypto::HashKind::kSha256,
+                               request.canonical_encode(),
+                               request.signature)) {
     return {401, {}, "service: bad request signature"};
   }
   consumer.seen_nonces.insert(request.nonce);

@@ -9,6 +9,7 @@
 #include "audit/report.h"
 #include "audit/scheduler.h"
 #include "common/serial.h"
+#include "crypto/counters.h"
 #include "net/network.h"
 #include "nr/chunked.h"
 #include "nr/client.h"
@@ -157,6 +158,41 @@ TEST_F(AuditTest, TamperingProviderDetectedWithinSamplingBudget) {
   EXPECT_EQ(auditor_.counters().flagged, 1u);
   ASSERT_EQ(ledger_.size(), 1u);
   EXPECT_EQ(ledger_.entries()[0].verdict, AuditVerdict::kMismatch);
+}
+
+// The provider serves proofs from its Merkle cache. Prime the cache with a
+// full round of clean audits FIRST, then tamper: every post-tamper audit
+// must still flag a mismatch — a hit on the pre-tamper tree would serve
+// stale clean proofs and mask the fault.
+TEST_F(AuditTest, PrimedMerkleCacheDoesNotMaskLaterTamper) {
+  auto [txn, data] = watched_object();
+
+  for (std::size_t i = 0; i < kChunks; ++i) {
+    ASSERT_TRUE(auditor_.challenge(txn, i));
+    network_.run();
+  }
+  EXPECT_EQ(auditor_.counters().verified, kChunks);
+  // The clean round was served from the cache after the store-time build.
+  if (crypto::accel().merkle_cache) {
+    EXPECT_GE(bob_.merkle_cache().hits(), kChunks - 1);
+  }
+
+  Bytes tampered = data;
+  tampered[9 * kChunkSize + 5] ^= 0x80;
+  ASSERT_TRUE(bob_.tamper(txn, tampered));
+
+  for (std::size_t i = 0; i < kChunks; ++i) {
+    ASSERT_TRUE(auditor_.challenge(txn, i));
+    network_.run();
+  }
+  // Post-tamper, the provider rebuilds over the tampered bytes: the root no
+  // longer matches the signed root, so EVERY chunk fails — nothing is
+  // served from the stale tree.
+  EXPECT_EQ(auditor_.counters().verified, kChunks);
+  EXPECT_EQ(auditor_.counters().flagged, kChunks);
+  for (std::size_t i = kChunks; i < 2 * kChunks; ++i) {
+    EXPECT_EQ(ledger_.entries()[i].verdict, AuditVerdict::kMismatch);
+  }
 }
 
 TEST_F(AuditTest, EquivocatingProviderPassesCleanChunksFailsTampered) {

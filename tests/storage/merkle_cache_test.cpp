@@ -1,0 +1,142 @@
+// MerkleCache: buffer-identity validation means a cached tree is served
+// only for the exact bytes it was built over — tamper, fault injection and
+// backend corruption all detach the payload buffer, so they can never be
+// masked by cached service.
+#include <gtest/gtest.h>
+
+#include "common/payload.h"
+#include "crypto/counters.h"
+#include "storage/backend.h"
+#include "storage/merkle_cache.h"
+#include "storage/object_store.h"
+
+namespace tpnr::storage {
+namespace {
+
+using common::Bytes;
+using common::Payload;
+
+constexpr std::size_t kChunk = 64;
+
+Bytes test_bytes(std::size_t n) {
+  Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  return data;
+}
+
+TEST(MerkleCacheTest, RepeatLookupServesSameTreeAndCountsAvoidedRebuilds) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  crypto::counters().reset();
+  MerkleCache cache;
+  const Payload data(test_bytes(10 * kChunk));
+  const auto first = cache.get_or_build("obj", data, kChunk);
+  const auto second = cache.get_or_build("obj", data, kChunk);
+  EXPECT_EQ(first.get(), second.get());  // the same tree object
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  const auto snap = crypto::counters().snapshot();
+  EXPECT_EQ(snap.tree_builds, 1u);
+  EXPECT_EQ(snap.tree_rebuilds_avoided, 1u);
+
+  // A Payload share of the same buffer also hits; an equal-bytes copy in a
+  // different buffer does NOT (identity, not content, is the contract).
+  const Payload share = data;
+  EXPECT_EQ(cache.get_or_build("obj", share, kChunk).get(), first.get());
+  const Payload copy = Payload::copy_of(data);
+  EXPECT_NE(cache.get_or_build("obj", copy, kChunk).get(), first.get());
+}
+
+TEST(MerkleCacheTest, ChunkSizeChangeMisses) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  MerkleCache cache;
+  const Payload data(test_bytes(8 * kChunk));
+  const auto a = cache.get_or_build("obj", data, kChunk);
+  const auto b = cache.get_or_build("obj", data, 2 * kChunk);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a->root(), b->root());
+}
+
+TEST(MerkleCacheTest, MutationDetachesBufferAndForcesRebuild) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  MerkleCache cache;
+  Payload data(test_bytes(6 * kChunk));
+  const auto before = cache.get_or_build("obj", data, kChunk);
+  // COW mutation: the cache's held share keeps the old buffer alive, so the
+  // write lands in a fresh buffer and the next lookup cannot hit.
+  data.mutate()[3] ^= 0xff;
+  const auto after = cache.get_or_build("obj", data, kChunk);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_NE(before->root(), after->root());
+}
+
+TEST(MerkleCacheTest, AdminTamperInObjectStoreIsNeverMasked) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  ObjectStore store(std::make_unique<MemoryBackend>());
+  MerkleCache cache;
+  const Bytes original = test_bytes(12 * kChunk);
+  store.put("key", Payload::copy_of(original), Bytes(), 0);
+
+  const auto r1 = store.get("key");
+  ASSERT_TRUE(r1);
+  const auto clean_tree = cache.get_or_build("key", r1->data, kChunk);
+  // Steady state: repeated reads serve the cached tree.
+  const auto r2 = store.get("key");
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(cache.get_or_build("key", r2->data, kChunk).get(),
+            clean_tree.get());
+
+  // kAdminTamper: Eve rewrites the bytes without touching version/md5.
+  Bytes tampered = original;
+  tampered[5 * kChunk + 1] ^= 0x01;
+  ASSERT_TRUE(store.tamper("key", tampered));
+
+  const auto r3 = store.get("key");
+  ASSERT_TRUE(r3);
+  const auto tampered_tree = cache.get_or_build("key", r3->data, kChunk);
+  EXPECT_NE(tampered_tree.get(), clean_tree.get())
+      << "cached tree served for tampered bytes";
+  EXPECT_NE(tampered_tree->root(), clean_tree->root());
+}
+
+TEST(MerkleCacheTest, InvalidateDropsEntry) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  MerkleCache cache;
+  const Payload data(test_bytes(4 * kChunk));
+  const auto a = cache.get_or_build("obj", data, kChunk);
+  cache.invalidate("obj");
+  EXPECT_EQ(cache.size(), 0u);
+  const auto b = cache.get_or_build("obj", data, kChunk);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->root(), b->root());  // same bytes, same root, fresh tree
+}
+
+TEST(MerkleCacheTest, CapacityOverflowRestartsCold) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  MerkleCache cache(2);
+  const Payload a(test_bytes(2 * kChunk));
+  const Payload b(test_bytes(3 * kChunk));
+  const Payload c(test_bytes(4 * kChunk));
+  (void)cache.get_or_build("a", a, kChunk);
+  (void)cache.get_or_build("b", b, kChunk);
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.get_or_build("c", c, kChunk);  // overflow: drop-all then insert
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MerkleCacheTest, AccelOffBuildsFreshEveryTime) {
+  const crypto::AccelConfig saved = crypto::accel();
+  crypto::set_accel_enabled(false);
+  MerkleCache cache;
+  const Payload data(test_bytes(4 * kChunk));
+  const auto a = cache.get_or_build("obj", data, kChunk);
+  const auto b = cache.get_or_build("obj", data, kChunk);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->root(), b->root());
+  EXPECT_EQ(cache.size(), 0u);
+  crypto::set_accel(saved);
+}
+
+}  // namespace
+}  // namespace tpnr::storage
