@@ -3,7 +3,9 @@
 #include <array>
 
 #include "common/serial.h"
+#include "crypto/sha256.h"
 #include "crypto/sha256_mb.h"
+#include "dyn/client.h"
 #include "nr/chunked.h"
 #include "nr/evidence.h"
 
@@ -59,6 +61,75 @@ bool AuditorActor::register_target(AuditTarget target) {
   return true;
 }
 
+bool AuditorActor::watch_dyn(const dyn::DynClientActor& client,
+                             const std::string& object_key) {
+  const dyn::DynClientActor::DynObject* obj = client.object(object_key);
+  if (obj == nullptr || obj->chain.empty()) return false;
+  DynAuditTarget target;
+  target.txn_id = obj->txn_id;
+  target.provider = obj->provider;
+  target.object_key = obj->object_key;
+  target.chunk_size = obj->chunk_size;
+  target.tag_key = obj->tag_key;
+  target.chain = &obj->chain;
+  return register_dyn_target(std::move(target));
+}
+
+bool AuditorActor::register_dyn_target(DynAuditTarget target) {
+  if (target.txn_id.empty() || target.provider.empty() ||
+      target.chunk_size == 0 || target.chain == nullptr ||
+      target.chain->empty() || peer_key(target.provider) == nullptr) {
+    return false;
+  }
+  target.registered_at = network_->now();
+  dyn_targets_[target.txn_id] = std::move(target);
+  return true;
+}
+
+bool AuditorActor::challenge_aggregate(const std::string& txn_id,
+                                       std::uint64_t count) {
+  const auto it = dyn_targets_.find(txn_id);
+  if (it == dyn_targets_.end() || count == 0 ||
+      it->second.chain->head_chunk_count() == 0) {
+    return false;
+  }
+  const PendingKey key{txn_id, kAggregateIndex};
+  if (pending_.contains(key)) return false;  // one aggregate per txn
+
+  dyn::AggChallenge challenge;
+  challenge.seed = rng_->next_u64();
+  challenge.count = count;
+  agg_inflight_[txn_id] = challenge;
+
+  Pending pending;
+  pending.id = next_attempt_id_++;
+  pending.challenged_at = network_->now();
+  pending.retries_left = options_.max_retries;
+  pending_[key] = pending;
+  ++counters_.challenges;
+  send_agg_challenge(it->second, challenge);
+  arm_timeout(key, pending.id);
+  return true;
+}
+
+void AuditorActor::send_agg_challenge(const DynAuditTarget& target,
+                                      const dyn::AggChallenge& challenge) {
+  common::BinaryWriter payload;
+  payload.str(target.object_key);
+  payload.u64(challenge.seed);
+  payload.u64(challenge.count);
+
+  nr::NrMessage message;
+  // data_hash pins the header to the freshness reference at challenge
+  // time: the chain head root the response will be judged against.
+  message.header = next_header(nr::MsgType::kAggChallenge, target.provider,
+                               /*ttp=*/"", target.txn_id,
+                               target.chain->head_root(),
+                               network_->now() + options_.reply_window);
+  message.payload = payload.take();
+  send(target.provider, std::move(message));
+}
+
 bool AuditorActor::challenge(const std::string& txn_id,
                              std::size_t chunk_index) {
   const auto it = targets_.find(txn_id);
@@ -102,9 +173,20 @@ void AuditorActor::arm_timeout(const PendingKey& key,
       --it->second.retries_left;
       it->second.id = next_attempt_id_++;
       ++counters_.retries;
-      const auto target_it = targets_.find(key.first);
-      if (target_it != targets_.end()) {
-        send_challenge(target_it->second, key.second);
+      if (key.second == kAggregateIndex) {
+        // Re-issue the SAME expanded challenge: the provider's answer is a
+        // pure function of (seed, count, object), so a retry is idempotent.
+        const auto target_it = dyn_targets_.find(key.first);
+        const auto challenge_it = agg_inflight_.find(key.first);
+        if (target_it != dyn_targets_.end() &&
+            challenge_it != agg_inflight_.end()) {
+          send_agg_challenge(target_it->second, challenge_it->second);
+        }
+      } else {
+        const auto target_it = targets_.find(key.first);
+        if (target_it != targets_.end()) {
+          send_challenge(target_it->second, key.second);
+        }
       }
       arm_timeout(key, it->second.id);
       return;
@@ -128,6 +210,10 @@ void AuditorActor::conclude(const PendingKey& key, const Pending& pending,
   if (const auto it = targets_.find(key.first); it != targets_.end()) {
     entry.provider = it->second.provider;
     entry.object_key = it->second.object_key;
+  } else if (const auto dyn_it = dyn_targets_.find(key.first);
+             dyn_it != dyn_targets_.end()) {
+    entry.provider = dyn_it->second.provider;
+    entry.object_key = dyn_it->second.object_key;
   }
   ledger_->append(std::move(entry));
 
@@ -143,12 +229,96 @@ void AuditorActor::conclude(const PendingKey& key, const Pending& pending,
       break;
   }
   pending_.erase(key);
+  if (key.second == kAggregateIndex) agg_inflight_.erase(key.first);
 }
 
 void AuditorActor::on_message(const nr::NrMessage& message) {
   if (message.header.flag == nr::MsgType::kChunkResponse) {
     handle_chunk_response(message);
+  } else if (message.header.flag == nr::MsgType::kAggResponse) {
+    handle_agg_response(message);
   }
+}
+
+void AuditorActor::handle_agg_response(const nr::NrMessage& message) {
+  const nr::MessageHeader& h = message.header;
+  const auto target_it = dyn_targets_.find(h.txn_id);
+  if (target_it == dyn_targets_.end()) return;
+  const DynAuditTarget& target = target_it->second;
+  if (h.sender != target.provider) return;
+
+  const PendingKey key{h.txn_id, kAggregateIndex};
+  const auto pending_it = pending_.find(key);
+  const auto challenge_it = agg_inflight_.find(h.txn_id);
+  if (pending_it == pending_.end() || challenge_it == agg_inflight_.end()) {
+    return;  // late duplicate or unsolicited
+  }
+  const Pending pending = pending_it->second;
+  const dyn::AggChallenge challenge = challenge_it->second;
+
+  Bytes response_bytes;
+  dyn::AggResponse response;
+  try {
+    common::BinaryReader r(message.payload);
+    if (r.str() != target.object_key) {
+      conclude(key, pending, AuditVerdict::kMalformed,
+               "response names a different object");
+      return;
+    }
+    response_bytes = r.bytes();
+    r.expect_done();
+    response = dyn::AggResponse::decode(response_bytes);
+  } catch (const common::SerialError&) {
+    conclude(key, pending, AuditVerdict::kMalformed,
+             "aggregated response undecodable");
+    return;
+  }
+
+  // Evidence first: the provider signed the hash of this exact response,
+  // so whatever (version, root, σ, μ) it claims is non-repudiable.
+  const crypto::RsaPublicKey* provider_key = peer_key(target.provider);
+  if (provider_key == nullptr ||
+      crypto::sha256(response_bytes) != h.data_hash ||
+      !nr::open_evidence(*identity_, *provider_key, h, message.evidence)) {
+    ++stats_.rejected_bad_evidence;
+    conclude(key, pending, AuditVerdict::kBadEvidence,
+             "response evidence failed verification");
+    return;
+  }
+
+  // Freshness against the client's chain head BEFORE any algebra: a stale
+  // or rolled-back head is a verdict of its own, not a mere mismatch.
+  const dyn::VersionChain& chain = *target.chain;
+  const std::uint64_t head_version = chain.head_version();
+  if (response.version < head_version) {
+    conclude(key, pending, AuditVerdict::kStaleVersion,
+             "provider served version " + std::to_string(response.version) +
+                 " but the countersigned head is version " +
+                 std::to_string(head_version));
+    return;
+  }
+  if (!common::constant_time_equal(response.root, chain.head_root())) {
+    const auto older = chain.version_of_root(response.root);
+    if (older.has_value() && *older < head_version) {
+      conclude(key, pending, AuditVerdict::kRollback,
+               "root matches committed version " + std::to_string(*older) +
+                   " while claiming version " +
+                   std::to_string(response.version) + " (head " +
+                   std::to_string(head_version) + ")");
+    } else {
+      conclude(key, pending, AuditVerdict::kMismatch,
+               "root matches no committed version");
+    }
+    return;
+  }
+
+  const bool holds = dyn::verify_agg_response(
+      challenge, response, target.tag_key, chain.head_chunk_count(),
+      target.chunk_size, chain.head_root());
+  conclude(key, pending,
+           holds ? AuditVerdict::kVerified : AuditVerdict::kMismatch,
+           holds ? "aggregated proof verified against the chain head"
+                 : "aggregated proof failed verification");
 }
 
 void AuditorActor::handle_chunk_response(const nr::NrMessage& message) {

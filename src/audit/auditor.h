@@ -17,8 +17,14 @@
 #include <utility>
 
 #include "audit/ledger.h"
+#include "dyn/por_tags.h"
+#include "dyn/version_chain.h"
 #include "nr/actor.h"
 #include "nr/client.h"
+
+namespace tpnr::dyn {
+class DynClientActor;
+}
 
 namespace tpnr::audit {
 
@@ -32,6 +38,27 @@ struct AuditTarget {
   std::size_t chunk_count = 0;
   SimTime registered_at = 0;
 };
+
+/// A DYNAMIC object under continuous audit: instead of a fixed signed root,
+/// freshness is pinned to the client's live version chain, and challenges
+/// are the compact aggregated kind (one (σ, μ) pair + one batched Merkle
+/// proof per challenge, independent of chunk size).
+struct DynAuditTarget {
+  std::string txn_id;
+  std::string provider;
+  std::string object_key;
+  std::size_t chunk_size = 0;
+  dyn::TagKey tag_key;  ///< the client/auditor PoR secret for this object
+  /// The client's chain of countersigned version records — the freshness
+  /// reference. Non-owning; must outlive the auditor's interest.
+  const dyn::VersionChain* chain = nullptr;
+  SimTime registered_at = 0;
+};
+
+/// The pending-map chunk index reserved for aggregated challenges (one per
+/// transaction may be in flight; it is not a real chunk index).
+inline constexpr std::uint64_t kAggregateIndex =
+    ~static_cast<std::uint64_t>(0);
 
 struct AuditorOptions {
   SimTime reply_window = 10 * common::kSecond;  ///< header time limit
@@ -73,6 +100,23 @@ class AuditorActor final : public nr::NrActor {
   /// index is out of range, or the same (txn, chunk) is already in flight.
   bool challenge(const std::string& txn_id, std::size_t chunk_index);
 
+  /// Registers a dynamic object from the client's live state (chain and tag
+  /// key pointers stay with the client). Returns false if the client does
+  /// not know the object or its chain is still empty.
+  bool watch_dyn(const dyn::DynClientActor& client,
+                 const std::string& object_key);
+  /// Lower-level registration for callers holding the pieces themselves.
+  bool register_dyn_target(DynAuditTarget target);
+  [[nodiscard]] const std::map<std::string, DynAuditTarget>& dyn_targets()
+      const {
+    return dyn_targets_;
+  }
+
+  /// Issues one aggregated challenge over `count` sampled chunks. Returns
+  /// false on an unknown target, an empty chain, or when an aggregate for
+  /// the transaction is already in flight.
+  bool challenge_aggregate(const std::string& txn_id, std::uint64_t count);
+
   /// Challenges in flight (issued, not yet concluded).
   [[nodiscard]] std::size_t outstanding() const noexcept {
     return pending_.size();
@@ -97,14 +141,20 @@ class AuditorActor final : public nr::NrActor {
   using PendingKey = std::pair<std::string, std::uint64_t>;  // txn, chunk
 
   void send_challenge(const AuditTarget& target, std::uint64_t chunk_index);
+  void send_agg_challenge(const DynAuditTarget& target,
+                          const dyn::AggChallenge& challenge);
   void arm_timeout(const PendingKey& key, std::uint64_t attempt_id);
   void conclude(const PendingKey& key, const Pending& pending,
                 AuditVerdict verdict, std::string detail);
   void handle_chunk_response(const nr::NrMessage& message);
+  void handle_agg_response(const nr::NrMessage& message);
 
   AuditorOptions options_;
   AuditLedger* ledger_;
   std::map<std::string, AuditTarget> targets_;
+  std::map<std::string, DynAuditTarget> dyn_targets_;
+  /// The expanded challenge a retry must repeat verbatim, by txn id.
+  std::map<std::string, dyn::AggChallenge> agg_inflight_;
   std::map<PendingKey, Pending> pending_;
   std::uint64_t next_attempt_id_ = 1;
   Counters counters_;

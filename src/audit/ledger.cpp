@@ -17,6 +17,10 @@ std::string audit_verdict_name(AuditVerdict verdict) {
       return "malformed";
     case AuditVerdict::kNoResponse:
       return "no-response";
+    case AuditVerdict::kStaleVersion:
+      return "stale-version";
+    case AuditVerdict::kRollback:
+      return "rollback";
   }
   return "unknown";
 }
@@ -59,7 +63,7 @@ AuditEntry AuditEntry::decode_full(BytesView data) {
   entry.chunk_index = b.u64();
   const std::uint8_t verdict = b.u8();
   if (verdict < static_cast<std::uint8_t>(AuditVerdict::kVerified) ||
-      verdict > static_cast<std::uint8_t>(AuditVerdict::kNoResponse)) {
+      verdict > static_cast<std::uint8_t>(AuditVerdict::kRollback)) {
     throw common::SerialError("AuditEntry: unknown verdict");
   }
   entry.verdict = static_cast<AuditVerdict>(verdict);

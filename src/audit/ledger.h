@@ -30,6 +30,10 @@ enum class AuditVerdict : std::uint8_t {
   kBadEvidence = 3,  ///< response evidence failed (hash or signatures)
   kMalformed = 4,    ///< undecodable response payload
   kNoResponse = 5,   ///< provider silent past timeout (and retries)
+  // Dynamic-data verdicts (aggregate challenge mode, src/dyn/): the version
+  // chain exposes freshness failures the static root check cannot.
+  kStaleVersion = 6, ///< provider answered for an older version than the head
+  kRollback = 7,     ///< claims the head version but serves an older root
 };
 
 std::string audit_verdict_name(AuditVerdict verdict);

@@ -50,6 +50,12 @@ AuditReport build_report(const AuditLedger& ledger,
       case AuditVerdict::kNoResponse:
         ++report.no_responses;
         break;
+      case AuditVerdict::kStaleVersion:
+        ++report.stale_versions;
+        break;
+      case AuditVerdict::kRollback:
+        ++report.rollbacks;
+        break;
     }
   }
 

@@ -57,6 +57,20 @@ void AuditScheduler::tick() {
       }
     }
   }
+  if (config_.mode != ChallengeMode::kAggregate) return;
+  // One aggregated challenge per dynamic target per round — constant-size
+  // responses make a per-round cadence cheap regardless of object size.
+  for (const auto& [txn_id, target] : auditor_->dyn_targets()) {
+    if (auditor_->outstanding() >= config_.max_outstanding) {
+      ++suppressed_;
+      continue;
+    }
+    if (auditor_->challenge_aggregate(txn_id, config_.aggregate_count)) {
+      ++issued_;
+    } else {
+      ++suppressed_;  // an aggregate for this txn is still in flight
+    }
+  }
 }
 
 }  // namespace tpnr::audit

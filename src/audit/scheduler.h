@@ -16,6 +16,14 @@
 
 namespace tpnr::audit {
 
+/// How the scheduler challenges DYNAMIC targets. Static (store-once)
+/// targets always get per-chunk challenges; dynamic targets are audited
+/// only in aggregate mode (their freshness lives in the version chain).
+enum class ChallengeMode : std::uint8_t {
+  kLegacyChunks = 1,  ///< per-chunk challenges for static targets only
+  kAggregate = 2,     ///< plus one aggregated challenge per dyn target/round
+};
+
 struct SchedulerConfig {
   /// Time between audit rounds.
   SimTime period = common::kSecond;
@@ -31,6 +39,10 @@ struct SchedulerConfig {
   /// Stop after this many rounds (0 = run until stop()). Bounded runs let
   /// Network::run() drain to idle — tests and benches set this.
   std::uint64_t max_rounds = 0;
+  /// Dynamic-target handling (see ChallengeMode).
+  ChallengeMode mode = ChallengeMode::kLegacyChunks;
+  /// Chunks sampled per aggregated challenge (kAggregate mode).
+  std::uint64_t aggregate_count = 64;
 };
 
 class AuditScheduler {

@@ -1,0 +1,123 @@
+#include "dyn/dispute.h"
+
+#include "dyn/dyn_merkle.h"
+
+namespace tpnr::dyn {
+
+std::string dyn_ruling_name(DynRulingKind kind) {
+  switch (kind) {
+    case DynRulingKind::kChainIntact:
+      return "chain-intact";
+    case DynRulingKind::kProviderStale:
+      return "provider-stale";
+    case DynRulingKind::kProviderRollback:
+      return "provider-rollback";
+    case DynRulingKind::kProviderFault:
+      return "provider-fault";
+    case DynRulingKind::kClientBound:
+      return "client-bound";
+    case DynRulingKind::kClientUpheld:
+      return "client-upheld";
+    case DynRulingKind::kInconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+DynRuling resolve_dyn_dispute(const DynDisputeCase& dispute) {
+  DynRuling ruling;
+  ruling.walk =
+      walk_chain(dispute.chain, dispute.client_key, dispute.provider_key);
+
+  if (ruling.walk.status == ChainStatus::kEmpty) {
+    ruling.kind = DynRulingKind::kInconclusive;
+    ruling.rationale = "no version records presented";
+    return ruling;
+  }
+  if (ruling.walk.status != ChainStatus::kValid) {
+    // The provider commits records; presenting a chain that fails to verify
+    // is its fault — including a record the client never signed, which is
+    // exactly the evidence a falsely-accused client needs.
+    ruling.kind = DynRulingKind::kProviderFault;
+    ruling.rationale = "chain walk failed at version " +
+                       std::to_string(ruling.walk.at_version) + ": " +
+                       ruling.walk.detail;
+    return ruling;
+  }
+
+  // Rebuild head state from the (now verified) chain.
+  VersionChain chain;
+  for (const auto& rec : dispute.chain) {
+    std::string why;
+    if (!chain.append(rec, &why)) {
+      ruling.kind = DynRulingKind::kProviderFault;  // unreachable after walk
+      ruling.rationale = why;
+      return ruling;
+    }
+  }
+
+  // Row: "client repudiates an update".
+  if (dispute.repudiated_version.has_value()) {
+    const std::uint64_t v = *dispute.repudiated_version;
+    if (v == 0 || v > chain.head_version()) {
+      ruling.kind = DynRulingKind::kClientUpheld;
+      ruling.rationale = "no countersigned record exists for version " +
+                         std::to_string(v) + "; the client is not bound";
+      return ruling;
+    }
+    // walk_chain verified every client signature, so the record binds.
+    const auto& rec = chain.records()[v - 1].record;
+    ruling.kind = DynRulingKind::kClientBound;
+    ruling.rationale = "version " + std::to_string(v) + " (" +
+                       mutate_op_name(rec.op) +
+                       ") carries the client's valid signature; "
+                       "repudiation fails";
+    return ruling;
+  }
+
+  // Rows: freshness/integrity of what the provider serves.
+  if (!dispute.served_version.has_value() || !dispute.served_root.has_value()) {
+    ruling.kind = DynRulingKind::kChainIntact;
+    ruling.rationale = "chain verifies; no serving claim to examine";
+    return ruling;
+  }
+  const std::uint64_t served_version = *dispute.served_version;
+  const BytesView served_root(*dispute.served_root);
+
+  if (served_version == chain.head_version() &&
+      common::constant_time_equal(served_root, chain.head_root())) {
+    ruling.kind = DynRulingKind::kChainIntact;
+    ruling.rationale = "provider serves the chain head (version " +
+                       std::to_string(served_version) + ")";
+    return ruling;
+  }
+
+  const auto owner = chain.version_of_root(served_root);
+  if (owner.has_value() && *owner == served_version &&
+      served_version < chain.head_version()) {
+    // Row: "provider served stale version" — an honest label on an old
+    // snapshot; the countersigned head proves it committed something newer.
+    ruling.kind = DynRulingKind::kProviderStale;
+    ruling.rationale =
+        "provider serves version " + std::to_string(served_version) +
+        " but countersigned the chain through version " +
+        std::to_string(chain.head_version());
+    return ruling;
+  }
+  if (owner.has_value() && *owner < chain.head_version()) {
+    // Claims currency, serves history: a silent revert.
+    ruling.kind = DynRulingKind::kProviderRollback;
+    ruling.rationale = "served root belongs to version " +
+                       std::to_string(*owner) +
+                       " while the provider claims version " +
+                       std::to_string(served_version) + " (head " +
+                       std::to_string(chain.head_version()) + ")";
+    return ruling;
+  }
+  ruling.kind = DynRulingKind::kProviderFault;
+  ruling.rationale =
+      "served root matches no committed version of the chain";
+  return ruling;
+}
+
+}  // namespace tpnr::dyn

@@ -1,0 +1,68 @@
+// TTP dispute resolution for dynamic objects — the §2.4-style decision
+// table extended with the two rows the versioned chain makes decidable:
+// "provider served a stale version" and "client repudiates an update".
+//
+// Pure evidence evaluation over a presented chain plus the provider's
+// currently-served (version, root) claim, mirroring nr::Arbitrator: not a
+// network actor, deterministic, same case → same ruling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "dyn/version_chain.h"
+
+namespace tpnr::dyn {
+
+enum class DynRulingKind : std::uint8_t {
+  kChainIntact = 1,      ///< chain valid, provider serves the head version
+  kProviderStale = 2,    ///< provider honestly labels an OLD version as current
+  kProviderRollback = 3, ///< provider claims head version but serves an older root
+  kProviderFault = 4,    ///< broken countersignature / link, or unrecognized root
+  kClientBound = 5,      ///< repudiated update carries the client's valid signature
+  kClientUpheld = 6,     ///< no countersigned record for the repudiated version
+  kInconclusive = 7,
+};
+std::string dyn_ruling_name(DynRulingKind kind);
+
+/// Everything laid before the TTP for one dynamic-object dispute.
+struct DynDisputeCase {
+  std::string object_key;
+  crypto::RsaPublicKey client_key;
+  crypto::RsaPublicKey provider_key;
+
+  /// The version chain as presented (normally by the provider, who commits
+  /// the records; the client may counter-present a longer chain).
+  std::vector<SignedVersionRecord> chain;
+
+  /// What the provider currently serves, if the dispute is about freshness
+  /// or integrity (both nullopt for a pure repudiation dispute).
+  std::optional<std::uint64_t> served_version;
+  std::optional<Bytes> served_root;
+
+  /// Set when the client denies having authorized this version's mutation.
+  std::optional<std::uint64_t> repudiated_version;
+};
+
+struct DynRuling {
+  DynRulingKind kind = DynRulingKind::kInconclusive;
+  ChainWalkResult walk;  ///< the underlying chain-walk outcome
+  std::string rationale;
+};
+
+/// Walks the chain, then applies the decision table:
+///
+///   chain walk fails                          → kProviderFault (the committer
+///                                               presented invalid records)
+///   repudiated version has a valid client sig → kClientBound
+///   repudiated version beyond the chain head  → kClientUpheld
+///   served (version, root) == chain head      → kChainIntact
+///   served root matches served OLD version    → kProviderStale
+///   claims head version, root is an old one   → kProviderRollback
+///   served root matches no committed version  → kProviderFault
+[[nodiscard]] DynRuling resolve_dyn_dispute(const DynDisputeCase& dispute);
+
+}  // namespace tpnr::dyn

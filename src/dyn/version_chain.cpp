@@ -1,0 +1,272 @@
+#include "dyn/version_chain.h"
+
+#include "common/serial.h"
+#include "crypto/hash.h"
+#include "dyn/dyn_merkle.h"
+#include "pki/identity.h"
+
+namespace tpnr::dyn {
+
+std::string mutate_op_name(MutateOp op) {
+  switch (op) {
+    case MutateOp::kStore:
+      return "store";
+    case MutateOp::kUpdate:
+      return "update";
+    case MutateOp::kInsert:
+      return "insert";
+    case MutateOp::kAppend:
+      return "append";
+    case MutateOp::kErase:
+      return "erase";
+  }
+  return "?";
+}
+
+Bytes VersionRecord::encode() const {
+  common::BinaryWriter w;
+  w.str("tpnr.dyn.version.v1");  // domain separation from other signed blobs
+  w.str(object_key);
+  w.u64(version);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(chunk_index);
+  w.u64(chunk_count);
+  w.bytes(old_root);
+  w.bytes(new_root);
+  w.u64(chunk_tag);
+  w.bytes(prev_record_hash);
+  return w.take();
+}
+
+VersionRecord VersionRecord::decode(BytesView data) {
+  common::BinaryReader r(data);
+  if (r.str() != "tpnr.dyn.version.v1") {
+    throw common::SerialError("VersionRecord: bad magic");
+  }
+  VersionRecord out;
+  out.object_key = r.str();
+  out.version = r.u64();
+  const std::uint8_t op = r.u8();
+  if (op < 1 || op > 5) throw common::SerialError("VersionRecord: bad op");
+  out.op = static_cast<MutateOp>(op);
+  out.chunk_index = r.u64();
+  out.chunk_count = r.u64();
+  out.old_root = r.bytes();
+  out.new_root = r.bytes();
+  out.chunk_tag = r.u64();
+  out.prev_record_hash = r.bytes();
+  r.expect_done();
+  return out;
+}
+
+Bytes VersionRecord::hash() const { return crypto::sha256(encode()); }
+
+const Bytes& VersionRecord::genesis_link() {
+  static const Bytes zeros(32, 0);
+  return zeros;
+}
+
+Bytes SignedVersionRecord::encode() const {
+  common::BinaryWriter w;
+  w.bytes(record.encode());
+  w.bytes(client_sig);
+  w.bytes(provider_sig);
+  return w.take();
+}
+
+SignedVersionRecord SignedVersionRecord::decode(BytesView data) {
+  common::BinaryReader r(data);
+  SignedVersionRecord out;
+  out.record = VersionRecord::decode(r.bytes());
+  out.client_sig = r.bytes();
+  out.provider_sig = r.bytes();
+  r.expect_done();
+  return out;
+}
+
+bool SignedVersionRecord::verify_client(
+    const crypto::RsaPublicKey& client) const {
+  return pki::Identity::verify(client, record.encode(), client_sig);
+}
+
+bool SignedVersionRecord::verify_provider(
+    const crypto::RsaPublicKey& provider) const {
+  const Bytes countersigned =
+      common::concat({BytesView(record.encode()), BytesView(client_sig)});
+  return pki::Identity::verify(provider, countersigned, provider_sig);
+}
+
+bool SignedVersionRecord::verify(const crypto::RsaPublicKey& client,
+                                 const crypto::RsaPublicKey& provider) const {
+  return verify_client(client) && verify_provider(provider);
+}
+
+namespace {
+
+bool fail(std::string* why, std::string message) {
+  if (why != nullptr) *why = std::move(message);
+  return false;
+}
+
+/// Structural continuity of `rec` against the current head. Shared by
+/// VersionChain::append and walk_chain so both enforce the same rules.
+bool extends_head(const VersionRecord& rec, std::uint64_t head_version,
+                  BytesView head_root, std::uint64_t head_chunk_count,
+                  BytesView head_hash, std::string* why) {
+  if (rec.version != head_version + 1) {
+    return fail(why, "version " + std::to_string(rec.version) +
+                         " does not follow " + std::to_string(head_version));
+  }
+  if ((rec.op == MutateOp::kStore) != (rec.version == 1)) {
+    return fail(why, "store op must be (exactly) the first record");
+  }
+  if (!common::constant_time_equal(rec.old_root, head_root)) {
+    return fail(why, "old_root does not match chain head root");
+  }
+  if (!common::constant_time_equal(rec.prev_record_hash, head_hash)) {
+    return fail(why, "prev_record_hash does not match chain head");
+  }
+  std::uint64_t expect_count = head_chunk_count;
+  switch (rec.op) {
+    case MutateOp::kStore:
+      expect_count = rec.chunk_count;  // free choice, but must be non-empty
+      if (rec.chunk_count == 0) return fail(why, "store of zero chunks");
+      break;
+    case MutateOp::kUpdate:
+      break;  // count unchanged
+    case MutateOp::kInsert:
+    case MutateOp::kAppend:
+      expect_count = head_chunk_count + 1;
+      break;
+    case MutateOp::kErase:
+      if (head_chunk_count == 0) return fail(why, "erase on empty object");
+      expect_count = head_chunk_count - 1;
+      break;
+  }
+  if (rec.chunk_count != expect_count) {
+    return fail(why, "chunk_count inconsistent with op");
+  }
+  if (rec.op == MutateOp::kAppend && rec.chunk_index != head_chunk_count) {
+    return fail(why, "append index must equal previous chunk_count");
+  }
+  if ((rec.op == MutateOp::kUpdate || rec.op == MutateOp::kErase) &&
+      rec.chunk_index >= head_chunk_count) {
+    return fail(why, "chunk_index out of range");
+  }
+  if (rec.op == MutateOp::kInsert && rec.chunk_index > head_chunk_count) {
+    return fail(why, "insert index out of range");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool VersionChain::append(SignedVersionRecord rec, std::string* why) {
+  if (!records_.empty() &&
+      rec.record.object_key != records_.front().record.object_key) {
+    return fail(why, "record for a different object");
+  }
+  if (!extends_head(rec.record, head_version(), head_root(),
+                    head_chunk_count(), head_hash(), why)) {
+    return false;
+  }
+  records_.push_back(std::move(rec));
+  return true;
+}
+
+std::uint64_t VersionChain::head_version() const noexcept {
+  return records_.empty() ? 0 : records_.back().record.version;
+}
+
+const Bytes& VersionChain::head_root() const {
+  return records_.empty() ? DynMerkleTree::empty_root()
+                          : records_.back().record.new_root;
+}
+
+std::uint64_t VersionChain::head_chunk_count() const noexcept {
+  return records_.empty() ? 0 : records_.back().record.chunk_count;
+}
+
+Bytes VersionChain::head_hash() const {
+  return records_.empty() ? VersionRecord::genesis_link()
+                          : records_.back().record.hash();
+}
+
+std::optional<std::uint64_t> VersionChain::version_of_root(
+    BytesView root) const {
+  // Newest first: after an update that restores earlier bytes, the HIGHEST
+  // version owning this root is the honest interpretation.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (common::constant_time_equal(it->record.new_root, root)) {
+      return it->record.version;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string chain_status_name(ChainStatus status) {
+  switch (status) {
+    case ChainStatus::kValid:
+      return "valid";
+    case ChainStatus::kEmpty:
+      return "empty";
+    case ChainStatus::kBrokenLink:
+      return "broken-link";
+    case ChainStatus::kBadClientSig:
+      return "bad-client-sig";
+    case ChainStatus::kBadProviderSig:
+      return "bad-provider-sig";
+  }
+  return "?";
+}
+
+ChainWalkResult walk_chain(std::span<const SignedVersionRecord> records,
+                           const crypto::RsaPublicKey& client_key,
+                           const crypto::RsaPublicKey& provider_key) {
+  ChainWalkResult result;
+  if (records.empty()) return result;
+
+  std::uint64_t head_version = 0;
+  Bytes head_root = DynMerkleTree::empty_root();
+  std::uint64_t head_count = 0;
+  Bytes head_hash = VersionRecord::genesis_link();
+  const std::string& object = records.front().record.object_key;
+
+  for (const SignedVersionRecord& signed_rec : records) {
+    const VersionRecord& rec = signed_rec.record;
+    result.at_version = rec.version;
+    std::string why;
+    if (rec.object_key != object) {
+      result.status = ChainStatus::kBrokenLink;
+      result.detail = "record for a different object";
+      return result;
+    }
+    if (!extends_head(rec, head_version, head_root, head_count, head_hash,
+                      &why)) {
+      result.status = ChainStatus::kBrokenLink;
+      result.detail = std::move(why);
+      return result;
+    }
+    if (!signed_rec.verify_client(client_key)) {
+      result.status = ChainStatus::kBadClientSig;
+      result.detail = "client signature fails on " + mutate_op_name(rec.op);
+      return result;
+    }
+    if (!signed_rec.verify_provider(provider_key)) {
+      result.status = ChainStatus::kBadProviderSig;
+      result.detail =
+          "provider countersignature fails on " + mutate_op_name(rec.op);
+      return result;
+    }
+    head_version = rec.version;
+    head_root = rec.new_root;
+    head_count = rec.chunk_count;
+    head_hash = rec.hash();
+  }
+  result.status = ChainStatus::kValid;
+  result.at_version = head_version;
+  result.detail = "chain intact through version " + std::to_string(head_version);
+  return result;
+}
+
+}  // namespace tpnr::dyn

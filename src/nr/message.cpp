@@ -35,6 +35,20 @@ std::string msg_type_name(MsgType type) {
       return "resolve-response";
     case MsgType::kResolveVerdict:
       return "resolve-verdict";
+    case MsgType::kDynStoreRequest:
+      return "dyn-store-request";
+    case MsgType::kDynStoreReceipt:
+      return "dyn-store-receipt";
+    case MsgType::kMutateRequest:
+      return "mutate-request";
+    case MsgType::kMutateReceipt:
+      return "mutate-receipt";
+    case MsgType::kMutateError:
+      return "mutate-error";
+    case MsgType::kAggChallenge:
+      return "agg-challenge";
+    case MsgType::kAggResponse:
+      return "agg-response";
   }
   return "unknown";
 }

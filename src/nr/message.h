@@ -42,6 +42,15 @@ enum class MsgType : std::uint8_t {
   kResolveQuery = 21,     ///< TTP -> respondent: resolve query + timestamp
   kResolveResponse = 22,  ///< respondent -> TTP: NRR/NRO + chosen action
   kResolveVerdict = 23,   ///< TTP -> initiator: outcome (incl. "no response")
+
+  // Dynamic-data extension (src/dyn/): versioned mutations + compact audits.
+  kDynStoreRequest = 30,  ///< client -> provider: chunks + tags + version rec
+  kDynStoreReceipt = 31,  ///< provider -> client: countersigned version rec
+  kMutateRequest = 32,    ///< client -> provider: one chunk op + version rec
+  kMutateReceipt = 33,    ///< provider -> client: countersigned version rec
+  kMutateError = 34,      ///< provider -> client: rejected (bad base version)
+  kAggChallenge = 35,     ///< auditor -> provider: (seed, count) PoR challenge
+  kAggResponse = 36,      ///< provider -> auditor: (σ, μ, batch proof)
 };
 
 std::string msg_type_name(MsgType type);

@@ -123,8 +123,11 @@ void ProviderActor::handle_store(const NrMessage& message) {
       return;
     }
   } else {
-    const auto tree = merkle_cache_.get_or_build(
-        proof_cache_key(object_key, false), stored, chunk_size);
+    // Primed under the version put() is about to assign, so later proof
+    // requests (which pass the record's version) hit this entry.
+    const auto tree =
+        merkle_cache_.get_or_build(proof_cache_key(object_key, false), stored,
+                                   chunk_size, store_.version_of(object_key) + 1);
     if (tree->root() != h.data_hash) {
       merkle_cache_.invalidate(proof_cache_key(object_key, false));
       ++stats_.rejected_bad_hash;
@@ -314,9 +317,12 @@ void ProviderActor::handle_chunk_request(const NrMessage& message) {
   const bool equivocating = behavior_.equivocate_chunk_proofs;
   const common::Payload& proof_source =
       equivocating ? it->second.original_data : record->data;
+  // Keyed on (object, version): a tree primed before a mutation can never
+  // serve a proof for the successor version, even if a buffer were reused.
+  // The equivocation snapshot is pinned to the version it was stored at.
   const auto tree = merkle_cache_.get_or_build(
       proof_cache_key(it->second.object_key, equivocating), proof_source,
-      it->second.chunk_size);
+      it->second.chunk_size, equivocating ? 1 : record->version);
   if (chunk_index >= tree->leaf_count()) return;
   const std::size_t offset = chunk_index * it->second.chunk_size;
   if (offset >= record->data.size()) return;

@@ -24,6 +24,7 @@ enum class RecordType : std::uint16_t {
   kEvidence = 2,     ///< persist::EvidenceRecord (NRO/NRR/abort receipts)
   kObjectPut = 3,    ///< persist::ObjectMeta — one accepted object version
   kObjectRemove = 4, ///< str object key
+  kObjectMutate = 5, ///< persist::MutationRecord — one chunk-level mutation
   kOpaque = 100,     ///< free-form payload (tests, experiments)
 };
 

@@ -96,4 +96,53 @@ struct ObjectMeta {
   }
 };
 
+/// One chunk-level mutation of a dynamic object — what the ObjectStore
+/// journals per mutate(). `op` carries the dyn::MutateOp value as a raw
+/// byte so this header stays linkable without tpnr_dyn; the roots tie the
+/// WAL entry to the version chain's (old_root, new_root) transition.
+struct MutationRecord {
+  std::string key;
+  std::uint64_t version = 0;  ///< version AFTER the mutation
+  std::uint8_t op = 0;        ///< dyn::MutateOp value
+  std::uint64_t chunk_index = 0;
+  std::uint64_t chunk_count = 0;  ///< chunk count AFTER the mutation
+  common::Bytes old_root;
+  common::Bytes new_root;
+  common::SimTime stored_at = 0;
+  std::uint64_t size = 0;  ///< object bytes after the mutation
+  common::Bytes sha256;    ///< content hash after the mutation
+
+  [[nodiscard]] common::Bytes encode() const {
+    common::BinaryWriter w;
+    w.str(key);
+    w.u64(version);
+    w.u8(op);
+    w.u64(chunk_index);
+    w.u64(chunk_count);
+    w.bytes(old_root);
+    w.bytes(new_root);
+    w.i64(stored_at);
+    w.u64(size);
+    w.bytes(sha256);
+    return w.take();
+  }
+
+  static MutationRecord decode(common::BytesView data) {
+    common::BinaryReader r(data);
+    MutationRecord record;
+    record.key = r.str();
+    record.version = r.u64();
+    record.op = r.u8();
+    record.chunk_index = r.u64();
+    record.chunk_count = r.u64();
+    record.old_root = r.bytes();
+    record.new_root = r.bytes();
+    record.stored_at = r.i64();
+    record.size = r.u64();
+    record.sha256 = r.bytes();
+    r.expect_done();
+    return record;
+  }
+};
+
 }  // namespace tpnr::persist

@@ -63,6 +63,20 @@ RecoveredState Recovery::replay(const DurableImage& image,
           state.objects[std::move(key)] = std::move(meta);
           break;
         }
+        case RecordType::kObjectMutate: {
+          // Chunk-level mutation: roll the object's meta forward to the
+          // post-mutation facts. The key is created if the base put was
+          // lost (degraded snapshot) so the version watermark survives.
+          const MutationRecord mutation =
+              MutationRecord::decode(record.payload);
+          ObjectMeta& meta = state.objects[mutation.key];
+          meta.key = mutation.key;
+          meta.version = mutation.version;
+          meta.stored_at = mutation.stored_at;
+          meta.size = mutation.size;
+          meta.sha256 = mutation.sha256;
+          break;
+        }
         case RecordType::kObjectRemove: {
           common::BinaryReader r(record.payload);
           const std::string key = r.str();

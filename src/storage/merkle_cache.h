@@ -30,13 +30,15 @@ class MerkleCache {
   explicit MerkleCache(std::size_t capacity = 64) : capacity_(capacity) {}
 
   /// The tree over `data` with `chunk_size` chunking. Hit: `data` aliases
-  /// the cached entry's buffer and the chunking matches. Miss: builds,
-  /// caches under `key` (replacing any previous entry), returns. With
-  /// crypto::accel().merkle_cache off every call builds fresh and nothing
-  /// is cached.
+  /// the cached entry's buffer, the chunking matches AND the object version
+  /// matches — entries are keyed on (object, version), so a tree primed
+  /// before a mutation can never serve a post-mutation proof even if a
+  /// buffer is recycled. Miss: builds, caches under `key` (replacing any
+  /// previous entry), returns. With crypto::accel().merkle_cache off every
+  /// call builds fresh and nothing is cached.
   std::shared_ptr<const crypto::MerkleTree> get_or_build(
       const std::string& key, const common::Payload& data,
-      std::size_t chunk_size);
+      std::size_t chunk_size, std::uint64_t version = 0);
 
   /// Drops `key`'s entry (explicit invalidation on tamper/abort; alias
   /// validation already protects correctness, this frees the pinned buffer).
@@ -52,6 +54,7 @@ class MerkleCache {
   struct Entry {
     common::Payload source;  ///< pins the buffer the tree was built over
     std::size_t chunk_size = 0;
+    std::uint64_t version = 0;  ///< object version the tree was built at
     std::shared_ptr<const crypto::MerkleTree> tree;
   };
 

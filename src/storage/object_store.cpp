@@ -23,6 +23,8 @@ std::string fault_kind_name(FaultKind kind) {
       return "loss";
     case FaultKind::kAdminTamper:
       return "admin-tamper";
+    case FaultKind::kRollbackAttack:
+      return "rollback-attack";
     case FaultKind::kCrash:
       return "crash";
     case FaultKind::kTornWrite:
@@ -61,6 +63,62 @@ std::uint64_t ObjectStore::put(const std::string& key, common::Payload data,
     journal_->record(persist::RecordType::kObjectPut, meta.encode());
   }
   return record.version;
+}
+
+std::uint64_t ObjectStore::mutate(const std::string& key, common::Payload data,
+                                  BytesView client_md5, SimTime now,
+                                  const MutationInfo& info) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return 0;
+  ObjectRecord& record = it->second;
+  if (stale_mutations_armed_ > 0) {
+    // kStaleVersion-on-mutation: acknowledge the bump the caller will put
+    // in its receipt, but commit nothing — reads keep serving the old
+    // version under its old number.
+    --stale_mutations_armed_;
+    log_fault(key, FaultKind::kStaleVersion, record.version);
+    return record.version + 1;
+  }
+  history_[key].push_back(record.data);  // share, not a byte copy
+  record.data = std::move(data);
+  record.stored_md5 = Bytes(client_md5.begin(), client_md5.end());
+  record.stored_at = now;
+  ++record.version;
+  backend_->put(key, record.data);
+  if (journal_ != nullptr) {
+    persist::MutationRecord mutation;
+    mutation.key = key;
+    mutation.version = record.version;
+    mutation.op = info.op;
+    mutation.chunk_index = info.chunk_index;
+    mutation.chunk_count = info.chunk_count;
+    mutation.old_root = info.old_root;
+    mutation.new_root = info.new_root;
+    mutation.stored_at = now;
+    mutation.size = record.data.size();
+    mutation.sha256 = crypto::sha256(record.data);
+    journal_->record(persist::RecordType::kObjectMutate, mutation.encode());
+  }
+  return record.version;
+}
+
+std::uint64_t ObjectStore::version_of(const std::string& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second.version;
+}
+
+bool ObjectStore::rollback_attack(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const auto hist = history_.find(key);
+  if (hist == history_.end() || hist->second.empty()) return false;
+  // Version number deliberately untouched: the provider keeps CLAIMING the
+  // current version while serving yesterday's bytes — the revert only the
+  // version chain's root comparison can expose.
+  it->second.data = hist->second.back();
+  backend_->put(key, it->second.data);
+  log_fault(key, FaultKind::kRollbackAttack, it->second.version);
+  return true;
 }
 
 std::optional<ObjectRecord> ObjectStore::get(const std::string& key) {
@@ -111,8 +169,9 @@ void ObjectStore::apply_fault(const std::string& key, ObjectRecord& record) {
   log_fault(key, policy_.kind, record.version);
   switch (policy_.kind) {
     case FaultKind::kNone:
-    case FaultKind::kAdminTamper:  // never produced by a policy
-    case FaultKind::kCrash:        // logged by the persistence harness
+    case FaultKind::kAdminTamper:     // never produced by a policy
+    case FaultKind::kRollbackAttack:  // explicit rollback_attack() only
+    case FaultKind::kCrash:           // logged by the persistence harness
     case FaultKind::kTornWrite:
       break;
     case FaultKind::kBitFlip: {

@@ -40,6 +40,8 @@ enum class FaultKind {
   kStaleVersion,   ///< reads serve a previous version (rollback)
   kLoss,           ///< object disappears
   kAdminTamper,    ///< explicit tamper() by "the administrator" (Eve)
+  kRollbackAttack, ///< silent revert to an older committed version, version
+                   ///< number left claiming currency (rollback_attack())
   // Persistence faults (src/persist/): logged via log_external_fault by the
   // crash/recovery harness so durability losses land in the same per-key
   // log the audit report reads.
@@ -65,6 +67,17 @@ struct FaultPolicy {
   double probability = 0.0;
 };
 
+/// Descriptor of one chunk-level mutation, journalled with the new version
+/// (persist::MutationRecord). `op` carries the dyn::MutateOp value as a raw
+/// byte so storage stays independent of tpnr_dyn.
+struct MutationInfo {
+  std::uint8_t op = 0;
+  std::uint64_t chunk_index = 0;
+  std::uint64_t chunk_count = 0;  ///< chunk count AFTER the mutation
+  Bytes old_root;
+  Bytes new_root;
+};
+
 class ObjectStore {
  public:
   explicit ObjectStore(std::unique_ptr<StorageBackend> backend,
@@ -74,6 +87,32 @@ class ObjectStore {
   /// behaviour) and returns the assigned version.
   std::uint64_t put(const std::string& key, common::Payload data,
                     BytesView client_md5, SimTime now);
+
+  /// In-place mutation of an EXISTING object: archives the previous payload,
+  /// bumps the version and journals a persist::MutationRecord. Returns the
+  /// acknowledged version, or 0 if the key does not exist.
+  ///
+  /// If arm_stale_mutations() is pending, the mutation is ACKNOWLEDGED (the
+  /// returned version is the bump the caller expects) but never applied —
+  /// the kStaleVersion-on-mutation fault: reads keep serving the old version
+  /// under its old version number, which the version chain exposes.
+  std::uint64_t mutate(const std::string& key, common::Payload data,
+                       BytesView client_md5, SimTime now,
+                       const MutationInfo& info);
+
+  /// Current committed version of `key` (0 if absent).
+  [[nodiscard]] std::uint64_t version_of(const std::string& key) const;
+
+  /// The next `count` mutate() calls are acknowledged but silently dropped
+  /// (kStaleVersion logged per drop).
+  void arm_stale_mutations(std::uint64_t count = 1) noexcept {
+    stale_mutations_armed_ += count;
+  }
+
+  /// The rollback attack: silently restores the newest ARCHIVED payload as
+  /// the current bytes while leaving the version number claiming currency.
+  /// Returns false if the key has no archived history. Logs kRollbackAttack.
+  bool rollback_attack(const std::string& key);
 
   /// Plain read (fault injection applies).
   [[nodiscard]] std::optional<ObjectRecord> get(const std::string& key);
@@ -134,6 +173,7 @@ class ObjectStore {
   FaultPolicy policy_;
   crypto::Drbg fault_rng_;
   std::uint64_t faults_injected_ = 0;
+  std::uint64_t stale_mutations_armed_ = 0;
   const common::SimClock* clock_ = nullptr;
   std::vector<FaultEvent> fault_log_;
   persist::Journal* journal_ = nullptr;

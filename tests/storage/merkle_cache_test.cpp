@@ -100,6 +100,55 @@ TEST(MerkleCacheTest, AdminTamperInObjectStoreIsNeverMasked) {
   EXPECT_NE(tampered_tree->root(), clean_tree->root());
 }
 
+TEST(MerkleCacheTest, VersionKeyingRejectsRecycledBuffers) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  MerkleCache cache;
+  const Payload data(test_bytes(6 * kChunk));
+  const auto v1 = cache.get_or_build("obj", data, kChunk, /*version=*/1);
+  // Same buffer, same chunking — but the object moved on: a tree primed at
+  // version 1 must not answer for version 2 even when a buffer is recycled.
+  const auto v2 = cache.get_or_build("obj", data, kChunk, /*version=*/2);
+  EXPECT_NE(v1.get(), v2.get());
+  EXPECT_EQ(cache.misses(), 2u);
+  // The entry was replaced at version 2; the current version now hits.
+  EXPECT_EQ(cache.get_or_build("obj", data, kChunk, 2).get(), v2.get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(MerkleCacheTest, StoreMutationIsNeverMaskedByTheCache) {
+  if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
+  ObjectStore store(std::make_unique<MemoryBackend>());
+  MerkleCache cache;
+  Bytes content = test_bytes(8 * kChunk);
+  store.put("key", Payload::copy_of(content), Bytes(), 0);
+
+  const auto r1 = store.get("key");
+  ASSERT_TRUE(r1);
+  const auto before =
+      cache.get_or_build("key", r1->data, kChunk, r1->version);
+
+  // A chunk-level mutation commits a new version through the store.
+  Bytes mutated = content;
+  for (std::size_t i = 0; i < kChunk; ++i) mutated[2 * kChunk + i] ^= 0xA5;
+  MutationInfo info;
+  info.op = 2;  // dyn::MutateOp::kUpdate, as a raw byte
+  info.chunk_index = 2;
+  info.chunk_count = 8;
+  ASSERT_EQ(store.mutate("key", Payload::copy_of(mutated), Bytes(), 1, info),
+            2u);
+
+  const auto r2 = store.get("key");
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->version, 2u);
+  const auto after = cache.get_or_build("key", r2->data, kChunk, r2->version);
+  EXPECT_NE(after.get(), before.get())
+      << "cached tree served across a committed mutation";
+  EXPECT_NE(after->root(), before->root());
+  // And the stale (buffer, version) pair can no longer be replayed.
+  EXPECT_NE(cache.get_or_build("key", r1->data, kChunk, r1->version).get(),
+            after.get());
+}
+
 TEST(MerkleCacheTest, InvalidateDropsEntry) {
   if (!crypto::accel().merkle_cache) GTEST_SKIP() << "cache disabled by env";
   MerkleCache cache;
