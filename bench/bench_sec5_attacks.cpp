@@ -1,8 +1,9 @@
-// §5: robustness of the NR protocol under the five classic attacks. The
-// table reports, for every attack, the outcome against the full protocol
-// and against the protocol with that attack's §5 defence disabled — showing
-// both that the attacks are real and that the defences stop them. The
-// benchmarks measure the cost of running each attack scenario end to end.
+// §5: robustness of the NR protocol under the five classic attacks, plus
+// the consistency layer's equivocation (fork) attack. The table reports,
+// for every attack, the outcome against the full protocol and against the
+// protocol with that attack's defence disabled — showing both that the
+// attacks are real and that the defences stop them. The benchmarks measure
+// the cost of running each attack scenario end to end.
 #include <benchmark/benchmark.h>
 
 #include "attacks/attacks.h"
@@ -23,6 +24,7 @@ void print_attack_matrix() {
       {AttackKind::kInterleaving, "signed header binds txn/seq/ids"},
       {AttackKind::kReplay, "single-use nonces + signed header"},
       {AttackKind::kTimeliness, "time-limit field in every message"},
+      {AttackKind::kEquivocation, "client gossip + equivocation proofs"},
   };
   for (const AttackKind kind : attacks::all_attacks()) {
     const auto defended = attacks::run_attack(kind, true, 1);
@@ -72,7 +74,7 @@ void BM_AttackScenario(benchmark::State& state) {
   }
   state.SetLabel(attacks::attack_name(kind) + "/defended");
 }
-BENCHMARK(BM_AttackScenario)->DenseRange(0, 4);
+BENCHMARK(BM_AttackScenario)->DenseRange(0, 5);
 
 void BM_AttackScenarioWeakened(benchmark::State& state) {
   const AttackKind kind =
@@ -83,7 +85,7 @@ void BM_AttackScenarioWeakened(benchmark::State& state) {
   }
   state.SetLabel(attacks::attack_name(kind) + "/weakened");
 }
-BENCHMARK(BM_AttackScenarioWeakened)->DenseRange(0, 4);
+BENCHMARK(BM_AttackScenarioWeakened)->DenseRange(0, 5);
 
 }  // namespace
 

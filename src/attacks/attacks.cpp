@@ -3,6 +3,9 @@
 #include <memory>
 
 #include "common/serial.h"
+#include "consistency/arbitration.h"
+#include "consistency/client.h"
+#include "consistency/provider.h"
 #include "crypto/hash.h"
 #include "net/network.h"
 #include "nr/client.h"
@@ -30,6 +33,8 @@ std::string attack_name_impl(AttackKind kind) {
       return "replay";
     case AttackKind::kTimeliness:
       return "timeliness";
+    case AttackKind::kEquivocation:
+      return "equivocation";
   }
   return "unknown";
 }
@@ -40,7 +45,7 @@ const pki::Identity& pooled_identity(const std::string& name) {
   static const auto* pool = [] {
     auto* identities = new std::map<std::string, pki::Identity>();
     crypto::Drbg rng(std::uint64_t{0xa77acc});
-    for (const char* id : {"alice", "bob", "ttp", "mallory"}) {
+    for (const char* id : {"alice", "bob", "ttp", "mallory", "carol"}) {
       identities->emplace(id, pki::Identity(id, 1024, rng));
     }
     return identities;
@@ -430,6 +435,85 @@ AttackReport run_mitm(bool defended, std::uint64_t seed) {
   return report;
 }
 
+// ----------------------------------------------------------- equivocation --
+
+AttackReport run_equivocation(bool defended, std::uint64_t seed) {
+  AttackReport report;
+  report.kind = AttackKind::kEquivocation;
+  report.defended = defended;
+
+  net::Network network(seed);
+  crypto::Drbg rng(seed ^ 0x5eedf00dull);
+  pki::Identity alice_id = pooled_identity("alice");
+  pki::Identity carol_id = pooled_identity("carol");
+  pki::Identity bob_id = pooled_identity("bob");
+
+  consistency::ConsClientActor alice("alice", network, alice_id, rng);
+  consistency::ConsClientActor carol("carol", network, carol_id, rng);
+  consistency::ConsProviderActor bob("bob", network, bob_id, rng);
+  alice.trust_peer("bob", bob_id.public_key());
+  alice.trust_peer("carol", carol_id.public_key());
+  carol.trust_peer("bob", bob_id.public_key());
+  carol.trust_peer("alice", alice_id.public_key());
+  bob.trust_peer("alice", alice_id.public_key());
+  bob.trust_peer("carol", carol_id.public_key());
+
+  // The shared object: alice creates it, carol joins.
+  const Bytes data = rng.bytes(256);
+  alice.store_shared("bob", "ttp", "obj", data, 64);
+  network.run();
+  carol.open_shared("bob", "ttp", "obj");
+  network.run();
+
+  // THE ATTACK: bob forks "obj" and serves alice branch 0, carol branch 1.
+  // From here every commit either victim receives is perfectly signed and
+  // perfectly consistent — with ITS OWN branch.
+  bob.fork_object("obj", {{"alice", 0}, {"carol", 1}});
+  const Bytes a_chunk = rng.bytes(64);
+  const Bytes c_chunk = rng.bytes(64);
+  alice.update("obj", 0, a_chunk);
+  network.run();
+  carol.update("obj", 0, c_chunk);
+  network.run();
+  // Both saw their op commit at the SAME global position (2) with different
+  // contents; the divergence itself is invisible so far.
+  report.adversary_messages = bob.commits_sent();
+
+  if (defended) {
+    // The defence: out-of-band client↔client gossip on "cons.gossip".
+    alice.add_gossip_peer("carol");
+    carol.add_gossip_peer("alice");
+    alice.gossip_now();
+    carol.gossip_now();
+    network.run();
+  }
+
+  const consistency::EquivocationProof* proof =
+      alice.fork_proof("obj") != nullptr ? alice.fork_proof("obj")
+                                         : carol.fork_proof("obj");
+  bool convicted = false;
+  if (proof != nullptr) {
+    // Close the loop through arbitration: the self-contained proof must
+    // convict the provider with no client testimony.
+    consistency::ForkDisputeCase dispute;
+    dispute.object_key = "obj";
+    dispute.provider_key = bob_id.public_key();
+    dispute.proof = *proof;
+    convicted = consistency::resolve_fork_dispute(dispute).kind ==
+                consistency::ForkRulingKind::kProviderConvicted;
+  }
+  report.attack_succeeded = !convicted;
+  report.victim_stats = alice.stats();
+  report.detail =
+      convicted
+          ? "gossip exposed the fork: " + proof->describe() +
+                " — arbitration convicted the provider"
+          : (defended ? "fork went undetected despite gossip"
+                      : "no gossip channel: both victims saw a perfectly "
+                        "signed, internally consistent history");
+  return report;
+}
+
 }  // namespace
 
 std::string attack_name(AttackKind kind) { return attack_name_impl(kind); }
@@ -437,7 +521,7 @@ std::string attack_name(AttackKind kind) { return attack_name_impl(kind); }
 std::vector<AttackKind> all_attacks() {
   return {AttackKind::kManInTheMiddle, AttackKind::kReflection,
           AttackKind::kInterleaving, AttackKind::kReplay,
-          AttackKind::kTimeliness};
+          AttackKind::kTimeliness,    AttackKind::kEquivocation};
 }
 
 AttackReport run_attack(AttackKind kind, bool defended, std::uint64_t seed) {
@@ -452,6 +536,8 @@ AttackReport run_attack(AttackKind kind, bool defended, std::uint64_t seed) {
       return run_replay(defended, seed);
     case AttackKind::kTimeliness:
       return run_timeliness(defended, seed);
+    case AttackKind::kEquivocation:
+      return run_equivocation(defended, seed);
   }
   throw common::Error("run_attack: unknown kind");
 }

@@ -18,11 +18,12 @@ enum class AttackKind {
   kInterleaving,    ///< §5.3 — evidence spliced across sessions
   kReplay,          ///< §5.4 — recorded messages re-delivered
   kTimeliness,      ///< §5.5 — messages delayed past their deadline
+  kEquivocation,    ///< fork attack — per-client divergent signed histories
 };
 
 std::string attack_name(AttackKind kind);
 
-/// All five, for sweeping.
+/// All six, for sweeping.
 std::vector<AttackKind> all_attacks();
 
 struct AttackReport {

@@ -237,7 +237,75 @@ void AuditorActor::on_message(const nr::NrMessage& message) {
     handle_chunk_response(message);
   } else if (message.header.flag == nr::MsgType::kAggResponse) {
     handle_agg_response(message);
+  } else if (message.header.flag == nr::MsgType::kForkReport) {
+    handle_fork_report(message);
   }
+}
+
+void AuditorActor::handle_fork_report(const nr::NrMessage& message) {
+  const nr::MessageHeader& h = message.header;
+  std::string provider;
+  std::string object_key;
+  std::string txn_id;
+  consistency::EquivocationProof proof;
+  try {
+    common::BinaryReader r(message.payload);
+    provider = r.str();
+    object_key = r.str();
+    txn_id = r.str();
+    const Bytes proof_bytes = r.bytes();
+    r.expect_done();
+    if (h.data_hash != crypto::sha256(proof_bytes)) {
+      ++stats_.rejected_bad_hash;
+      return;
+    }
+    proof = consistency::EquivocationProof::decode(proof_bytes);
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  const crypto::RsaPublicKey* reporter_key = peer_key(h.sender);
+  if (reporter_key == nullptr) return;
+  if (!nr::open_evidence(*identity_, *reporter_key, h, message.evidence)) {
+    ++stats_.rejected_bad_evidence;
+    return;
+  }
+  report_fork(provider, txn_id, object_key, proof, h.sender);
+}
+
+bool AuditorActor::report_fork(const std::string& provider,
+                               const std::string& txn_id,
+                               const std::string& object_key,
+                               const consistency::EquivocationProof& proof,
+                               const std::string& reporter) {
+  const SimTime now = network_->now();
+  const crypto::RsaPublicKey* provider_key = peer_key(provider);
+  std::string why;
+  const bool convicts =
+      provider_key != nullptr && proof.object_key == object_key &&
+      proof.valid(*provider_key, &why);
+  if (!convicts) {
+    // A proof that does not verify proves nothing against anyone; count it
+    // but keep the ledger to facts.
+    ++counters_.fork_reports_rejected;
+    return false;
+  }
+  ++counters_.forks_detected;
+  ++counters_.flagged;
+  AuditEntry entry;
+  entry.challenged_at = now;
+  entry.concluded_at = now;
+  entry.auditor = id();
+  entry.provider = provider;
+  entry.txn_id = txn_id;
+  entry.object_key = object_key;
+  entry.chunk_index = proof.a.view.global_seq;
+  entry.verdict = AuditVerdict::kForkDetected;
+  entry.detail = (reporter.empty() ? std::string("local report")
+                                   : "reported by " + reporter) +
+                 ": " + proof.describe();
+  ledger_->append(std::move(entry));
+  return true;
 }
 
 void AuditorActor::handle_agg_response(const nr::NrMessage& message) {

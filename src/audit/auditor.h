@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "audit/ledger.h"
+#include "consistency/view_history.h"
 #include "dyn/por_tags.h"
 #include "dyn/version_chain.h"
 #include "nr/actor.h"
@@ -75,6 +76,8 @@ class AuditorActor final : public nr::NrActor {
     std::uint64_t verified = 0;
     std::uint64_t flagged = 0;  ///< mismatch + bad evidence + malformed
     std::uint64_t no_responses = 0;
+    std::uint64_t forks_detected = 0;       ///< valid equivocation proofs
+    std::uint64_t fork_reports_rejected = 0;  ///< proofs that did not verify
   };
 
   AuditorActor(std::string id, net::Network& network, pki::Identity& identity,
@@ -117,6 +120,17 @@ class AuditorActor final : public nr::NrActor {
   /// the transaction is already in flight.
   bool challenge_aggregate(const std::string& txn_id, std::uint64_t count);
 
+  /// Verifies a client-submitted EquivocationProof against `provider`'s
+  /// trusted key and — when it holds — records a kForkDetected entry in
+  /// the ledger. The proof is self-contained (two provider-signed
+  /// commitments for one global position), so nothing about the reporting
+  /// client needs to be believed. Returns true iff the proof convicts.
+  /// Also the handler behind inbound kForkReport messages.
+  bool report_fork(const std::string& provider, const std::string& txn_id,
+                   const std::string& object_key,
+                   const consistency::EquivocationProof& proof,
+                   const std::string& reporter = "");
+
   /// Challenges in flight (issued, not yet concluded).
   [[nodiscard]] std::size_t outstanding() const noexcept {
     return pending_.size();
@@ -148,6 +162,7 @@ class AuditorActor final : public nr::NrActor {
                 AuditVerdict verdict, std::string detail);
   void handle_chunk_response(const nr::NrMessage& message);
   void handle_agg_response(const nr::NrMessage& message);
+  void handle_fork_report(const nr::NrMessage& message);
 
   AuditorOptions options_;
   AuditLedger* ledger_;

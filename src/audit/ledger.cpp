@@ -21,6 +21,8 @@ std::string audit_verdict_name(AuditVerdict verdict) {
       return "stale-version";
     case AuditVerdict::kRollback:
       return "rollback";
+    case AuditVerdict::kForkDetected:
+      return "fork-detected";
   }
   return "unknown";
 }
@@ -63,7 +65,7 @@ AuditEntry AuditEntry::decode_full(BytesView data) {
   entry.chunk_index = b.u64();
   const std::uint8_t verdict = b.u8();
   if (verdict < static_cast<std::uint8_t>(AuditVerdict::kVerified) ||
-      verdict > static_cast<std::uint8_t>(AuditVerdict::kRollback)) {
+      verdict > static_cast<std::uint8_t>(AuditVerdict::kForkDetected)) {
     throw common::SerialError("AuditEntry: unknown verdict");
   }
   entry.verdict = static_cast<AuditVerdict>(verdict);

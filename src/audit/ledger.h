@@ -34,6 +34,9 @@ enum class AuditVerdict : std::uint8_t {
   // chain exposes freshness failures the static root check cannot.
   kStaleVersion = 6, ///< provider answered for an older version than the head
   kRollback = 7,     ///< claims the head version but serves an older root
+  // Consistency verdict (src/consistency/): a verified EquivocationProof —
+  // two provider-signed commitments for one global position.
+  kForkDetected = 8, ///< provider equivocated between clients (fork attack)
 };
 
 std::string audit_verdict_name(AuditVerdict verdict);

@@ -1,0 +1,119 @@
+#include "consistency/arbitration.h"
+
+#include <algorithm>
+
+namespace tpnr::consistency {
+
+std::string fork_ruling_name(ForkRulingKind kind) {
+  switch (kind) {
+    case ForkRulingKind::kProviderConvicted: return "provider-convicted";
+    case ForkRulingKind::kClaimRejected: return "claim-rejected";
+    case ForkRulingKind::kViewsConsistent: return "views-consistent";
+    case ForkRulingKind::kEscalate: return "escalate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ForkRuling ruled(ForkRulingKind kind, std::string rationale,
+                 std::optional<EquivocationProof> proof = std::nullopt) {
+  ForkRuling ruling;
+  ruling.kind = kind;
+  ruling.rationale = std::move(rationale);
+  ruling.proof = std::move(proof);
+  return ruling;
+}
+
+}  // namespace
+
+ForkRuling resolve_fork_dispute(const ForkDisputeCase& dispute) {
+  // Row 1/2 — a presented proof decides by itself: valid convicts, invalid
+  // kills the claim (a forged proof must never count as "no evidence" and
+  // fall through to escalation, or forging would be free).
+  if (dispute.proof) {
+    std::string why;
+    if (dispute.proof->object_key != dispute.object_key) {
+      return ruled(ForkRulingKind::kClaimRejected,
+                   "presented proof names a different object");
+    }
+    if (dispute.proof->valid(dispute.provider_key, &why)) {
+      return ruled(ForkRulingKind::kProviderConvicted,
+                   "valid equivocation proof: " + dispute.proof->describe(),
+                   dispute.proof);
+    }
+    return ruled(ForkRulingKind::kClaimRejected,
+                 "presented proof fails verification: " + why);
+  }
+
+  // Row 3 — without a proof the accuser's own view must hold up end to
+  // end; a view with bad links or signatures proves nothing about the
+  // provider and rejects the claim.
+  if (dispute.accuser_view.empty()) {
+    return ruled(ForkRulingKind::kClaimRejected,
+                 "no proof and no accuser view: nothing to decide on");
+  }
+  const ViewWalkResult accuser_walk =
+      walk_view(dispute.accuser_view, dispute.provider_key);
+  if (accuser_walk.status != ViewWalkStatus::kValid) {
+    return ruled(ForkRulingKind::kClaimRejected,
+                 "accuser view fails verification at position " +
+                     std::to_string(accuser_walk.at_seq) + " (" +
+                     view_walk_status_name(accuser_walk.status) + ": " +
+                     accuser_walk.detail + ")");
+  }
+
+  // Row 6 — a valid accuser view ALONE is a stale-gossip claim: real forks
+  // look like this, but so does a victim of packet loss. Escalate.
+  if (dispute.counter_view.empty()) {
+    return ruled(ForkRulingKind::kEscalate,
+                 "accuser view verifies but no counter-view was presented: "
+                 "query the provider before judging");
+  }
+  const ViewWalkResult counter_walk =
+      walk_view(dispute.counter_view, dispute.provider_key);
+  if (counter_walk.status != ViewWalkStatus::kValid) {
+    // The DEFENCE collapsed, not the accusation — but a broken counter-view
+    // still is not a second signed history, so there is nothing to convict
+    // with. Escalate and let the provider be re-queried.
+    return ruled(ForkRulingKind::kEscalate,
+                 "counter-view fails verification at position " +
+                     std::to_string(counter_walk.at_seq) +
+                     "; no second signed history to compare yet");
+  }
+
+  // Rows 4/5 — two valid provider-signed views: compare position by
+  // position. The first divergent position yields a TTP-synthesized
+  // EquivocationProof; full prefix agreement means no fork.
+  const std::size_t overlap =
+      std::min(dispute.accuser_view.size(), dispute.counter_view.size());
+  for (std::size_t i = 0; i < overlap; ++i) {
+    const SignedViewCommitment& a = dispute.accuser_view[i];
+    const SignedViewCommitment& b = dispute.counter_view[i];
+    if (a.view.encode() == b.view.encode()) continue;
+    EquivocationProof proof;
+    proof.object_key = dispute.object_key;
+    proof.a = a;
+    proof.b = b;
+    std::string why;
+    if (proof.valid(dispute.provider_key, &why)) {
+      // Build the rationale before handing the proof over: argument
+      // evaluation order is unspecified, and a moved-from proof would
+      // describe() as empty.
+      std::string rationale = "views diverge at position " +
+                              std::to_string(a.view.global_seq) +
+                              "; synthesized proof: " + proof.describe();
+      return ruled(ForkRulingKind::kProviderConvicted, std::move(rationale),
+                   std::move(proof));
+    }
+    // Both views walked as valid, so a non-proof divergence here can only
+    // be a malformed pairing (e.g. different objects slipped in).
+    return ruled(ForkRulingKind::kClaimRejected,
+                 "divergent positions do not form a proof: " + why);
+  }
+  return ruled(ForkRulingKind::kViewsConsistent,
+               "one view is a verified prefix of the other (" +
+                   std::to_string(overlap) + " shared positions): no fork");
+}
+
+}  // namespace tpnr::consistency

@@ -1,0 +1,71 @@
+// Multi-party TTP arbitration for fork-consistency disputes — the §2.4
+// decision table extended to the case where the two parties disagreeing
+// are CLIENTS and the accused is the provider.
+//
+// The asymmetry the table encodes: an EquivocationProof is self-certifying
+// (two provider signatures over incompatible histories), so it convicts
+// the provider no matter which client presents it or why; every weaker
+// claim — "my peer gossiped me a view that doesn't match mine" — only
+// escalates, because a lying accuser could fabricate exactly that story.
+// The TTP trusts signatures, never testimony. Like nr::arbitrate and
+// dyn::resolve_dyn_dispute, this is a pure function of the evidence: no
+// network, no clock, deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consistency/view_history.h"
+
+namespace tpnr::consistency {
+
+/// Everything the parties put in front of the TTP.
+struct ForkDisputeCase {
+  std::string object_key;
+  crypto::RsaPublicKey provider_key;
+
+  /// A ready-made proof, if the accuser holds one.
+  std::optional<EquivocationProof> proof;
+
+  /// The accuser's witnessed view (may be empty when a proof is supplied).
+  std::vector<SignedViewCommitment> accuser_view;
+  /// The view the OTHER party (the defending client, or the provider
+  /// itself) presents. Empty when nobody answered the TTP's query.
+  std::vector<SignedViewCommitment> counter_view;
+};
+
+/// The rows of the extended decision table.
+enum class ForkRulingKind : std::uint8_t {
+  /// A valid EquivocationProof — presented, or synthesized by the TTP from
+  /// two conflicting valid views. The provider signed both histories.
+  kProviderConvicted = 1,
+  /// The presented evidence fails verification (forged proof, or an
+  /// accuser view whose signatures/links do not hold). The claim dies; the
+  /// accuser convicts nobody with bad evidence.
+  kClaimRejected = 2,
+  /// Both presented views verify and one is a prefix of the other: the
+  /// histories agree, there is no fork. Zero false accusations by
+  /// construction — consistent views can never convict.
+  kViewsConsistent = 3,
+  /// The accusation cannot be decided on the evidence (valid accuser view
+  /// but no counter-view and no proof): the TTP escalates — queries the
+  /// provider, widens the gossip — rather than convicting on testimony.
+  kEscalate = 4,
+};
+std::string fork_ruling_name(ForkRulingKind kind);
+
+struct ForkRuling {
+  ForkRulingKind kind = ForkRulingKind::kEscalate;
+  std::string rationale;
+  /// Set when kind == kProviderConvicted: the proof that did it (the
+  /// presented one, or the one the TTP synthesized from the two views).
+  std::optional<EquivocationProof> proof;
+};
+
+/// Walks the evidence through the decision table. Deterministic; same
+/// case, same ruling.
+ForkRuling resolve_fork_dispute(const ForkDisputeCase& dispute);
+
+}  // namespace tpnr::consistency

@@ -1,0 +1,658 @@
+#include "consistency/client.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/hash.h"
+#include "nr/evidence.h"
+
+namespace tpnr::consistency {
+
+using dyn::MutateOp;
+using dyn::VersionRecord;
+
+ConsClientActor::ConsClientActor(std::string id, net::Network& network,
+                                 pki::Identity& identity, crypto::Drbg& rng,
+                                 ConsClientOptions options)
+    : NrActor(std::move(id), network, identity, rng),
+      options_(options),
+      txn_ids_(rng.next_u64()) {}
+
+const ConsClientActor::SharedObject* ConsClientActor::object(
+    const std::string& object_key) const {
+  const auto it = objects_.find(object_key);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const EquivocationProof* ConsClientActor::fork_proof(
+    const std::string& object_key) const {
+  const SharedObject* obj = object(object_key);
+  if (obj == nullptr || !obj->checker || !obj->checker->proof()) {
+    return nullptr;
+  }
+  return &*obj->checker->proof();
+}
+
+ConsClientActor::SharedObject* ConsClientActor::mutable_object(
+    const std::string& object_key) {
+  const auto it = objects_.find(object_key);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::string ConsClientActor::store_shared(const std::string& provider,
+                                          const std::string& ttp,
+                                          const std::string& object_key,
+                                          BytesView data,
+                                          std::size_t chunk_size) {
+  const crypto::RsaPublicKey* provider_key = peer_key(provider);
+  if (provider_key == nullptr) {
+    throw common::ProtocolError(
+        "ConsClientActor::store_shared: provider key unknown");
+  }
+  if (chunk_size == 0) {
+    throw common::ProtocolError(
+        "ConsClientActor::store_shared: chunk_size must be > 0");
+  }
+  if (data.empty()) {
+    throw common::ProtocolError("ConsClientActor::store_shared: empty object");
+  }
+  if (objects_.count(object_key) != 0) {
+    throw common::ProtocolError(
+        "ConsClientActor::store_shared: object already tracked");
+  }
+
+  SharedObject obj;
+  obj.provider = provider;
+  obj.ttp = ttp;
+  obj.object_key = object_key;
+  obj.txn_id = txn_ids_.next_id("cons");
+  obj.chunk_size = chunk_size;
+  obj.checker.emplace(object_key, *provider_key);
+
+  // The record commits to the post-store mirror, but the mirror itself
+  // stays empty until the provider's commit comes back — the consistency
+  // client is never optimistic.
+  const std::vector<Bytes> chunks = dyn::split_chunks(data, chunk_size);
+  const dyn::DynMerkleTree tree =
+      dyn::DynMerkleTree::build(dyn::chunk_views(chunks));
+  VersionRecord record;
+  record.object_key = object_key;
+  record.version = 1;
+  record.op = MutateOp::kStore;
+  record.chunk_index = 0;
+  record.chunk_count = tree.leaf_count();
+  record.old_root = dyn::DynMerkleTree::empty_root();
+  record.new_root = tree.root();
+  record.chunk_tag = 0;
+  record.prev_record_hash = VersionRecord::genesis_link();
+
+  SharedObject::PendingOp pending;
+  pending.op = MutateOp::kStore;
+  pending.chunk = Bytes(data.begin(), data.end());
+  pending.client_sig = identity_->sign(record.encode());
+  pending.record = std::move(record);
+  obj.pending = std::move(pending);
+
+  const std::string txn_id = obj.txn_id;
+  objects_.emplace(object_key, std::move(obj));
+  transmit_pending(object_key);
+  return txn_id;
+}
+
+bool ConsClientActor::open_shared(const std::string& provider,
+                                  const std::string& ttp,
+                                  const std::string& object_key) {
+  const crypto::RsaPublicKey* provider_key = peer_key(provider);
+  if (provider_key == nullptr || objects_.count(object_key) != 0) {
+    return false;
+  }
+  SharedObject obj;
+  obj.provider = provider;
+  obj.ttp = ttp;
+  obj.object_key = object_key;
+  obj.txn_id = txn_ids_.next_id("cons");
+  obj.checker.emplace(object_key, *provider_key);
+  auto it = objects_.emplace(object_key, std::move(obj)).first;
+  request_view(it->second);
+  return true;
+}
+
+void ConsClientActor::request_view(SharedObject& obj) {
+  const crypto::RsaPublicKey* provider_key = peer_key(obj.provider);
+  if (provider_key == nullptr) return;
+  nr::MessageHeader header =
+      next_header(nr::MsgType::kViewQuery, obj.provider, obj.ttp, obj.txn_id,
+                  Bytes{}, network_->now() + options_.reply_window);
+  Bytes evidence = nr::make_evidence(*identity_, *provider_key, header, *rng_);
+
+  common::BinaryWriter payload;
+  payload.str(obj.object_key);
+
+  nr::NrMessage message;
+  message.header = std::move(header);
+  message.payload = payload.take();
+  message.evidence = std::move(evidence);
+  send(obj.provider, std::move(message));
+}
+
+bool ConsClientActor::update(const std::string& object_key,
+                             std::uint64_t index, BytesView chunk) {
+  SharedObject* obj = mutable_object(object_key);
+  return obj != nullptr && begin_op(*obj, MutateOp::kUpdate, index, chunk);
+}
+
+bool ConsClientActor::insert(const std::string& object_key,
+                             std::uint64_t index, BytesView chunk) {
+  SharedObject* obj = mutable_object(object_key);
+  return obj != nullptr && begin_op(*obj, MutateOp::kInsert, index, chunk);
+}
+
+bool ConsClientActor::append_chunk(const std::string& object_key,
+                                   BytesView chunk) {
+  SharedObject* obj = mutable_object(object_key);
+  return obj != nullptr &&
+         begin_op(*obj, MutateOp::kAppend, obj->tree.leaf_count(), chunk);
+}
+
+bool ConsClientActor::erase(const std::string& object_key,
+                            std::uint64_t index) {
+  SharedObject* obj = mutable_object(object_key);
+  return obj != nullptr && begin_op(*obj, MutateOp::kErase, index, BytesView{});
+}
+
+bool ConsClientActor::begin_op(SharedObject& obj, MutateOp op,
+                               std::uint64_t index, BytesView chunk) {
+  if (!obj.opened || obj.pending) return false;
+  SharedObject::PendingOp pending;
+  pending.op = op;
+  pending.index = index;
+  pending.chunk = Bytes(chunk.begin(), chunk.end());
+  obj.pending = std::move(pending);
+  if (!build_pending_record(obj)) {
+    obj.pending.reset();
+    return false;
+  }
+  transmit_pending(obj.object_key);
+  return true;
+}
+
+bool ConsClientActor::build_pending_record(SharedObject& obj) {
+  SharedObject::PendingOp& pending = *obj.pending;
+  if (pending.op == MutateOp::kStore) return false;  // store never rebuilds
+  const std::uint64_t count = obj.tree.leaf_count();
+  const bool inserting =
+      pending.op == MutateOp::kInsert || pending.op == MutateOp::kAppend;
+  if (pending.op == MutateOp::kAppend) pending.index = count;
+  const std::uint64_t index = pending.index;
+  if (inserting ? index > count : index >= count) return false;
+  if (pending.op == MutateOp::kErase) {
+    if (!pending.chunk.empty()) return false;
+  } else {
+    if (pending.chunk.empty() || pending.chunk.size() > obj.chunk_size) {
+      return false;
+    }
+    const bool at_tail = inserting ? index == count : index + 1 == count;
+    if (!at_tail && pending.chunk.size() != obj.chunk_size) return false;
+  }
+  if (inserting && index == count && count > 0 &&
+      obj.chunks[count - 1].size() != obj.chunk_size) {
+    return false;  // appending after a short tail would break the stride
+  }
+
+  // Compute the post-op root on a scratch copy; the real mirror only moves
+  // when the provider's commit comes back.
+  dyn::DynMerkleTree scratch = obj.tree.clone();
+  switch (pending.op) {
+    case MutateOp::kUpdate:
+      scratch.update(index, pending.chunk);
+      break;
+    case MutateOp::kInsert:
+    case MutateOp::kAppend:
+      scratch.insert(index, pending.chunk);
+      break;
+    case MutateOp::kErase:
+      scratch.erase(index);
+      break;
+    case MutateOp::kStore:
+      return false;
+  }
+
+  VersionRecord record;
+  record.object_key = obj.object_key;
+  record.version = obj.chain.head_version() + 1;
+  record.op = pending.op;
+  record.chunk_index = index;
+  record.chunk_count = scratch.leaf_count();
+  record.old_root = obj.chain.head_root();
+  record.new_root = scratch.root();
+  record.chunk_tag = 0;
+  record.prev_record_hash = obj.chain.head_hash();
+  pending.client_sig = identity_->sign(record.encode());
+  pending.record = std::move(record);
+  pending.attempts = 0;
+  return true;
+}
+
+void ConsClientActor::transmit_pending(const std::string& object_key) {
+  SharedObject* obj = mutable_object(object_key);
+  if (obj == nullptr || !obj->pending) return;
+  const crypto::RsaPublicKey* provider_key = peer_key(obj->provider);
+  if (provider_key == nullptr) return;
+  SharedObject::PendingOp& pending = *obj->pending;
+
+  // The declared observed head: the commitment under which the base
+  // version was committed. The provider refuses to commit an op whose
+  // observed head is not ITS head — the fork-join rule.
+  Bytes observed = ViewCommitment::genesis_link();
+  if (const SignedViewCommitment* at =
+          obj->checker->view().at(obj->chain.head_version())) {
+    observed = at->view.hash();
+  }
+
+  nr::MessageHeader header = next_header(
+      nr::MsgType::kConsOpRequest, obj->provider, obj->ttp, obj->txn_id,
+      pending.record.new_root, network_->now() + options_.reply_window);
+  Bytes evidence = nr::make_evidence(*identity_, *provider_key, header, *rng_);
+  ++pending.attempts;
+
+  common::BinaryWriter payload;
+  payload.str(obj->object_key);
+  payload.u8(static_cast<std::uint8_t>(pending.record.op));
+  payload.u64(pending.record.chunk_index);
+  payload.bytes(pending.chunk);
+  payload.u32(static_cast<std::uint32_t>(obj->chunk_size));
+  payload.bytes(pending.record.encode());
+  payload.bytes(pending.client_sig);
+  payload.bytes(observed);
+
+  nr::NrMessage message;
+  message.header = std::move(header);
+  message.payload = payload.take();
+  message.evidence = std::move(evidence);
+  send(obj->provider, std::move(message));
+  arm_receipt_timer(object_key, pending.record.version, pending.attempts);
+}
+
+void ConsClientActor::arm_receipt_timer(const std::string& object_key,
+                                        std::uint64_t version,
+                                        std::size_t attempt) {
+  const common::SimTime wait =
+      options_.receipt_timeout +
+      options_.retry_backoff * static_cast<common::SimTime>(attempt - 1);
+  network_->schedule(wait, [this, object_key, version, attempt] {
+    SharedObject* obj = mutable_object(object_key);
+    // Guard on version AND attempt: a timer firing after the commit landed
+    // (or after a superseding re-send) must do nothing.
+    if (obj == nullptr || !obj->pending ||
+        obj->pending->record.version != version ||
+        obj->pending->attempts != attempt) {
+      return;
+    }
+    if (attempt <= options_.op_retries) {
+      transmit_pending(object_key);
+      return;
+    }
+    ++obj->timeouts;
+    if (obj->pending->op == MutateOp::kStore) {
+      objects_.erase(object_key);  // version 1 never committed
+      return;
+    }
+    obj->pending.reset();
+  });
+}
+
+void ConsClientActor::on_message(const nr::NrMessage& message) {
+  switch (message.header.flag) {
+    case nr::MsgType::kConsCommit:
+      handle_commit(message);
+      break;
+    case nr::MsgType::kViewUpdate:
+      handle_view_update(message);
+      break;
+    case nr::MsgType::kConsOpError:
+      handle_op_error(message);
+      break;
+    case nr::MsgType::kGossipViews:
+      handle_gossip(message);
+      break;
+    default:
+      break;
+  }
+}
+
+bool ConsClientActor::advance_mirror(SharedObject& obj,
+                                     const CommittedOp& op) {
+  const VersionRecord& rec = op.record.record;
+  const ViewCommitment& view = op.commit.view;
+  // Bind the record to the commitment it rode in on, then check the
+  // provider's countersignature (the commitment's own signature was
+  // already checked by the fork checker).
+  if (crypto::sha256(op.record.encode()) != view.op_record_hash ||
+      rec.version != view.head_version || rec.new_root != view.head_root) {
+    ++obj.rejected;
+    return false;
+  }
+  const crypto::RsaPublicKey* provider_key = peer_key(obj.provider);
+  if (provider_key == nullptr ||
+      !op.record.verify_provider(*provider_key)) {
+    ++obj.rejected;
+    return false;
+  }
+  // When the submitting client's key is known, its signature must hold
+  // too; unknown co-clients are covered by the provider's promise alone.
+  if (const crypto::RsaPublicKey* client_key = peer_key(view.client);
+      client_key != nullptr && !op.record.verify_client(*client_key)) {
+    ++obj.rejected;
+    return false;
+  }
+  std::string why;
+  dyn::VersionChain chain_probe = obj.chain;  // append validates links
+  if (!chain_probe.append(op.record, &why)) {
+    ++obj.rejected;
+    return false;
+  }
+
+  // Apply on scratch state so a record that misdescribes its op (a
+  // byzantine provider) leaves the mirror untouched.
+  std::vector<Bytes> chunks = obj.chunks;
+  dyn::DynMerkleTree tree = obj.tree.clone();
+  if (rec.op == MutateOp::kStore) {
+    chunks = dyn::split_chunks(op.op_bytes, obj.chunk_size);
+    tree = dyn::DynMerkleTree::build(dyn::chunk_views(chunks));
+  } else {
+    const auto at = static_cast<std::ptrdiff_t>(rec.chunk_index);
+    if (rec.op == MutateOp::kErase
+            ? rec.chunk_index >= tree.leaf_count()
+            : rec.chunk_index > tree.leaf_count()) {
+      ++obj.rejected;
+      return false;
+    }
+    switch (rec.op) {
+      case MutateOp::kUpdate:
+        if (rec.chunk_index >= tree.leaf_count()) {
+          ++obj.rejected;
+          return false;
+        }
+        tree.update(rec.chunk_index, op.op_bytes);
+        chunks[rec.chunk_index] = op.op_bytes;
+        break;
+      case MutateOp::kInsert:
+      case MutateOp::kAppend:
+        tree.insert(rec.chunk_index, op.op_bytes);
+        chunks.insert(chunks.begin() + at, op.op_bytes);
+        break;
+      case MutateOp::kErase:
+        tree.erase(rec.chunk_index);
+        chunks.erase(chunks.begin() + at);
+        break;
+      case MutateOp::kStore:
+        break;
+    }
+  }
+  if (tree.root() != rec.new_root || tree.leaf_count() != rec.chunk_count) {
+    ++obj.rejected;
+    return false;
+  }
+  obj.chunks = std::move(chunks);
+  obj.tree = std::move(tree);
+  obj.chain = std::move(chain_probe);
+  ++obj.commits_applied;
+  obj.opened = true;
+  return true;
+}
+
+bool ConsClientActor::absorb_committed_op(SharedObject& obj,
+                                          const CommittedOp& op) {
+  const ObserveOutcome outcome = obj.checker->observe(op.commit);
+  switch (outcome) {
+    case ObserveOutcome::kRejected:
+      ++stats_.rejected_bad_evidence;
+      return false;
+    case ObserveOutcome::kConflict:
+      maybe_report_fork(obj);
+      return true;
+    case ObserveOutcome::kGap:
+    case ObserveOutcome::kUnlinked:
+      request_view(obj);
+      return true;
+    case ObserveOutcome::kExtended:
+    case ObserveOutcome::kDuplicate:
+      break;
+  }
+  const std::uint64_t next = obj.chain.head_version() + 1;
+  if (op.record.record.version == next) {
+    if (!advance_mirror(obj, op)) return false;
+  } else if (op.record.record.version < next) {
+    ++obj.duplicate_commits;
+  }
+  // Our own submission coming back committed IS the receipt.
+  if (obj.pending && op.commit.view.client == id() &&
+      op.record.record.version == obj.pending->record.version &&
+      op.record.record.encode() == obj.pending->record.encode()) {
+    ++obj.receipts;
+    obj.pending.reset();
+  }
+  return true;
+}
+
+void ConsClientActor::handle_commit(const nr::NrMessage& message) {
+  const nr::MessageHeader& h = message.header;
+  std::string object_key;
+  std::uint32_t chunk_size = 0;
+  CommittedOp op;
+  try {
+    common::BinaryReader r(message.payload);
+    object_key = r.str();
+    chunk_size = r.u32();
+    op = CommittedOp::decode(r.bytes());
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  SharedObject* obj = mutable_object(object_key);
+  if (obj == nullptr || h.sender != obj->provider) return;
+  if (op.commit.view.object_key != object_key) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  if (obj->chunk_size == 0) obj->chunk_size = chunk_size;
+  absorb_committed_op(*obj, op);
+}
+
+void ConsClientActor::handle_view_update(const nr::NrMessage& message) {
+  const nr::MessageHeader& h = message.header;
+  std::string object_key;
+  std::uint32_t chunk_size = 0;
+  std::vector<CommittedOp> log;
+  try {
+    common::BinaryReader r(message.payload);
+    object_key = r.str();
+    chunk_size = r.u32();
+    log = read_op_log(r);
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  SharedObject* obj = mutable_object(object_key);
+  if (obj == nullptr || h.sender != obj->provider) return;
+  if (obj->chunk_size == 0) {
+    obj->chunk_size = chunk_size;
+  } else if (obj->chunk_size != chunk_size) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  for (const CommittedOp& op : log) absorb_committed_op(*obj, op);
+}
+
+void ConsClientActor::handle_op_error(const nr::NrMessage& message) {
+  const nr::MessageHeader& h = message.header;
+  std::string object_key;
+  std::uint64_t version = 0;
+  std::string reason;
+  std::vector<CommittedOp> suffix;
+  try {
+    common::BinaryReader r(message.payload);
+    object_key = r.str();
+    version = r.u64();
+    reason = r.str();
+    suffix = read_op_log(r);
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  SharedObject* obj = mutable_object(object_key);
+  if (obj == nullptr || h.sender != obj->provider) return;
+
+  // First catch up on whatever the provider says we missed; the suffix is
+  // made of full CommittedOps, so the mirror advances (and the checker
+  // fork-checks) exactly as if the commits had arrived live.
+  for (const CommittedOp& op : suffix) absorb_committed_op(*obj, op);
+
+  if (!obj->pending || obj->pending->record.version != version) return;
+  SharedObject::PendingOp& pending = *obj->pending;
+  if (pending.op == MutateOp::kStore) {
+    // A bounced store is permanent (the key exists, or the record was
+    // malformed): there is no head to rebuild against.
+    ++obj->rejected;
+    objects_.erase(object_key);
+    return;
+  }
+  ++pending.resubmits;
+  if (pending.resubmits > options_.max_resubmits ||
+      !build_pending_record(*obj)) {
+    ++obj->rejected;
+    obj->pending.reset();
+    return;
+  }
+  ++obj->stale_resubmits;
+  transmit_pending(object_key);
+}
+
+void ConsClientActor::handle_gossip(const nr::NrMessage& message) {
+  std::string object_key;
+  std::vector<SignedViewCommitment> commits;
+  try {
+    common::BinaryReader r(message.payload);
+    object_key = r.str();
+    const std::uint32_t count = r.u32();
+    commits.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      commits.push_back(SignedViewCommitment::decode(r.bytes()));
+    }
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  SharedObject* obj = mutable_object(object_key);
+  if (obj == nullptr) return;  // not our object: nothing to compare against
+  const ObserveOutcome outcome = obj->checker->merge(commits);
+  switch (outcome) {
+    case ObserveOutcome::kConflict:
+      maybe_report_fork(*obj);
+      break;
+    case ObserveOutcome::kGap:
+    case ObserveOutcome::kUnlinked:
+      // A peer knows commitments we cannot link — packet loss or worse.
+      // Re-sync with the provider; never accuse on a gap.
+      request_view(*obj);
+      break;
+    default:
+      break;
+  }
+}
+
+void ConsClientActor::maybe_report_fork(SharedObject& obj) {
+  if (!obj.checker->forked() || obj.fork_reported) return;
+  obj.fork_reported = true;
+  ++forks_detected_;
+  if (!gossip_ || gossip_->arbiter.empty()) return;
+  const crypto::RsaPublicKey* arbiter_key = peer_key(gossip_->arbiter);
+  if (arbiter_key == nullptr) return;
+  const EquivocationProof& proof = *obj.checker->proof();
+  const Bytes proof_bytes = proof.encode();
+
+  nr::MessageHeader header = next_header(
+      nr::MsgType::kForkReport, gossip_->arbiter, obj.ttp, obj.txn_id,
+      crypto::sha256(proof_bytes), network_->now() + options_.reply_window);
+  Bytes evidence = nr::make_evidence(*identity_, *arbiter_key, header, *rng_);
+
+  common::BinaryWriter payload;
+  payload.str(obj.provider);
+  payload.str(obj.object_key);
+  payload.str(obj.txn_id);
+  payload.bytes(proof_bytes);
+
+  nr::NrMessage message;
+  message.header = std::move(header);
+  message.payload = payload.take();
+  message.evidence = std::move(evidence);
+  send(gossip_->arbiter, std::move(message));
+}
+
+void ConsClientActor::enable_gossip(GossipOptions options) {
+  gossip_ = std::move(options);
+  if (gossip_->rounds == 0 || gossip_timer_armed_) return;
+  gossip_timer_armed_ = true;
+  network_->schedule(gossip_->period, [this] { gossip_tick(); });
+}
+
+void ConsClientActor::add_gossip_peer(const std::string& peer_id) {
+  for (const std::string& peer : gossip_peers_) {
+    if (peer == peer_id) return;
+  }
+  gossip_peers_.push_back(peer_id);
+}
+
+void ConsClientActor::gossip_now() {
+  ++gossip_rounds_;
+  for (auto& [object_key, obj] : objects_) {
+    if (!obj.checker || obj.checker->view().empty()) continue;
+    const auto& commits = obj.checker->view().commitments();
+    for (const std::string& peer : gossip_peers_) {
+      const crypto::RsaPublicKey* peer_pub = peer_key(peer);
+      if (peer_pub == nullptr) continue;
+      // Full witnessed view, not a bounded tail: detection must not hinge
+      // on the victim being within a window of the speaker (histories in
+      // these experiments are short; see docs/PROTOCOL.md).
+      nr::MessageHeader header = next_header(
+          nr::MsgType::kGossipViews, peer, /*ttp=*/"",
+          "gossip|" + id() + "|" + object_key, obj.checker->view().head_hash(),
+          network_->now() + options_.reply_window);
+      Bytes evidence = nr::make_evidence(*identity_, *peer_pub, header, *rng_);
+
+      common::BinaryWriter payload;
+      payload.str(object_key);
+      payload.u32(static_cast<std::uint32_t>(commits.size()));
+      for (const SignedViewCommitment& commit : commits) {
+        payload.bytes(commit.encode());
+      }
+
+      nr::NrMessage message;
+      message.header = std::move(header);
+      message.payload = payload.take();
+      message.evidence = std::move(evidence);
+      send_on_topic(peer, "cons.gossip", std::move(message));
+    }
+  }
+}
+
+void ConsClientActor::gossip_tick() {
+  if (!gossip_ || gossip_->rounds == 0) {
+    gossip_timer_armed_ = false;
+    return;
+  }
+  --gossip_->rounds;
+  gossip_now();
+  if (gossip_->rounds == 0) {
+    gossip_timer_armed_ = false;
+    return;
+  }
+  network_->schedule(gossip_->period, [this] { gossip_tick(); });
+}
+
+}  // namespace tpnr::consistency

@@ -1,0 +1,78 @@
+#include "consistency/fork_checker.h"
+
+namespace tpnr::consistency {
+
+std::string observe_outcome_name(ObserveOutcome outcome) {
+  switch (outcome) {
+    case ObserveOutcome::kExtended: return "extended";
+    case ObserveOutcome::kDuplicate: return "duplicate";
+    case ObserveOutcome::kConflict: return "conflict";
+    case ObserveOutcome::kUnlinked: return "unlinked";
+    case ObserveOutcome::kGap: return "gap";
+    case ObserveOutcome::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+ObserveOutcome ForkChecker::observe(const SignedViewCommitment& commit) {
+  const ViewCommitment& v = commit.view;
+  if (v.object_key != object_key_ || v.global_seq == 0 ||
+      !commit.verify(provider_key_)) {
+    return ObserveOutcome::kRejected;
+  }
+
+  const std::uint64_t head = view_.head_seq();
+  if (v.global_seq <= head) {
+    const SignedViewCommitment* held = view_.at(v.global_seq);
+    if (held->view.encode() == v.encode()) {
+      return ObserveOutcome::kDuplicate;
+    }
+    // Both the held and the incoming commitment carry a verified provider
+    // signature over the same position with different contents — that pair
+    // IS the equivocation proof, no further context needed.
+    if (!proof_) {
+      proof_ = EquivocationProof{object_key_, *held, commit};
+    }
+    return ObserveOutcome::kConflict;
+  }
+
+  if (v.global_seq > head + 1) {
+    ++suspicions_;
+    return ObserveOutcome::kGap;
+  }
+  if (!view_.append(commit)) {
+    ++suspicions_;
+    return ObserveOutcome::kUnlinked;
+  }
+  return ObserveOutcome::kExtended;
+}
+
+ObserveOutcome ForkChecker::merge(
+    std::span<const SignedViewCommitment> commits) {
+  // Severity order for the batch verdict: a proven conflict dominates,
+  // then irreconcilable-but-unproven observations, then outright rejects;
+  // clean extends/duplicates only win when nothing worse happened.
+  const auto rank = [](ObserveOutcome outcome) {
+    switch (outcome) {
+      case ObserveOutcome::kConflict: return 4;
+      case ObserveOutcome::kUnlinked:
+      case ObserveOutcome::kGap: return 3;
+      case ObserveOutcome::kRejected: return 2;
+      case ObserveOutcome::kExtended:
+      case ObserveOutcome::kDuplicate: return 1;
+    }
+    return 0;
+  };
+  ObserveOutcome worst = ObserveOutcome::kDuplicate;
+  int worst_rank = 0;
+  for (const SignedViewCommitment& commit : commits) {
+    const ObserveOutcome outcome = observe(commit);
+    if (rank(outcome) > worst_rank) {
+      worst = outcome;
+      worst_rank = rank(outcome);
+    }
+  }
+  return worst;
+}
+
+}  // namespace tpnr::consistency

@@ -1,0 +1,90 @@
+// Client-side fork-linearizability checking.
+//
+// Every commitment a client sees — its own receipts, broadcast commits
+// from the provider, and commitment tails gossiped by other clients — goes
+// through its per-object ForkChecker. The checker maintains the longest
+// provider-signed ViewHistory it has witnessed and classifies each new
+// commitment against it:
+//
+//   * extends the head            -> accepted, history grows;
+//   * already known, byte-equal   -> duplicate (retries/gossip overlap);
+//   * claims an OCCUPIED position
+//     with different contents     -> FORK: both commitments are provider-
+//                                    signed, so the pair is a complete
+//                                    EquivocationProof;
+//   * skips ahead / fails to link -> suspicion: the checker cannot tell a
+//                                    fork from packet loss yet, so it
+//                                    counts the observation and lets the
+//                                    caller re-sync (never an accusation —
+//                                    the no-false-accusation property).
+//
+// Bad provider signatures are rejected outright: an unsigned "commitment"
+// proves nothing and must not pollute the witnessed history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "consistency/view_history.h"
+
+namespace tpnr::consistency {
+
+/// How one observed commitment relates to the witnessed history.
+enum class ObserveOutcome : std::uint8_t {
+  kExtended = 1,   ///< appended; the witnessed history grew
+  kDuplicate = 2,  ///< position already held this exact commitment
+  kConflict = 3,   ///< position held a DIFFERENT commitment — fork proven
+  kUnlinked = 4,   ///< next position but the hash links disagree (suspicion)
+  kGap = 5,        ///< skips positions the checker has not seen (suspicion)
+  kRejected = 6,   ///< wrong object or provider signature fails
+};
+std::string observe_outcome_name(ObserveOutcome outcome);
+
+class ForkChecker {
+ public:
+  ForkChecker(std::string object_key, crypto::RsaPublicKey provider_key)
+      : object_key_(std::move(object_key)),
+        provider_key_(std::move(provider_key)) {}
+
+  /// Classifies one commitment and (when it extends cleanly) absorbs it.
+  /// The first kConflict latches proof(); later observations still classify
+  /// but the proof is never overwritten.
+  ObserveOutcome observe(const SignedViewCommitment& commit);
+
+  /// Absorbs a batch (a gossiped tail or a view update) in ascending
+  /// sequence order. Returns the worst outcome seen, where conflict >
+  /// unlinked/gap > rejected > extended/duplicate — one conflict anywhere
+  /// makes the batch a fork.
+  ObserveOutcome merge(std::span<const SignedViewCommitment> commits);
+
+  [[nodiscard]] const ViewHistory& view() const noexcept { return view_; }
+  [[nodiscard]] const std::string& object_key() const noexcept {
+    return object_key_;
+  }
+
+  [[nodiscard]] bool forked() const noexcept { return proof_.has_value(); }
+  /// The latched equivocation proof, once a conflict has been observed.
+  [[nodiscard]] const std::optional<EquivocationProof>& proof()
+      const noexcept {
+    return proof_;
+  }
+
+  /// Observations that could not be reconciled but prove nothing (gaps and
+  /// unlinked commitments). A client escalates these by re-syncing, never
+  /// by accusing.
+  [[nodiscard]] std::uint64_t suspicions() const noexcept {
+    return suspicions_;
+  }
+
+ private:
+  std::string object_key_;
+  crypto::RsaPublicKey provider_key_;
+  ViewHistory view_;
+  std::optional<EquivocationProof> proof_;
+  std::uint64_t suspicions_ = 0;
+};
+
+}  // namespace tpnr::consistency

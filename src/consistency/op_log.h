@@ -1,0 +1,39 @@
+// The replayable unit of shared-object history: one committed operation,
+// carrying everything a late-joining (or lagging) client needs to advance
+// its mirror by exactly one step and to fork-check the step it advanced by.
+//
+// DynMerkleTree shapes are history-dependent (an insert/erase leaves a
+// different structure than a canonical rebuild over the same bytes), so a
+// client cannot reconstruct the provider's tree from the current bytes —
+// it must replay the operations from genesis, verifying each record's
+// new_root as it goes. kViewUpdate and the kConsOpError catch-up suffix
+// are therefore logs of CommittedOps, not snapshots.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/serial.h"
+#include "consistency/view_history.h"
+#include "dyn/version_chain.h"
+
+namespace tpnr::consistency {
+
+/// One globally ordered, committed operation on a shared object.
+struct CommittedOp {
+  dyn::SignedVersionRecord record;  ///< client-signed, provider-countersigned
+  SignedViewCommitment commit;      ///< the provider's global-order promise
+  Bytes op_bytes;  ///< chunk payload (full object for kStore, empty for erase)
+
+  [[nodiscard]] Bytes encode() const;
+  /// Throws common::SerialError on malformed input.
+  static CommittedOp decode(BytesView data);
+};
+
+/// Appends `log` to `w` as a u32-counted sequence of encoded entries.
+void write_op_log(common::BinaryWriter& w, std::span<const CommittedOp> log);
+/// Reads a u32-counted sequence written by write_op_log. Throws
+/// common::SerialError on malformed input.
+std::vector<CommittedOp> read_op_log(common::BinaryReader& r);
+
+}  // namespace tpnr::consistency

@@ -1,0 +1,203 @@
+#include "consistency/view_history.h"
+
+#include <utility>
+
+#include "common/serial.h"
+#include "crypto/hash.h"
+#include "pki/identity.h"
+
+namespace tpnr::consistency {
+
+namespace {
+
+bool fail(std::string* why, const char* reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+
+}  // namespace
+
+Bytes ViewCommitment::encode() const {
+  common::BinaryWriter w;
+  w.str("tpnr.cons.view.v1");  // domain separation from other signed blobs
+  w.str(object_key);
+  w.u64(global_seq);
+  w.str(client);
+  w.bytes(op_record_hash);
+  w.u64(head_version);
+  w.bytes(head_root);
+  w.bytes(observed_head);
+  w.bytes(prev_commit_hash);
+  return w.take();
+}
+
+ViewCommitment ViewCommitment::decode(BytesView data) {
+  common::BinaryReader r(data);
+  if (r.str() != "tpnr.cons.view.v1") {
+    throw common::SerialError("ViewCommitment: bad magic");
+  }
+  ViewCommitment v;
+  v.object_key = r.str();
+  v.global_seq = r.u64();
+  v.client = r.str();
+  v.op_record_hash = r.bytes();
+  v.head_version = r.u64();
+  v.head_root = r.bytes();
+  v.observed_head = r.bytes();
+  v.prev_commit_hash = r.bytes();
+  r.expect_done();
+  return v;
+}
+
+Bytes ViewCommitment::hash() const { return crypto::sha256(encode()); }
+
+const Bytes& ViewCommitment::genesis_link() {
+  static const Bytes zero(32, 0);
+  return zero;
+}
+
+Bytes SignedViewCommitment::encode() const {
+  common::BinaryWriter w;
+  w.bytes(view.encode());
+  w.bytes(provider_sig);
+  return w.take();
+}
+
+SignedViewCommitment SignedViewCommitment::decode(BytesView data) {
+  common::BinaryReader r(data);
+  SignedViewCommitment signed_commit;
+  signed_commit.view = ViewCommitment::decode(r.bytes());
+  signed_commit.provider_sig = r.bytes();
+  r.expect_done();
+  return signed_commit;
+}
+
+bool SignedViewCommitment::verify(const crypto::RsaPublicKey& provider) const {
+  return pki::Identity::verify(provider, view.encode(), provider_sig);
+}
+
+Bytes EquivocationProof::encode() const {
+  common::BinaryWriter w;
+  w.str("tpnr.cons.equiv.v1");
+  w.str(object_key);
+  w.bytes(a.encode());
+  w.bytes(b.encode());
+  return w.take();
+}
+
+EquivocationProof EquivocationProof::decode(BytesView data) {
+  common::BinaryReader r(data);
+  if (r.str() != "tpnr.cons.equiv.v1") {
+    throw common::SerialError("EquivocationProof: bad magic");
+  }
+  EquivocationProof proof;
+  proof.object_key = r.str();
+  proof.a = SignedViewCommitment::decode(r.bytes());
+  proof.b = SignedViewCommitment::decode(r.bytes());
+  r.expect_done();
+  return proof;
+}
+
+bool EquivocationProof::valid(const crypto::RsaPublicKey& provider,
+                              std::string* why) const {
+  if (a.view.object_key != object_key || b.view.object_key != object_key) {
+    return fail(why, "commitments name a different object");
+  }
+  if (a.view.global_seq != b.view.global_seq) {
+    return fail(why, "commitments claim different positions");
+  }
+  if (a.view.encode() == b.view.encode()) {
+    return fail(why, "commitments are identical (no conflict)");
+  }
+  if (!a.verify(provider)) {
+    return fail(why, "provider signature fails on commitment A");
+  }
+  if (!b.verify(provider)) {
+    return fail(why, "provider signature fails on commitment B");
+  }
+  return true;
+}
+
+std::string EquivocationProof::describe() const {
+  return "object '" + object_key + "' position " +
+         std::to_string(a.view.global_seq) + ": provider signed '" +
+         a.view.client + "' op (v" + std::to_string(a.view.head_version) +
+         ") AND '" + b.view.client + "' op (v" +
+         std::to_string(b.view.head_version) + ") as the same history slot";
+}
+
+bool ViewHistory::append(SignedViewCommitment commit, std::string* why) {
+  const ViewCommitment& v = commit.view;
+  if (v.global_seq != head_seq() + 1) {
+    return fail(why, "global_seq does not extend the head");
+  }
+  if (!commitments_.empty() &&
+      v.object_key != commitments_.front().view.object_key) {
+    return fail(why, "object key differs from the history's");
+  }
+  if (v.prev_commit_hash != head_hash()) {
+    return fail(why, "prev_commit_hash does not link to the head");
+  }
+  // The fork-join rule: a commitment is only valid if the submitter's
+  // declared head WAS the head it got committed on top of. A provider that
+  // commits an op whose observed head belongs to another branch signs the
+  // cross-branch link that later convicts it.
+  if (v.observed_head != v.prev_commit_hash) {
+    return fail(why, "observed_head disagrees with prev_commit_hash");
+  }
+  commitments_.push_back(std::move(commit));
+  return true;
+}
+
+std::uint64_t ViewHistory::head_seq() const noexcept {
+  return commitments_.empty() ? 0 : commitments_.back().view.global_seq;
+}
+
+Bytes ViewHistory::head_hash() const {
+  return commitments_.empty() ? ViewCommitment::genesis_link()
+                              : commitments_.back().view.hash();
+}
+
+const SignedViewCommitment* ViewHistory::at(std::uint64_t global_seq) const {
+  if (global_seq == 0 || global_seq > commitments_.size()) return nullptr;
+  return &commitments_[global_seq - 1];
+}
+
+std::string view_walk_status_name(ViewWalkStatus status) {
+  switch (status) {
+    case ViewWalkStatus::kValid: return "valid";
+    case ViewWalkStatus::kEmpty: return "empty";
+    case ViewWalkStatus::kBrokenLink: return "broken-link";
+    case ViewWalkStatus::kBadSignature: return "bad-signature";
+  }
+  return "unknown";
+}
+
+ViewWalkResult walk_view(std::span<const SignedViewCommitment> commits,
+                         const crypto::RsaPublicKey& provider_key) {
+  ViewWalkResult result;
+  if (commits.empty()) return result;
+
+  ViewHistory replay;
+  std::string why;
+  for (const SignedViewCommitment& commit : commits) {
+    const std::uint64_t seq = commit.view.global_seq;
+    if (!replay.append(commit, &why)) {
+      result.status = ViewWalkStatus::kBrokenLink;
+      result.at_seq = seq;
+      result.detail = why;
+      return result;
+    }
+    if (!commit.verify(provider_key)) {
+      result.status = ViewWalkStatus::kBadSignature;
+      result.at_seq = seq;
+      result.detail = "provider signature fails at position " +
+                      std::to_string(seq);
+      return result;
+    }
+  }
+  result.status = ViewWalkStatus::kValid;
+  return result;
+}
+
+}  // namespace tpnr::consistency

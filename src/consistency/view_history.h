@@ -1,0 +1,142 @@
+// View commitments: the provider's signed, hash-chained promise of ONE
+// global operation order per shared object.
+//
+// The dynamic-data layer's SignedVersionRecord binds a single client's
+// history — nothing stops a malicious provider from maintaining one
+// perfectly countersigned chain PER CLIENT and serving each victim its own
+// fork (the gap VICOS-style fork-linearizability closes; see PAPERS.md).
+// The consistency layer therefore makes the provider countersign, for
+// every committed operation, a ViewCommitment that extends the version
+// record with the two fields a fork cannot survive:
+//
+//   * `client`        — WHO submitted the operation at this global position,
+//   * `observed_head` — the commitment-chain head that client had seen when
+//                       it submitted (the provider may only commit an op
+//                       whose observed head IS the current head).
+//
+// Commitments are hash-chained by `prev_commit_hash`, so position
+// `global_seq` of an object's history has exactly one valid commitment.
+// Two provider-signed commitments for the same (object, global_seq) with
+// different contents are therefore a self-contained EquivocationProof: the
+// provider signed two incompatible histories, and no statement from any
+// client needs to be believed to convict it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/rsa.h"
+
+namespace tpnr::consistency {
+
+using common::Bytes;
+using common::BytesView;
+
+/// One link of an object's global view chain. `global_seq` counts ALL
+/// committed operations on the object across every client, starting at 1.
+struct ViewCommitment {
+  std::string object_key;
+  std::uint64_t global_seq = 0;
+  std::string client;        ///< who submitted the op at this position
+  Bytes op_record_hash;      ///< SHA-256 of the op's SignedVersionRecord
+  std::uint64_t head_version = 0;  ///< object version AFTER the op
+  Bytes head_root;                 ///< tree root AFTER the op
+  Bytes observed_head;       ///< chain head the submitter declared it saw
+  Bytes prev_commit_hash;    ///< hash link; 32 zero bytes for seq 1
+
+  [[nodiscard]] Bytes encode() const;
+  /// Throws common::SerialError on malformed input.
+  static ViewCommitment decode(BytesView data);
+  /// SHA-256 over encode() — what the next commitment links to.
+  [[nodiscard]] Bytes hash() const;
+
+  /// The 32-zero-byte link the first commitment carries.
+  static const Bytes& genesis_link();
+};
+
+/// A view commitment carrying the provider's signature over encode().
+struct SignedViewCommitment {
+  ViewCommitment view;
+  Bytes provider_sig;  ///< Sign_provider(view.encode())
+
+  [[nodiscard]] Bytes encode() const;
+  static SignedViewCommitment decode(BytesView data);
+
+  [[nodiscard]] bool verify(const crypto::RsaPublicKey& provider) const;
+};
+
+/// Two provider-signed commitments claiming the SAME position of the SAME
+/// object's history with DIFFERENT contents. Self-contained: valid() needs
+/// only the provider's public key, so the TTP can convict without trusting
+/// either client's account of events.
+struct EquivocationProof {
+  std::string object_key;
+  SignedViewCommitment a;
+  SignedViewCommitment b;
+
+  [[nodiscard]] Bytes encode() const;
+  static EquivocationProof decode(BytesView data);
+
+  /// True iff both signatures verify under `provider` and the two
+  /// commitments claim the same (object, global_seq) with different
+  /// encodings. `why` (if non-null) explains a failure.
+  [[nodiscard]] bool valid(const crypto::RsaPublicKey& provider,
+                           std::string* why = nullptr) const;
+
+  /// One-line human summary for narrated runs and ledger details.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// An append-only, structurally validated commitment sequence — the
+/// consistency analogue of dyn::VersionChain. append() enforces sequence,
+/// hash-link and observed-head continuity; signatures are the checker's
+/// and the TTP's job.
+class ViewHistory {
+ public:
+  /// Appends if the commitment extends the head consistently; otherwise
+  /// returns false and (if non-null) explains in `why`.
+  bool append(SignedViewCommitment commit, std::string* why = nullptr);
+
+  [[nodiscard]] const std::vector<SignedViewCommitment>& commitments()
+      const noexcept {
+    return commitments_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return commitments_.empty(); }
+
+  /// 0 for an empty history.
+  [[nodiscard]] std::uint64_t head_seq() const noexcept;
+  /// genesis_link() for an empty history.
+  [[nodiscard]] Bytes head_hash() const;
+
+  /// The commitment at `global_seq` (1-based), nullptr if absent.
+  [[nodiscard]] const SignedViewCommitment* at(std::uint64_t global_seq) const;
+
+ private:
+  std::vector<SignedViewCommitment> commitments_;
+};
+
+/// What a full history walk concluded.
+enum class ViewWalkStatus : std::uint8_t {
+  kValid = 1,
+  kEmpty = 2,
+  kBrokenLink = 3,   ///< seq/hash-link/observed-head discontinuity
+  kBadSignature = 4, ///< some commitment's provider signature fails
+};
+std::string view_walk_status_name(ViewWalkStatus status);
+
+struct ViewWalkResult {
+  ViewWalkStatus status = ViewWalkStatus::kEmpty;
+  std::uint64_t at_seq = 0;  ///< first offending position (0: none)
+  std::string detail;
+};
+
+/// The TTP's full validation of a presented view: structural continuity
+/// plus the provider's signature on every commitment. Deterministic.
+ViewWalkResult walk_view(std::span<const SignedViewCommitment> commits,
+                         const crypto::RsaPublicKey& provider_key);
+
+}  // namespace tpnr::consistency

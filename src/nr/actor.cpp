@@ -95,9 +95,13 @@ bool NrActor::screen(const NrMessage& message) {
 }
 
 void NrActor::send(const std::string& to, NrMessage message) {
+  send_on_topic(to, reply_topic_.empty() ? default_topic_ : reply_topic_,
+                std::move(message));
+}
+
+void NrActor::send_on_topic(const std::string& to, const std::string& topic,
+                            NrMessage message) {
   ++stats_.sent;
-  const std::string& topic =
-      reply_topic_.empty() ? default_topic_ : reply_topic_;
   if (channel_ != nullptr) {
     channel_->send(to, topic, message.encode());
   } else {

@@ -99,6 +99,13 @@ class NrActor {
 
   void send(const std::string& to, NrMessage message);
 
+  /// send() with an explicit topic, overriding the default/reply topic.
+  /// Out-of-band conversations (the consistency layer's client↔client
+  /// gossip on "cons.gossip") use this so their traffic never masquerades
+  /// as protocol traffic in the per-topic stats.
+  void send_on_topic(const std::string& to, const std::string& topic,
+                     NrMessage message);
+
   /// Topic for messages this actor ORIGINATES. Replies sent while handling
   /// an inbound message inherit that message's topic instead, so an entire
   /// challenge/response conversation lands on one topic and

@@ -49,6 +49,20 @@ std::string msg_type_name(MsgType type) {
       return "agg-challenge";
     case MsgType::kAggResponse:
       return "agg-response";
+    case MsgType::kConsOpRequest:
+      return "cons-op-request";
+    case MsgType::kConsCommit:
+      return "cons-commit";
+    case MsgType::kConsOpError:
+      return "cons-op-error";
+    case MsgType::kViewQuery:
+      return "view-query";
+    case MsgType::kViewUpdate:
+      return "view-update";
+    case MsgType::kGossipViews:
+      return "gossip-views";
+    case MsgType::kForkReport:
+      return "fork-report";
   }
   return "unknown";
 }

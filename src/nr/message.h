@@ -51,6 +51,17 @@ enum class MsgType : std::uint8_t {
   kMutateError = 34,      ///< provider -> client: rejected (bad base version)
   kAggChallenge = 35,     ///< auditor -> provider: (seed, count) PoR challenge
   kAggResponse = 36,      ///< provider -> auditor: (σ, μ, batch proof)
+
+  // Fork-consistency extension (src/consistency/): multi-client shared
+  // objects under one provider-signed global operation order.
+  kConsOpRequest = 40,  ///< client -> provider: op + record + observed head
+  kConsCommit = 41,     ///< provider -> every client of the object: the
+                        ///< countersigned record + signed view commitment
+  kConsOpError = 42,    ///< provider -> client: stale view + missing suffix
+  kViewQuery = 43,      ///< client -> provider: send me the full op log
+  kViewUpdate = 44,     ///< provider -> client: replayable op log
+  kGossipViews = 45,    ///< client -> client: commitment tail (cons.gossip)
+  kForkReport = 46,     ///< client -> auditor/TTP: equivocation proof
 };
 
 std::string msg_type_name(MsgType type);

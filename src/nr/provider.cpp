@@ -1,13 +1,26 @@
 #include "nr/provider.h"
 
 #include "common/serial.h"
+#include "consistency/view_identity.h"
 #include "nr/chunked.h"
 
 namespace tpnr::nr {
 
 namespace {
 constexpr common::SimTime kReplyWindow = 30 * common::kSecond;
+
+// The cache key proofs for `object_key` are served under. Equivocating
+// service keeps its pre-tamper snapshot in a separate view (the shared
+// "<key>#orig" convention from consistency/view_identity.h) so the
+// original tree and the honest current-bytes tree don't evict each other.
+std::string proof_cache_key(const std::string& object_key,
+                            bool equivocating) {
+  return consistency::view_key(
+      object_key, equivocating ? consistency::kEquivocationSnapshotView
+                               : consistency::kPrimaryView);
 }
+
+}  // namespace
 
 ProviderActor::ProviderActor(std::string id, net::Network& network,
                              pki::Identity& identity, crypto::Drbg& rng)
@@ -22,11 +35,6 @@ const ProviderActor::TxnRecord* ProviderActor::transaction(
     const std::string& txn_id) const {
   const auto it = txns_.find(txn_id);
   return it == txns_.end() ? nullptr : &it->second;
-}
-
-std::string ProviderActor::proof_cache_key(const std::string& object_key,
-                                           bool equivocating) {
-  return equivocating ? object_key + "#orig" : object_key;
 }
 
 bool ProviderActor::tamper(const std::string& txn_id, BytesView new_data) {

@@ -117,12 +117,6 @@ class ProviderActor final : public NrActor {
                                                BytesView data_hash,
                                                common::SimTime time_limit);
 
-  /// The cache key proofs for `object_key` are served under. Equivocating
-  /// service keeps a separate entry (suffix "#orig") so the original tree
-  /// and the honest current-bytes tree don't evict each other.
-  static std::string proof_cache_key(const std::string& object_key,
-                                     bool equivocating);
-
   ProviderBehavior behavior_;
   storage::ObjectStore store_;
   /// Each stored object's tree is built once (at store-time validation) and

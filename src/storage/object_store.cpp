@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/serial.h"
+#include "consistency/view_identity.h"
 #include "crypto/hash.h"
 #include "persist/records.h"
 
@@ -29,6 +30,8 @@ std::string fault_kind_name(FaultKind kind) {
       return "crash";
     case FaultKind::kTornWrite:
       return "torn-write";
+    case FaultKind::kEquivocation:
+      return "equivocation";
   }
   return "unknown";
 }
@@ -139,6 +142,59 @@ std::optional<ObjectRecord> ObjectStore::get(const std::string& key) {
   apply_fault(key, record);
   if (record.version == 0) return std::nullopt;  // kLoss marker
   return record;
+}
+
+bool ObjectStore::arm_equivocation(
+    const std::string& key, const std::map<std::string, ClientView>& views) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  // Replace any previous arming wholesale: the fork's branches evolve and
+  // each re-arm is the new per-client truth.
+  disarm_equivocation(key);
+  equivocating_keys_.insert(key);
+  for (const auto& [client, view] : views) {
+    equivocation_views_[consistency::view_key(key, client)] = view;
+    // A view matching the real current state is not a divergence — only
+    // clients actually lied to get a fault event.
+    if (view.version != it->second.version ||
+        !(it->second.data == view.data)) {
+      log_fault(key, FaultKind::kEquivocation, view.version);
+    }
+  }
+  return true;
+}
+
+void ObjectStore::disarm_equivocation(const std::string& key) {
+  if (equivocating_keys_.erase(key) == 0) return;
+  // view_key(key, client) == key + '#' + client: erase the contiguous range.
+  const auto first = equivocation_views_.lower_bound(key + "#");
+  auto last = first;
+  while (last != equivocation_views_.end() &&
+         last->first.compare(0, key.size() + 1, key + "#") == 0) {
+    ++last;
+  }
+  equivocation_views_.erase(first, last);
+}
+
+bool ObjectStore::equivocation_armed(const std::string& key) const {
+  return equivocating_keys_.contains(key);
+}
+
+std::optional<ObjectRecord> ObjectStore::get_as(const std::string& key,
+                                                const std::string& client) {
+  if (equivocation_armed(key)) {
+    const auto it = equivocation_views_.find(consistency::view_key(key, client));
+    if (it != equivocation_views_.end()) {
+      ObjectRecord record;
+      record.version = it->second.version;
+      record.data = common::Payload::copy_of(it->second.data);
+      record.stored_md5 = crypto::md5(it->second.data);
+      const auto idx = index_.find(key);
+      record.stored_at = idx != index_.end() ? idx->second.stored_at : 0;
+      return record;
+    }
+  }
+  return get(key);
 }
 
 std::vector<FaultEvent> ObjectStore::fault_log_for(

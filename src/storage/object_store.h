@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,7 @@ enum class FaultKind {
   // log the audit report reads.
   kCrash,          ///< object (or its latest version) lost to a crash
   kTornWrite,      ///< a torn device write damaged the object's durable state
+  kEquivocation,   ///< per-client divergent serving armed (fork attack)
 };
 
 std::string fault_kind_name(FaultKind kind);
@@ -65,6 +67,13 @@ struct FaultEvent {
 struct FaultPolicy {
   FaultKind kind = FaultKind::kNone;
   double probability = 0.0;
+};
+
+/// One client's divergent view of an equivocating object: what the store
+/// serves THAT client while other clients see other (version, bytes) pairs.
+struct ClientView {
+  std::uint64_t version = 0;
+  Bytes data;
 };
 
 /// Descriptor of one chunk-level mutation, journalled with the new version
@@ -116,6 +125,24 @@ class ObjectStore {
 
   /// Plain read (fault injection applies).
   [[nodiscard]] std::optional<ObjectRecord> get(const std::string& key);
+
+  /// THE EQUIVOCATION FAULT: from now on, reads through get_as() serve each
+  /// client in `views` its own (version, bytes) pair instead of the real
+  /// object. Re-arming replaces the previous views (the fork evolves).
+  /// Logs one kEquivocation event per divergent client view through the
+  /// per-key fault log. Returns false if the key does not exist.
+  bool arm_equivocation(const std::string& key,
+                        const std::map<std::string, ClientView>& views);
+  /// Drops the per-client views; get_as() falls back to get().
+  void disarm_equivocation(const std::string& key);
+  [[nodiscard]] bool equivocation_armed(const std::string& key) const;
+
+  /// The read path a consistency-layer provider serves `client` from: the
+  /// client's armed divergent view when the object is equivocating,
+  /// otherwise a plain get(). Policy faults do not stack on armed views —
+  /// the equivocation IS the fault.
+  [[nodiscard]] std::optional<ObjectRecord> get_as(const std::string& key,
+                                                   const std::string& client);
 
   /// Direct tamper by "the administrator" (the paper's Eve): replaces the
   /// object bytes without touching stored_md5 or version — exactly the
@@ -170,6 +197,10 @@ class ObjectStore {
   std::unique_ptr<StorageBackend> backend_;
   std::map<std::string, ObjectRecord> index_;          // metadata + current
   std::map<std::string, std::vector<common::Payload>> history_;  // kStaleVersion
+  /// Armed divergent views, keyed consistency::view_key(key, client) — the
+  /// shared "same object, different view" identity convention.
+  std::map<std::string, ClientView> equivocation_views_;
+  std::set<std::string> equivocating_keys_;
   FaultPolicy policy_;
   crypto::Drbg fault_rng_;
   std::uint64_t faults_injected_ = 0;

@@ -66,6 +66,14 @@ TEST(AttackAblation, ReflectionPenetratesScreeningWhenDisabled) {
   EXPECT_TRUE(report.attack_succeeded) << report.detail;
 }
 
+TEST(AttackAblation, EquivocationSucceedsWithoutGossip) {
+  const AttackReport report =
+      run_attack(AttackKind::kEquivocation, /*defended=*/false, 3);
+  // No client↔client channel: each victim's branch is internally perfect
+  // and the fork stays invisible.
+  EXPECT_TRUE(report.attack_succeeded) << report.detail;
+}
+
 // Interleaving is stopped by the signature binding the header even when the
 // freshness screens are off: splicing evidence across sessions NEVER works.
 TEST(AttackAblation, InterleavingFailsEvenWeakened) {
@@ -90,10 +98,10 @@ TEST(AttackAblation, DefendedRunsRecordRejections) {
 
 TEST(AttackNames, AllDistinct) {
   const auto kinds = all_attacks();
-  EXPECT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds.size(), 6u);
   std::set<std::string> names;
   for (const AttackKind kind : kinds) names.insert(attack_name(kind));
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 6u);
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// The extended §2.4 decision table for fork disputes — one test per row,
+// plus the determinism contract. The asymmetry under test: signed proofs
+// convict, testimony at most escalates, broken evidence convicts nobody.
+#include "consistency/arbitration.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+#include "crypto/hash.h"
+#include "pki/identity.h"
+
+namespace tpnr::consistency {
+namespace {
+
+using common::Bytes;
+
+const pki::Identity& provider_identity() {
+  static const pki::Identity* identity = [] {
+    crypto::Drbg rng(std::uint64_t{72727});
+    return new pki::Identity("provider", 1024, rng);
+  }();
+  return *identity;
+}
+
+std::vector<SignedViewCommitment> make_history(const std::string& key,
+                                               std::size_t n,
+                                               const std::string& salt = "") {
+  std::vector<SignedViewCommitment> out;
+  Bytes prev = ViewCommitment::genesis_link();
+  for (std::size_t seq = 1; seq <= n; ++seq) {
+    ViewCommitment view;
+    view.object_key = key;
+    view.global_seq = seq;
+    view.client = "alice";
+    view.op_record_hash =
+        crypto::sha256(common::to_bytes("op|" + salt + std::to_string(seq)));
+    view.head_version = seq;
+    view.head_root =
+        crypto::sha256(common::to_bytes("root|" + salt + std::to_string(seq)));
+    view.observed_head = prev;
+    view.prev_commit_hash = prev;
+    SignedViewCommitment signed_view;
+    signed_view.provider_sig = provider_identity().sign(view.encode());
+    signed_view.view = std::move(view);
+    out.push_back(std::move(signed_view));
+    prev = out.back().view.hash();
+  }
+  return out;
+}
+
+/// A history that shares `fork_at - 1` positions with `base` and then
+/// diverges (same positions, different provider-signed contents).
+std::vector<SignedViewCommitment> fork_of(
+    const std::vector<SignedViewCommitment>& base, std::size_t fork_at,
+    const std::string& salt) {
+  std::vector<SignedViewCommitment> out(base.begin(),
+                                        base.begin() + (fork_at - 1));
+  Bytes prev = out.empty() ? ViewCommitment::genesis_link()
+                           : out.back().view.hash();
+  for (std::size_t seq = fork_at; seq <= base.size(); ++seq) {
+    ViewCommitment view = base[seq - 1].view;
+    view.head_root =
+        crypto::sha256(common::to_bytes("root|" + salt + std::to_string(seq)));
+    view.observed_head = prev;
+    view.prev_commit_hash = prev;
+    SignedViewCommitment signed_view;
+    signed_view.provider_sig = provider_identity().sign(view.encode());
+    signed_view.view = std::move(view);
+    out.push_back(std::move(signed_view));
+    prev = out.back().view.hash();
+  }
+  return out;
+}
+
+ForkDisputeCase base_case() {
+  ForkDisputeCase dispute;
+  dispute.object_key = "obj";
+  dispute.provider_key = provider_identity().public_key();
+  return dispute;
+}
+
+EquivocationProof make_proof(const std::string& salt_b = "fork") {
+  const auto main_branch = make_history("obj", 3, "main");
+  const auto fork_branch = fork_of(main_branch, 2, salt_b);
+  EquivocationProof proof;
+  proof.object_key = "obj";
+  proof.a = main_branch[1];
+  proof.b = fork_branch[1];
+  return proof;
+}
+
+TEST(ForkArbitration, ValidPresentedProofConvictsProvider) {
+  ForkDisputeCase dispute = base_case();
+  dispute.proof = make_proof();
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kProviderConvicted);
+  ASSERT_TRUE(ruling.proof.has_value());
+  std::string why;
+  EXPECT_TRUE(ruling.proof->valid(dispute.provider_key, &why)) << why;
+  EXPECT_NE(ruling.rationale.find("valid equivocation proof"),
+            std::string::npos);
+}
+
+TEST(ForkArbitration, ProofForDifferentObjectRejectsTheClaim) {
+  ForkDisputeCase dispute = base_case();
+  dispute.object_key = "some-other-object";
+  dispute.proof = make_proof();
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kClaimRejected);
+  EXPECT_NE(ruling.rationale.find("different object"), std::string::npos);
+}
+
+TEST(ForkArbitration, ForgedProofRejectsTheClaimNotEscalates) {
+  ForkDisputeCase dispute = base_case();
+  EquivocationProof forged = make_proof();
+  forged.b.view.head_version = 99;  // breaks the signature
+  dispute.proof = forged;
+  // A valid accuser view rides along — the forged proof must still kill
+  // the claim outright, or forging would cost nothing.
+  dispute.accuser_view = make_history("obj", 3, "main");
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kClaimRejected);
+  EXPECT_FALSE(ruling.proof.has_value());
+}
+
+TEST(ForkArbitration, NoProofAndNoViewHasNothingToDecideOn) {
+  const ForkRuling ruling = resolve_fork_dispute(base_case());
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kClaimRejected);
+  EXPECT_NE(ruling.rationale.find("nothing to decide"), std::string::npos);
+}
+
+TEST(ForkArbitration, BrokenAccuserViewRejectsTheClaim) {
+  ForkDisputeCase dispute = base_case();
+  dispute.accuser_view = make_history("obj", 4, "main");
+  dispute.accuser_view[2].view.prev_commit_hash =
+      crypto::sha256(common::to_bytes("cut"));
+  dispute.accuser_view[2].provider_sig =
+      provider_identity().sign(dispute.accuser_view[2].view.encode());
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kClaimRejected);
+  EXPECT_NE(ruling.rationale.find("position 3"), std::string::npos);
+}
+
+TEST(ForkArbitration, ValidAccuserViewAloneEscalates) {
+  ForkDisputeCase dispute = base_case();
+  dispute.accuser_view = make_history("obj", 3, "main");
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kEscalate);
+  EXPECT_NE(ruling.rationale.find("query the provider"), std::string::npos);
+}
+
+TEST(ForkArbitration, BrokenCounterViewEscalatesRatherThanConvicts) {
+  ForkDisputeCase dispute = base_case();
+  dispute.accuser_view = make_history("obj", 3, "main");
+  dispute.counter_view = fork_of(dispute.accuser_view, 2, "fork");
+  dispute.counter_view[2].view.head_version = 99;  // signature breaks
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kEscalate);
+  EXPECT_NE(ruling.rationale.find("counter-view fails"), std::string::npos);
+}
+
+TEST(ForkArbitration, PrefixViewsAreConsistentNeverConvict) {
+  const auto full = make_history("obj", 5, "main");
+  ForkDisputeCase dispute = base_case();
+  dispute.accuser_view.assign(full.begin(), full.begin() + 3);
+  dispute.counter_view = full;
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kViewsConsistent);
+  EXPECT_NE(ruling.rationale.find("3 shared positions"), std::string::npos);
+
+  // Symmetric: the longer view accusing the shorter changes nothing.
+  std::swap(dispute.accuser_view, dispute.counter_view);
+  EXPECT_EQ(resolve_fork_dispute(dispute).kind,
+            ForkRulingKind::kViewsConsistent);
+}
+
+TEST(ForkArbitration, DivergentValidViewsSynthesizeAProofAndConvict) {
+  ForkDisputeCase dispute = base_case();
+  dispute.accuser_view = make_history("obj", 4, "main");
+  dispute.counter_view = fork_of(dispute.accuser_view, 3, "fork");
+
+  const ForkRuling ruling = resolve_fork_dispute(dispute);
+  EXPECT_EQ(ruling.kind, ForkRulingKind::kProviderConvicted);
+  ASSERT_TRUE(ruling.proof.has_value());
+  EXPECT_EQ(ruling.proof->a.view.global_seq, 3u);
+  std::string why;
+  EXPECT_TRUE(ruling.proof->valid(dispute.provider_key, &why)) << why;
+  EXPECT_NE(ruling.rationale.find("diverge at position 3"),
+            std::string::npos);
+}
+
+TEST(ForkArbitration, SameCaseSameRuling) {
+  ForkDisputeCase dispute = base_case();
+  dispute.accuser_view = make_history("obj", 4, "main");
+  dispute.counter_view = fork_of(dispute.accuser_view, 2, "fork");
+
+  const ForkRuling first = resolve_fork_dispute(dispute);
+  const ForkRuling second = resolve_fork_dispute(dispute);
+  EXPECT_EQ(first.kind, second.kind);
+  EXPECT_EQ(first.rationale, second.rationale);
+  ASSERT_TRUE(first.proof && second.proof);
+  EXPECT_EQ(first.proof->encode(), second.proof->encode());
+}
+
+TEST(ForkArbitration, RulingNamesAreDistinct) {
+  EXPECT_EQ(fork_ruling_name(ForkRulingKind::kProviderConvicted),
+            "provider-convicted");
+  EXPECT_EQ(fork_ruling_name(ForkRulingKind::kClaimRejected),
+            "claim-rejected");
+  EXPECT_EQ(fork_ruling_name(ForkRulingKind::kViewsConsistent),
+            "views-consistent");
+  EXPECT_EQ(fork_ruling_name(ForkRulingKind::kEscalate), "escalate");
+}
+
+}  // namespace
+}  // namespace tpnr::consistency

@@ -1,0 +1,204 @@
+// ForkChecker classification: clean extension, duplicates, the latched
+// conflict proof, and the suspicion (never accusation) handling of gaps
+// and unlinked commitments.
+#include "consistency/fork_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+#include "crypto/hash.h"
+#include "pki/identity.h"
+
+namespace tpnr::consistency {
+namespace {
+
+using common::Bytes;
+
+const pki::Identity& provider_identity() {
+  static const pki::Identity* identity = [] {
+    crypto::Drbg rng(std::uint64_t{71717});
+    return new pki::Identity("provider", 1024, rng);
+  }();
+  return *identity;
+}
+
+SignedViewCommitment sign_view(ViewCommitment view) {
+  SignedViewCommitment signed_view;
+  signed_view.provider_sig = provider_identity().sign(view.encode());
+  signed_view.view = std::move(view);
+  return signed_view;
+}
+
+std::vector<SignedViewCommitment> make_history(const std::string& key,
+                                               std::size_t n,
+                                               const std::string& salt = "") {
+  std::vector<SignedViewCommitment> out;
+  Bytes prev = ViewCommitment::genesis_link();
+  for (std::size_t seq = 1; seq <= n; ++seq) {
+    ViewCommitment view;
+    view.object_key = key;
+    view.global_seq = seq;
+    view.client = "alice";
+    view.op_record_hash =
+        crypto::sha256(common::to_bytes("op|" + salt + std::to_string(seq)));
+    view.head_version = seq;
+    view.head_root =
+        crypto::sha256(common::to_bytes("root|" + salt + std::to_string(seq)));
+    view.observed_head = prev;
+    view.prev_commit_hash = prev;
+    out.push_back(sign_view(std::move(view)));
+    prev = out.back().view.hash();
+  }
+  return out;
+}
+
+ForkChecker make_checker() {
+  return ForkChecker("obj", provider_identity().public_key());
+}
+
+TEST(ForkChecker, ExtendsAndRecognisesDuplicates) {
+  ForkChecker checker = make_checker();
+  const auto commits = make_history("obj", 3);
+
+  EXPECT_EQ(checker.observe(commits[0]), ObserveOutcome::kExtended);
+  EXPECT_EQ(checker.observe(commits[1]), ObserveOutcome::kExtended);
+  EXPECT_EQ(checker.observe(commits[1]), ObserveOutcome::kDuplicate);
+  EXPECT_EQ(checker.observe(commits[0]), ObserveOutcome::kDuplicate);
+  EXPECT_EQ(checker.observe(commits[2]), ObserveOutcome::kExtended);
+
+  EXPECT_EQ(checker.view().head_seq(), 3u);
+  EXPECT_FALSE(checker.forked());
+  EXPECT_EQ(checker.suspicions(), 0u);
+}
+
+TEST(ForkChecker, ConflictLatchesFirstEquivocationProof) {
+  ForkChecker checker = make_checker();
+  const auto main_branch = make_history("obj", 3, "main");
+  const auto fork_branch = make_history("obj", 3, "fork");
+  for (const auto& commit : main_branch) checker.observe(commit);
+
+  EXPECT_EQ(checker.observe(fork_branch[1]), ObserveOutcome::kConflict);
+  ASSERT_TRUE(checker.forked());
+  ASSERT_TRUE(checker.proof().has_value());
+  const EquivocationProof first = *checker.proof();
+  std::string why;
+  EXPECT_TRUE(first.valid(provider_identity().public_key(), &why)) << why;
+  EXPECT_EQ(first.a.view.global_seq, first.b.view.global_seq);
+
+  // A second conflict still classifies but never overwrites the proof.
+  EXPECT_EQ(checker.observe(fork_branch[2]), ObserveOutcome::kConflict);
+  EXPECT_EQ(checker.proof()->encode(), first.encode());
+
+  // The witnessed history itself is untouched by conflicting observations.
+  EXPECT_EQ(checker.view().head_seq(), 3u);
+  EXPECT_EQ(checker.view().at(2)->encode(), main_branch[1].encode());
+}
+
+TEST(ForkChecker, GapsAndUnlinkedCountAsSuspicionsNotForks) {
+  ForkChecker checker = make_checker();
+  const auto commits = make_history("obj", 4);
+  checker.observe(commits[0]);
+
+  // Skipping ahead: could be packet loss, never an accusation.
+  EXPECT_EQ(checker.observe(commits[2]), ObserveOutcome::kGap);
+  EXPECT_EQ(checker.suspicions(), 1u);
+  EXPECT_FALSE(checker.forked());
+
+  // Next position but the links disagree: suspicion too (a valid signed
+  // commitment for an UNSEEN position cannot prove which side forked).
+  SignedViewCommitment unlinked = commits[1];
+  unlinked.view.prev_commit_hash = crypto::sha256(common::to_bytes("cut"));
+  unlinked.view.observed_head = unlinked.view.prev_commit_hash;
+  unlinked.provider_sig = provider_identity().sign(unlinked.view.encode());
+  EXPECT_EQ(checker.observe(unlinked), ObserveOutcome::kUnlinked);
+  EXPECT_EQ(checker.suspicions(), 2u);
+  EXPECT_FALSE(checker.forked());
+
+  // The unlinked commitment was never absorbed, so the true position 2
+  // still extends cleanly after a re-sync — suspicions alone never turn
+  // into an accusation.
+  EXPECT_EQ(checker.observe(commits[1]), ObserveOutcome::kExtended);
+  EXPECT_EQ(checker.observe(commits[2]), ObserveOutcome::kExtended);
+  EXPECT_FALSE(checker.forked());
+  EXPECT_EQ(checker.view().head_seq(), 3u);
+}
+
+TEST(ForkChecker, RejectsWrongObjectAndBadSignatures) {
+  ForkChecker checker = make_checker();
+  const auto other = make_history("other-obj", 1);
+  EXPECT_EQ(checker.observe(other[0]), ObserveOutcome::kRejected);
+
+  auto forged = make_history("obj", 1)[0];
+  forged.view.head_version = 99;
+  EXPECT_EQ(checker.observe(forged), ObserveOutcome::kRejected);
+
+  EXPECT_TRUE(checker.view().empty());
+  EXPECT_FALSE(checker.forked());
+  EXPECT_EQ(checker.suspicions(), 0u);
+}
+
+TEST(ForkChecker, MergeReturnsWorstOutcomeInBatch) {
+  const auto main_branch = make_history("obj", 4, "main");
+  const auto fork_branch = make_history("obj", 4, "fork");
+
+  // Overlapping honest tails: the batch verdict stays in the clean
+  // extended/duplicate band and the history catches up.
+  ForkChecker honest = make_checker();
+  honest.observe(main_branch[0]);
+  honest.observe(main_branch[1]);
+  EXPECT_EQ(honest.merge(std::span(main_branch).subspan(0, 3)),
+            ObserveOutcome::kDuplicate);  // first overlap fixes the verdict
+  EXPECT_EQ(honest.view().head_seq(), 3u);
+  EXPECT_EQ(honest.merge(std::span(main_branch).subspan(3)),
+            ObserveOutcome::kExtended);
+  EXPECT_FALSE(honest.forked());
+
+  // A batch containing one conflicting position is a fork regardless of
+  // how many clean commitments surround it.
+  ForkChecker victim = make_checker();
+  victim.merge(main_branch);
+  EXPECT_EQ(victim.merge(fork_branch), ObserveOutcome::kConflict);
+  EXPECT_TRUE(victim.forked());
+
+  // A gapped tail merges as suspicion, not conflict.
+  ForkChecker lagging = make_checker();
+  lagging.observe(main_branch[0]);
+  EXPECT_EQ(lagging.merge(std::span(main_branch).subspan(2)),
+            ObserveOutcome::kGap);
+  EXPECT_FALSE(lagging.forked());
+  EXPECT_GT(lagging.suspicions(), 0u);
+}
+
+TEST(ForkChecker, HonestGossipOverlapNeverAccuses) {
+  // Two honest clients at different depths exchange full witnessed views
+  // repeatedly; neither ever forks — the no-false-accusation property at
+  // the checker level.
+  const auto commits = make_history("obj", 6);
+  ForkChecker fast = make_checker();
+  ForkChecker slow = make_checker();
+  fast.merge(commits);
+  slow.merge(std::span(commits).subspan(0, 3));
+
+  for (int round = 0; round < 3; ++round) {
+    slow.merge(fast.view().commitments());
+    fast.merge(slow.view().commitments());
+  }
+  EXPECT_FALSE(fast.forked());
+  EXPECT_FALSE(slow.forked());
+  EXPECT_EQ(slow.view().head_seq(), 6u);
+  EXPECT_EQ(fast.suspicions(), 0u);
+  EXPECT_EQ(slow.suspicions(), 0u);
+}
+
+TEST(ForkChecker, OutcomeNamesAreDistinct) {
+  EXPECT_NE(observe_outcome_name(ObserveOutcome::kConflict),
+            observe_outcome_name(ObserveOutcome::kGap));
+  EXPECT_FALSE(observe_outcome_name(ObserveOutcome::kExtended).empty());
+}
+
+}  // namespace
+}  // namespace tpnr::consistency

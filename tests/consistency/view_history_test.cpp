@@ -1,0 +1,243 @@
+// View commitments: encoding, hash-chaining, signed verification, the
+// append rules of ViewHistory, walk_view's TTP validation, and the
+// self-certifying EquivocationProof.
+#include "consistency/view_history.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serial.h"
+#include "crypto/drbg.h"
+#include "crypto/hash.h"
+#include "pki/identity.h"
+
+namespace tpnr::consistency {
+namespace {
+
+using common::Bytes;
+
+const pki::Identity& provider_identity() {
+  static const pki::Identity* identity = [] {
+    crypto::Drbg rng(std::uint64_t{70707});
+    return new pki::Identity("provider", 1024, rng);
+  }();
+  return *identity;
+}
+
+ViewCommitment make_view(const std::string& key, std::uint64_t seq,
+                         const Bytes& prev, const std::string& salt) {
+  ViewCommitment view;
+  view.object_key = key;
+  view.global_seq = seq;
+  view.client = (seq % 2 == 0) ? "carol" : "alice";
+  view.op_record_hash =
+      crypto::sha256(common::to_bytes("op|" + salt + std::to_string(seq)));
+  view.head_version = seq;
+  view.head_root =
+      crypto::sha256(common::to_bytes("root|" + salt + std::to_string(seq)));
+  view.observed_head = prev;
+  view.prev_commit_hash = prev;
+  return view;
+}
+
+SignedViewCommitment sign_view(ViewCommitment view) {
+  SignedViewCommitment signed_view;
+  signed_view.provider_sig = provider_identity().sign(view.encode());
+  signed_view.view = std::move(view);
+  return signed_view;
+}
+
+/// A well-formed, provider-signed history of `n` commitments. `salt`
+/// varies the contents so two histories for the same key can diverge.
+std::vector<SignedViewCommitment> make_history(const std::string& key,
+                                               std::size_t n,
+                                               const std::string& salt = "") {
+  std::vector<SignedViewCommitment> out;
+  Bytes prev = ViewCommitment::genesis_link();
+  for (std::size_t seq = 1; seq <= n; ++seq) {
+    out.push_back(sign_view(make_view(key, seq, prev, salt)));
+    prev = out.back().view.hash();
+  }
+  return out;
+}
+
+TEST(ViewCommitment, EncodeDecodeRoundTripsAndHashIsStable) {
+  const ViewCommitment view =
+      make_view("obj", 3, crypto::sha256(common::to_bytes("prev")), "x");
+  const ViewCommitment back = ViewCommitment::decode(view.encode());
+  EXPECT_EQ(back.object_key, view.object_key);
+  EXPECT_EQ(back.global_seq, view.global_seq);
+  EXPECT_EQ(back.client, view.client);
+  EXPECT_EQ(back.op_record_hash, view.op_record_hash);
+  EXPECT_EQ(back.head_version, view.head_version);
+  EXPECT_EQ(back.head_root, view.head_root);
+  EXPECT_EQ(back.observed_head, view.observed_head);
+  EXPECT_EQ(back.prev_commit_hash, view.prev_commit_hash);
+  EXPECT_EQ(back.hash(), view.hash());
+
+  ViewCommitment tampered = view;
+  tampered.head_version = 4;
+  EXPECT_NE(tampered.hash(), view.hash());
+}
+
+TEST(ViewCommitment, GenesisLinkIsThirtyTwoZeroBytes) {
+  const Bytes& genesis = ViewCommitment::genesis_link();
+  ASSERT_EQ(genesis.size(), 32u);
+  for (const std::uint8_t byte : genesis) EXPECT_EQ(byte, 0u);
+}
+
+TEST(ViewCommitment, DecodeRejectsTruncatedInput) {
+  Bytes encoded = make_view("obj", 1, ViewCommitment::genesis_link(), "x")
+                      .encode();
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW(ViewCommitment::decode(encoded), common::SerialError);
+}
+
+TEST(SignedViewCommitment, VerifiesProviderSignatureOnly) {
+  const auto history = make_history("obj", 1);
+  EXPECT_TRUE(history[0].verify(provider_identity().public_key()));
+
+  SignedViewCommitment forged = history[0];
+  forged.view.head_version = 99;  // signature no longer covers the view
+  EXPECT_FALSE(forged.verify(provider_identity().public_key()));
+
+  crypto::Drbg rng(std::uint64_t{70708});
+  const pki::Identity other("other", 1024, rng);
+  EXPECT_FALSE(history[0].verify(other.public_key()));
+}
+
+TEST(ViewHistory, AppendsWellLinkedCommitments) {
+  ViewHistory history;
+  EXPECT_TRUE(history.empty());
+  EXPECT_EQ(history.head_seq(), 0u);
+  EXPECT_EQ(history.head_hash(), ViewCommitment::genesis_link());
+
+  std::string why;
+  for (const auto& commit : make_history("obj", 4)) {
+    EXPECT_TRUE(history.append(commit, &why)) << why;
+  }
+  EXPECT_EQ(history.head_seq(), 4u);
+  EXPECT_EQ(history.head_hash(), history.commitments().back().view.hash());
+
+  const SignedViewCommitment* third = history.at(3);
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(third->view.global_seq, 3u);
+  EXPECT_EQ(history.at(0), nullptr);
+  EXPECT_EQ(history.at(5), nullptr);
+}
+
+TEST(ViewHistory, AppendRejectsSequenceLinkAndObservedHeadBreaks) {
+  const auto commits = make_history("obj", 3);
+  ViewHistory history;
+  ASSERT_TRUE(history.append(commits[0]));
+
+  std::string why;
+  // Skipping a position.
+  EXPECT_FALSE(history.append(commits[2], &why));
+  EXPECT_FALSE(why.empty());
+
+  // Wrong object.
+  SignedViewCommitment wrong_object = commits[1];
+  wrong_object.view.object_key = "other";
+  EXPECT_FALSE(history.append(wrong_object, &why));
+
+  // Broken hash link.
+  SignedViewCommitment unlinked = commits[1];
+  unlinked.view.prev_commit_hash = crypto::sha256(common::to_bytes("bogus"));
+  EXPECT_FALSE(history.append(unlinked, &why));
+
+  // Fork-join rule: the provider may only commit an op whose observed
+  // head IS the head it extends.
+  SignedViewCommitment stale_observer = commits[1];
+  stale_observer.view.observed_head =
+      crypto::sha256(common::to_bytes("stale"));
+  EXPECT_FALSE(history.append(stale_observer, &why));
+
+  // The well-formed commitment still goes through.
+  EXPECT_TRUE(history.append(commits[1], &why)) << why;
+  EXPECT_EQ(history.head_seq(), 2u);
+}
+
+TEST(WalkView, ValidatesStructureAndSignatures) {
+  const auto commits = make_history("obj", 5);
+  const auto& key = provider_identity().public_key();
+
+  EXPECT_EQ(walk_view(commits, key).status, ViewWalkStatus::kValid);
+  EXPECT_EQ(walk_view({}, key).status, ViewWalkStatus::kEmpty);
+
+  auto broken = commits;
+  broken[3].view.prev_commit_hash = crypto::sha256(common::to_bytes("cut"));
+  broken[3].provider_sig = provider_identity().sign(broken[3].view.encode());
+  const ViewWalkResult link_walk = walk_view(broken, key);
+  EXPECT_EQ(link_walk.status, ViewWalkStatus::kBrokenLink);
+  EXPECT_EQ(link_walk.at_seq, 4u);
+
+  auto unsigned_tail = commits;
+  unsigned_tail[4].view.head_version = 99;  // signature now stale
+  const ViewWalkResult sig_walk = walk_view(unsigned_tail, key);
+  EXPECT_EQ(sig_walk.status, ViewWalkStatus::kBadSignature);
+  EXPECT_EQ(sig_walk.at_seq, 5u);
+
+  EXPECT_FALSE(view_walk_status_name(ViewWalkStatus::kBrokenLink).empty());
+}
+
+TEST(EquivocationProof, ValidOnlyForConflictingSignedSamePositionPair) {
+  const auto main_branch = make_history("obj", 3, "main");
+  const auto fork_branch = make_history("obj", 3, "fork");
+  const auto& key = provider_identity().public_key();
+
+  EquivocationProof proof;
+  proof.object_key = "obj";
+  proof.a = main_branch[2];
+  proof.b = fork_branch[2];
+  std::string why;
+  EXPECT_TRUE(proof.valid(key, &why)) << why;
+  EXPECT_FALSE(proof.describe().empty());
+
+  // Identical commitments prove nothing.
+  EquivocationProof same;
+  same.object_key = "obj";
+  same.a = main_branch[2];
+  same.b = main_branch[2];
+  EXPECT_FALSE(same.valid(key, &why));
+
+  // Different positions prove nothing.
+  EquivocationProof skewed;
+  skewed.object_key = "obj";
+  skewed.a = main_branch[1];
+  skewed.b = fork_branch[2];
+  EXPECT_FALSE(skewed.valid(key, &why));
+
+  // A forged half invalidates the proof.
+  EquivocationProof forged = proof;
+  forged.b.view.head_version = 99;
+  EXPECT_FALSE(forged.valid(key, &why));
+
+  // The wrong provider key invalidates the proof.
+  crypto::Drbg rng(std::uint64_t{70709});
+  const pki::Identity other("other", 1024, rng);
+  EXPECT_FALSE(proof.valid(other.public_key(), &why));
+}
+
+TEST(EquivocationProof, RoundTripsThroughEncodeDecode) {
+  const auto main_branch = make_history("obj", 2, "main");
+  const auto fork_branch = make_history("obj", 2, "fork");
+  EquivocationProof proof;
+  proof.object_key = "obj";
+  proof.a = main_branch[1];
+  proof.b = fork_branch[1];
+
+  const EquivocationProof back = EquivocationProof::decode(proof.encode());
+  EXPECT_EQ(back.object_key, proof.object_key);
+  EXPECT_EQ(back.a.encode(), proof.a.encode());
+  EXPECT_EQ(back.b.encode(), proof.b.encode());
+  std::string why;
+  EXPECT_TRUE(back.valid(provider_identity().public_key(), &why)) << why;
+}
+
+}  // namespace
+}  // namespace tpnr::consistency

@@ -20,6 +20,7 @@ trap 'rm -rf "$WORKDIR"' EXIT
 # Small instances: determinism does not depend on workload size.
 export TPNR_CHAOS_TRIALS=6
 export TPNR_DYN_MAX_CHUNKS=64
+export TPNR_FORK_SWEEP=small
 
 run_bench() { # <binary> <tag> <shards> <workers> -> path of captured JsonLine
   local binary="$1" tag="$2" shards="$3" workers="$4"
@@ -30,7 +31,7 @@ run_bench() { # <binary> <tag> <shards> <workers> -> path of captured JsonLine
 }
 
 status=0
-for binary in bench_fig6_tpnr_modes bench_chaos bench_dyn_audit; do
+for binary in bench_fig6_tpnr_modes bench_chaos bench_dyn_audit bench_fork_detection; do
   if [[ ! -x "$BENCH_DIR/$binary" ]]; then
     echo "SKIP: $BENCH_DIR/$binary not built" >&2
     continue

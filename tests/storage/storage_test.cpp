@@ -261,5 +261,88 @@ TEST_F(ObjectStoreTest, FaultLogForFiltersByKey) {
   EXPECT_TRUE(store_.fault_log_for("missing").empty());
 }
 
+TEST_F(ObjectStoreTest, ArmEquivocationServesPerClientViews) {
+  store_.put("k", to_bytes("the real bytes"), {}, 1);
+  std::map<std::string, ClientView> views;
+  views["alice"] = ClientView{2, to_bytes("alice's fork")};
+  views["carol"] = ClientView{2, to_bytes("carol's fork")};
+  ASSERT_TRUE(store_.arm_equivocation("k", views));
+  EXPECT_TRUE(store_.equivocation_armed("k"));
+
+  const auto alice_view = store_.get_as("k", "alice");
+  const auto carol_view = store_.get_as("k", "carol");
+  ASSERT_TRUE(alice_view.has_value());
+  ASSERT_TRUE(carol_view.has_value());
+  EXPECT_EQ(alice_view->version, 2u);
+  EXPECT_EQ(alice_view->data, to_bytes("alice's fork"));
+  EXPECT_EQ(carol_view->data, to_bytes("carol's fork"));
+  // The synthetic record self-checks: its MD5 matches the served bytes.
+  EXPECT_EQ(alice_view->stored_md5, crypto::md5(alice_view->data.view()));
+
+  // A client with no armed view falls through to the real object.
+  const auto dave_view = store_.get_as("k", "dave");
+  ASSERT_TRUE(dave_view.has_value());
+  EXPECT_EQ(dave_view->version, 1u);
+  EXPECT_EQ(dave_view->data, to_bytes("the real bytes"));
+
+  // Both divergent views were logged as kEquivocation faults.
+  const auto log = store_.fault_log_for("k");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].kind, FaultKind::kEquivocation);
+  EXPECT_EQ(log[1].kind, FaultKind::kEquivocation);
+}
+
+TEST_F(ObjectStoreTest, ArmEquivocationOnlyLogsDivergentViews) {
+  store_.put("k", to_bytes("same bytes"), {}, 1);
+  std::map<std::string, ClientView> views;
+  views["alice"] = ClientView{1, to_bytes("same bytes")};  // matches reality
+  views["carol"] = ClientView{2, to_bytes("forked bytes")};
+  ASSERT_TRUE(store_.arm_equivocation("k", views));
+
+  // Only carol's view actually diverges from the committed record; the
+  // event records the version the divergent view CLAIMS.
+  ASSERT_EQ(store_.fault_log_for("k").size(), 1u);
+  EXPECT_EQ(store_.fault_log_for("k")[0].kind, FaultKind::kEquivocation);
+  EXPECT_EQ(store_.fault_log_for("k")[0].version, 2u);
+}
+
+TEST_F(ObjectStoreTest, DisarmEquivocationRestoresPlainReads) {
+  store_.put("k", to_bytes("real"), {}, 1);
+  std::map<std::string, ClientView> views;
+  views["alice"] = ClientView{7, to_bytes("fake")};
+  ASSERT_TRUE(store_.arm_equivocation("k", views));
+  ASSERT_TRUE(store_.equivocation_armed("k"));
+
+  store_.disarm_equivocation("k");
+  EXPECT_FALSE(store_.equivocation_armed("k"));
+  const auto view = store_.get_as("k", "alice");
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->version, 1u);
+  EXPECT_EQ(view->data, to_bytes("real"));
+}
+
+TEST_F(ObjectStoreTest, ReArmingReplacesTheForkViews) {
+  store_.put("k", to_bytes("real"), {}, 1);
+  std::map<std::string, ClientView> first;
+  first["alice"] = ClientView{2, to_bytes("fork v2")};
+  ASSERT_TRUE(store_.arm_equivocation("k", first));
+  std::map<std::string, ClientView> second;
+  second["alice"] = ClientView{3, to_bytes("fork v3")};
+  ASSERT_TRUE(store_.arm_equivocation("k", second));
+
+  const auto view = store_.get_as("k", "alice");
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->version, 3u);
+  EXPECT_EQ(view->data, to_bytes("fork v3"));
+}
+
+TEST_F(ObjectStoreTest, ArmEquivocationRejectsUnknownKey) {
+  std::map<std::string, ClientView> views;
+  views["alice"] = ClientView{1, to_bytes("x")};
+  EXPECT_FALSE(store_.arm_equivocation("missing", views));
+  EXPECT_FALSE(store_.equivocation_armed("missing"));
+  EXPECT_FALSE(store_.get_as("missing", "alice").has_value());
+}
+
 }  // namespace
 }  // namespace tpnr::storage
