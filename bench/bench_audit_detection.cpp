@@ -29,7 +29,7 @@ constexpr std::uint64_t kRounds = 8;
 
 struct AuditWorld {
   explicit AuditWorld(std::uint64_t seed)
-      : network(seed),
+      : network(seed, bench::options_from_env()),
         rng(seed + 1),
         alice_id(bench::identity("alice")),
         bob_id(bench::identity("bob")),
@@ -73,7 +73,7 @@ struct AuditWorld {
     bob.tamper(txn, tampered);
   }
 
-  net::Network network;
+  net::Network network;  // constructed with options_from_env() above
   crypto::Drbg rng;
   pki::Identity alice_id;
   pki::Identity bob_id;
@@ -304,5 +304,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_crypto_counters();
+  tpnr::bench::emit_process_meta("audit_detection");
   return 0;
 }

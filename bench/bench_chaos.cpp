@@ -362,5 +362,6 @@ int main(int argc, char** argv) {
   print_fault_matrix();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("chaos");
   return 0;
 }

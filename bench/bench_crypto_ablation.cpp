@@ -533,5 +533,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_crypto_counters();
+  tpnr::bench::emit_process_meta("crypto_ablation");
   return 0;
 }

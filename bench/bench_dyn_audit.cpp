@@ -284,5 +284,6 @@ int main(int argc, char** argv) {
   print_mode_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("dyn_audit");
   return 0;
 }

@@ -17,7 +17,7 @@ using namespace tpnr;  // NOLINT(google-build-using-namespace)
 
 struct ChunkWorld {
   explicit ChunkWorld(std::uint64_t seed)
-      : network(seed),
+      : network(seed, bench::options_from_env()),
         rng(seed + 1),
         alice_id(bench::identity("alice")),
         bob_id(bench::identity("bob")),
@@ -26,7 +26,7 @@ struct ChunkWorld {
     alice.trust_peer("bob", bob_id.public_key());
     bob.trust_peer("alice", alice_id.public_key());
   }
-  net::Network network;
+  net::Network network;  // constructed with options_from_env() above
   crypto::Drbg rng;
   pki::Identity alice_id;
   pki::Identity bob_id;
@@ -129,7 +129,7 @@ BENCHMARK(BM_FullFetchBaseline);
 
 struct ReplicaWorld {
   explicit ReplicaWorld(std::uint64_t seed, int replicas)
-      : network(seed),
+      : network(seed, bench::options_from_env()),
         rng(seed + 1),
         alice_id(bench::identity("alice")),
         alice("alice", network, alice_id, rng) {
@@ -147,7 +147,7 @@ struct ReplicaWorld {
     coordinator =
         std::make_unique<nr::ReplicationCoordinator>(alice, names, "");
   }
-  net::Network network;
+  net::Network network;  // constructed with options_from_env() above
   crypto::Drbg rng;
   pki::Identity alice_id;
   nr::ClientActor alice;
@@ -195,5 +195,6 @@ int main(int argc, char** argv) {
   print_audit_vs_download();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("ext_large_objects");
   return 0;
 }

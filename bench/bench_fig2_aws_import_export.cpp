@@ -175,5 +175,6 @@ int main(int argc, char** argv) {
   print_protocol_vs_shipping();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("fig2_aws_import_export");
   return 0;
 }

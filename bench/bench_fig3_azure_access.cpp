@@ -136,5 +136,6 @@ int main(int argc, char** argv) {
   print_fig3_walkthrough();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("fig3_azure_access");
   return 0;
 }

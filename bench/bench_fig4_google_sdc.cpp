@@ -141,5 +141,6 @@ int main(int argc, char** argv) {
   print_fig4_walkthrough();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("fig4_google_sdc");
   return 0;
 }

@@ -182,5 +182,6 @@ int main(int argc, char** argv) {
   print_fig5_experiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("fig5_integrity_gap");
   return 0;
 }

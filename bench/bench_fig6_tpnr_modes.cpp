@@ -40,7 +40,7 @@ struct TpnrWorld {
     ttp.trust_peer("bob", bob_id.public_key());
   }
 
-  net::Network network;
+  net::Network network;  // constructed with options_from_env() above
   crypto::Drbg rng;
   pki::Identity alice_id;
   pki::Identity bob_id;
@@ -257,5 +257,6 @@ int main(int argc, char** argv) {
   print_mode_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("fig6_tpnr_modes");
   return 0;
 }

@@ -135,7 +135,7 @@ struct ForkWorld {
     return false;
   }
 
-  net::Network network;
+  net::Network network;  // constructed with options_from_env() above
   crypto::Drbg rng;
   std::unique_ptr<pki::Identity> bob_id;
   std::vector<std::unique_ptr<pki::Identity>> client_ids;
@@ -276,5 +276,6 @@ int main(int argc, char** argv) {
   print_fork_detection_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("fork_detection");
   return 0;
 }

@@ -300,5 +300,6 @@ int main(int argc, char** argv) {
   print_checkpoint_effect();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("persist_recovery");
   return 0;
 }

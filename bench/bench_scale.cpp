@@ -15,11 +15,22 @@
 // clean link and on a lossy/duplicating chaos link, and reports how many
 // byte copies the COW representation eliminated.
 //
-// Env knobs: TPNR_SHARDS / TPNR_WORKERS add an extra sweep point;
-// TPNR_SCALE_PAIRS / TPNR_SCALE_TXNS_PER_PAIR resize the workload (CI uses
-// a small instance); TPNR_BENCH_JSON collects the JsonLine records.
+// A third sweep — the FLEET experiment — exercises the full fleet runtime:
+// C independent clients route single stores over a consistent-hash ring of
+// P providers (every 4th client through the placement directory), resolve
+// traffic is sharded over T TTP partitions by txn-id hash (one provider
+// withholds receipts so the partitions serve real Resolve traffic), and the
+// whole fleet runs per (shards, workers) point. The outcome digest must be
+// identical across TPNR_SHARDS=1,2,4 and the workers=4 point must beat
+// workers=1 wall-clock on a multi-core host.
+//
+// Env knobs: TPNR_SHARDS / TPNR_WORKERS / TPNR_TIMER_WHEEL add an extra
+// sweep point / select the event store; TPNR_SCALE_PAIRS /
+// TPNR_SCALE_TXNS_PER_PAIR resize the pair workload; TPNR_FLEET_CLIENTS /
+// TPNR_FLEET_PROVIDERS / TPNR_FLEET_TTPS / TPNR_FLEET_KEY_BITS /
+// TPNR_FLEET_CAPACITY_CLIENTS size the fleet sweep (CI holds 100k clients
+// at 784-bit keys); TPNR_BENCH_JSON collects the JsonLine records.
 #include <benchmark/benchmark.h>
-#include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
@@ -35,26 +46,17 @@
 #include "crypto/hash.h"
 #include "net/network.h"
 #include "nr/client.h"
+#include "nr/directory.h"
 #include "nr/provider.h"
 #include "nr/ttp.h"
+#include "runtime/placement.h"
 
 namespace {
 
 using namespace tpnr;  // NOLINT(google-build-using-namespace)
 using common::kMillisecond;
-
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  const long parsed = std::strtol(env, nullptr, 10);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
-}
-
-bool env_flag(const char* name, bool fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  return !(env[0] == '0' && env[1] == '\0');
-}
+using tpnr::bench::env_flag;
+using tpnr::bench::env_size;
 
 std::size_t pairs() { return env_size("TPNR_SCALE_PAIRS", 8); }
 std::size_t txns_per_pair() { return env_size("TPNR_SCALE_TXNS_PER_PAIR", 64); }
@@ -91,12 +93,6 @@ common::SimTime percentile(std::vector<common::SimTime> values, double p) {
   return values[std::min(rank, values.size() - 1)];
 }
 
-std::uint64_t peak_rss_kb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<std::uint64_t>(usage.ru_maxrss);
-}
-
 ScaleResult run_scale(const ScaleConfig& config) {
   common::Payload::set_eager_copy_mode(config.eager_copy);
   common::Payload::reset_counters();
@@ -104,7 +100,11 @@ ScaleResult run_scale(const ScaleConfig& config) {
   const std::size_t n_pairs = pairs();
   const std::size_t n_txns = txns_per_pair();
 
-  net::Network network(42, {config.shards, config.workers});
+  net::NetworkOptions net_options;
+  net_options.shards = config.shards;
+  net_options.workers = config.workers;
+  net_options.use_timer_wheel = env_flag("TPNR_TIMER_WHEEL", true);
+  net::Network network(42, net_options);
   net::LinkConfig link;
   link.latency = 5 * kMillisecond;
   if (config.chaos) {
@@ -293,7 +293,7 @@ void emit(const ScaleConfig& config, const ScaleResult& r,
       .field("events", r.events)
       .field("rounds", r.rounds)
       .field("parallel_rounds", r.parallel_rounds)
-      .field("peak_rss_kb", peak_rss_kb())
+      .field("peak_rss_kb", bench::peak_rss_kb())
       .print();
 }
 
@@ -421,6 +421,382 @@ void print_copy_ab() {
   bench::print_table("payload copies: by-value baseline vs COW", rows);
 }
 
+// ---------------------------------------------------------------------------
+// Fleet experiment: consistent-hash placement + directory + partitioned TTP.
+// ---------------------------------------------------------------------------
+
+struct FleetConfig {
+  std::string name;
+  std::size_t clients = 256;
+  std::size_t providers = 8;
+  std::size_t ttp_partitions = 4;
+  std::uint32_t shards = 4;
+  std::uint32_t workers = 1;
+  std::size_t key_bits = 1024;
+  std::size_t payload_bytes = 256;
+  bool fetch = false;
+};
+
+struct FleetResult {
+  std::size_t txns = 0;
+  std::size_t completed = 0;  ///< kCompleted + kResolvedCompleted
+  std::size_t resolved = 0;   ///< completed through a TTP partition
+  std::size_t deferred = 0;   ///< stores parked on a directory lookup
+  std::uint64_t dir_lookups = 0;
+  std::size_t partitions_used = 0;  ///< distinct TTP partitions assigned
+  std::size_t fetch_ok = 0;
+  double wall_ms = 0.0;
+  double txns_per_sec = 0.0;
+  std::string digest;  ///< protocol-outcome digest (shard/worker-invariant)
+};
+
+/// Fleet shape from the environment. The key-bits floor is 784: the OAEP
+/// evidence envelope needs a 98-byte modulus, and CI's 100k-client capacity
+/// point uses exactly that minimum to keep RSA private ops affordable.
+FleetConfig fleet_base_from_env() {
+  FleetConfig config;
+  config.clients = env_size("TPNR_FLEET_CLIENTS", 256);
+  config.providers = env_size("TPNR_FLEET_PROVIDERS", 8);
+  config.ttp_partitions = env_size("TPNR_FLEET_TTPS", 4);
+  config.key_bits =
+      std::max<std::size_t>(env_size("TPNR_FLEET_KEY_BITS", 1024), 784);
+  config.payload_bytes = env_size("TPNR_FLEET_PAYLOAD", 256);
+  config.fetch = env_flag("TPNR_FLEET_FETCH", false);
+  return config;
+}
+
+FleetResult run_fleet(const FleetConfig& config) {
+  net::NetworkOptions net_options;
+  net_options.shards = config.shards;
+  net_options.workers = config.workers;
+  net_options.use_timer_wheel = env_flag("TPNR_TIMER_WHEEL", true);
+  net::Network network(43, net_options);
+  net::LinkConfig link;
+  link.latency = 5 * kMillisecond;
+  network.set_default_link(link);
+
+  // The driver-owned ring every client shares. 32 vnodes per provider keeps
+  // the ring small while spreading keys within a few percent of uniform.
+  runtime::Placement ring(32);
+  std::vector<std::string> provider_names(config.providers);
+  for (std::size_t i = 0; i < config.providers; ++i) {
+    provider_names[i] = "p-" + std::to_string(i);
+    ring.add_provider(provider_names[i]);
+  }
+  std::vector<std::string> partition_names(config.ttp_partitions);
+  for (std::size_t i = 0; i < config.ttp_partitions; ++i) {
+    partition_names[i] =
+        nr::ttp_partition_name("ttp", static_cast<std::uint32_t>(i));
+  }
+
+  // Clients register FIRST: endpoints are round-robined over shards in
+  // registration order, and clients dominate the endpoint population, so
+  // this spreads the client-side crypto evenly across every worker.
+  struct FleetClient {
+    std::unique_ptr<crypto::Drbg> rng;
+    std::unique_ptr<pki::Identity> identity;
+    std::unique_ptr<nr::ClientActor> actor;
+    std::string object_key;
+    std::size_t owner = 0;        ///< index into provider_names
+    bool via_directory = false;   ///< store routed through kDirLookup
+  };
+  std::vector<FleetClient> clients(config.clients);
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    FleetClient& c = clients[i];
+    const std::string name = "c-" + std::to_string(i);
+    c.rng = std::make_unique<crypto::Drbg>(100000 + i);
+    c.identity = std::make_unique<pki::Identity>(
+        bench::pooled_identity(name, "fleet-client", config.key_bits));
+    c.actor = std::make_unique<nr::ClientActor>(name, network, *c.identity,
+                                                *c.rng);
+    c.actor->set_placement(&ring);
+    c.actor->set_directory("dir");
+    c.actor->set_ttp_partitions(partition_names);
+    c.actor->reserve_txns(2);
+    c.object_key = "obj-" + std::to_string(i);
+    const std::string& owner = ring.owner(c.object_key);
+    c.owner = static_cast<std::size_t>(
+        std::find(provider_names.begin(), provider_names.end(), owner) -
+        provider_names.begin());
+    // Every 4th client starts cold: no owner key, so its store takes the
+    // kDirLookup -> kDirReply detour before issuing.
+    c.via_directory = (i % 4 == 0);
+  }
+
+  struct FleetNode {
+    std::unique_ptr<crypto::Drbg> rng;
+    std::unique_ptr<pki::Identity> identity;
+    std::unique_ptr<nr::ProviderActor> provider;
+    std::unique_ptr<nr::TtpActor> ttp;
+  };
+  std::vector<FleetNode> providers(config.providers);
+  for (std::size_t i = 0; i < config.providers; ++i) {
+    FleetNode& node = providers[i];
+    node.rng = std::make_unique<crypto::Drbg>(200000 + i);
+    node.identity = std::make_unique<pki::Identity>(bench::pooled_identity(
+        provider_names[i], "fleet-provider", config.key_bits));
+    node.provider = std::make_unique<nr::ProviderActor>(
+        provider_names[i], network, *node.identity, *node.rng);
+    node.provider->reserve_txns(config.clients / config.providers + 1);
+  }
+  // The last provider withholds receipts (the unfair Bob of §4), so every
+  // client it owns escalates to its hashed TTP partition — the partitions
+  // carry real Resolve traffic, not just assignments.
+  if (config.providers > 1) {
+    nr::ProviderBehavior unfair;
+    unfair.send_store_receipts = false;
+    providers.back().provider->set_behavior(unfair);
+  }
+  std::vector<FleetNode> ttps(config.ttp_partitions);
+  for (std::size_t i = 0; i < config.ttp_partitions; ++i) {
+    FleetNode& node = ttps[i];
+    node.rng = std::make_unique<crypto::Drbg>(300000 + i);
+    node.identity = std::make_unique<pki::Identity>(bench::pooled_identity(
+        partition_names[i], "fleet-ttp", config.key_bits));
+    node.ttp = std::make_unique<nr::TtpActor>(partition_names[i], network,
+                                              *node.identity, *node.rng);
+  }
+  crypto::Drbg dir_rng(400000);
+  auto dir_identity =
+      bench::pooled_identity("dir", "fleet-dir", config.key_bits);
+  nr::DirectoryActor directory("dir", network, dir_identity, dir_rng, ring);
+
+  // Trust wiring. Provider <-> TTP edges are P x T; everything touching
+  // clients is O(C) thanks to ring ownership (a client only ever talks to
+  // its owner) and process-wide key interning.
+  for (std::size_t p = 0; p < config.providers; ++p) {
+    directory.register_provider_key(provider_names[p],
+                                    providers[p].identity->public_key());
+    for (std::size_t t = 0; t < config.ttp_partitions; ++t) {
+      providers[p].provider->trust_peer(partition_names[t],
+                                        ttps[t].identity->public_key());
+      ttps[t].ttp->trust_peer(provider_names[p],
+                              providers[p].identity->public_key());
+    }
+  }
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    FleetClient& c = clients[i];
+    const std::string& name = c.actor->id();
+    const crypto::RsaPublicKey& key = c.identity->public_key();
+    c.actor->trust_peer("dir", dir_identity.public_key());
+    directory.trust_peer(name, key);
+    providers[c.owner].provider->trust_peer(name, key);
+    if (!c.via_directory) {
+      c.actor->trust_peer(provider_names[c.owner],
+                          providers[c.owner].identity->public_key());
+    }
+    for (std::size_t t = 0; t < config.ttp_partitions; ++t) {
+      c.actor->trust_peer(partition_names[t], ttps[t].identity->public_key());
+      ttps[t].ttp->trust_peer(name, key);
+    }
+  }
+
+  // A small shared pool of object payloads; COW sharing means the pool is
+  // the only copy regardless of fleet size.
+  crypto::Drbg data_rng(7);
+  std::vector<common::Bytes> objects(16);
+  for (auto& object : objects) object = data_rng.bytes(config.payload_bytes);
+
+  // All stores are posted at t=0, so the ENTIRE fleet is concurrently
+  // in-flight before the first receipt can arrive (link latency 5ms) —
+  // this is the ">= 100k concurrent clients" the capacity point holds.
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    FleetClient& c = clients[i];
+    const common::BytesView data(objects[i % objects.size()]);
+    network.post(c.actor->id(), 0, [&c, base = partition_names[0], data] {
+      c.actor->store_routed(base, c.object_key, data);
+    });
+  }
+  network.run(1 << 27);
+  if (config.fetch) {
+    for (std::size_t i = 0; i < config.clients; ++i) {
+      FleetClient& c = clients[i];
+      network.post(c.actor->id(), 0, [&c] {
+        for (const std::string& txn : c.actor->routed_txns()) {
+          c.actor->fetch(txn);
+        }
+      });
+    }
+    network.run(1 << 27);
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  FleetResult result;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  common::BinaryWriter digest;
+  std::vector<std::size_t> partition_load(config.ttp_partitions, 0);
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    const FleetClient& c = clients[i];
+    const auto& txns = c.actor->routed_txns();
+    result.txns += txns.size();
+    if (c.via_directory) result.deferred += txns.size();
+    digest.str(c.actor->id());
+    digest.u64(txns.size());
+    for (const std::string& txn : txns) {
+      const auto* state = c.actor->transaction(txn);
+      digest.str(txn);
+      digest.str(nr::txn_state_name(state->state));
+      digest.str(state->provider);
+      digest.str(state->ttp);
+      digest.u64(state->nrr.has_value() ? 1 : 0);
+      digest.i64(state->finished_at);
+      if (state->state == nr::TxnState::kCompleted ||
+          state->state == nr::TxnState::kResolvedCompleted) {
+        ++result.completed;
+      }
+      if (state->state == nr::TxnState::kResolvedCompleted) ++result.resolved;
+      for (std::size_t t = 0; t < config.ttp_partitions; ++t) {
+        if (state->ttp == partition_names[t]) ++partition_load[t];
+      }
+      if (config.fetch) {
+        digest.u64(state->fetched ? 1 : 0);
+        digest.u64(state->fetch_integrity_ok ? 1 : 0);
+        digest.bytes(crypto::sha256(state->fetched_data));
+        result.fetch_ok +=
+            state->fetched && state->fetch_integrity_ok ? 1 : 0;
+      }
+    }
+  }
+  digest.u64(directory.lookups_served());
+  const net::NetworkStats& stats = network.stats();
+  digest.u64(stats.messages_sent);
+  digest.u64(stats.messages_delivered);
+  digest.u64(stats.bytes_delivered);
+  result.digest = common::to_hex(crypto::sha256(digest.data()));
+  result.dir_lookups = directory.lookups_served();
+  for (const std::size_t load : partition_load) {
+    if (load > 0) ++result.partitions_used;
+  }
+  result.txns_per_sec =
+      result.wall_ms > 0.0
+          ? static_cast<double>(result.txns) / (result.wall_ms / 1000.0)
+          : 0.0;
+  return result;
+}
+
+void emit_fleet(const FleetConfig& config, const FleetResult& r,
+                std::vector<std::vector<std::string>>& rows) {
+  rows.push_back({config.name, std::to_string(config.shards),
+                  std::to_string(config.workers),
+                  std::to_string(config.clients), std::to_string(r.completed),
+                  std::to_string(r.resolved), std::to_string(r.dir_lookups),
+                  bench::fmt(r.wall_ms, 0), bench::fmt(r.txns_per_sec, 0),
+                  r.digest.substr(0, 12)});
+  bench::JsonLine("scale_fleet")
+      .field("config", config.name)
+      .field("shards", static_cast<std::uint64_t>(config.shards))
+      .field("workers", static_cast<std::uint64_t>(config.workers))
+      .field("clients", static_cast<std::uint64_t>(config.clients))
+      .field("providers", static_cast<std::uint64_t>(config.providers))
+      .field("ttp_partitions",
+             static_cast<std::uint64_t>(config.ttp_partitions))
+      .field("key_bits", static_cast<std::uint64_t>(config.key_bits))
+      .field("txns", static_cast<std::uint64_t>(r.txns))
+      .field("completed", static_cast<std::uint64_t>(r.completed))
+      .field("resolved", static_cast<std::uint64_t>(r.resolved))
+      .field("deferred", static_cast<std::uint64_t>(r.deferred))
+      .field("dir_lookups", r.dir_lookups)
+      .field("partitions_used",
+             static_cast<std::uint64_t>(r.partitions_used))
+      .field("fetch_ok", static_cast<std::uint64_t>(r.fetch_ok))
+      .field("wall_ms", r.wall_ms, 1)
+      .field("txns_per_sec", r.txns_per_sec, 1)
+      .field("outcome_digest", r.digest)
+      .field("peak_rss_kb", bench::peak_rss_kb())
+      .print();
+}
+
+/// The fleet sweep: digest invariance across shard counts, wall-clock
+/// speedup across worker counts at shards=4, then one capacity point
+/// (TPNR_FLEET_CAPACITY_CLIENTS; CI holds 100k clients there).
+void print_fleet_sweep() {
+  const FleetConfig base = fleet_base_from_env();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"config", "shards", "workers", "clients", "completed",
+                  "resolved", "dir", "wall-ms", "txns/s", "digest"});
+
+  std::string first_digest;
+  bool invariant = true;
+  double wall_s4w1 = 0.0;
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    FleetConfig config = base;
+    config.name = "fleet-s" + std::to_string(shards) + "w1";
+    config.shards = shards;
+    config.workers = 1;
+    const FleetResult result = run_fleet(config);
+    if (first_digest.empty()) first_digest = result.digest;
+    invariant = invariant && result.digest == first_digest;
+    if (shards == 4) wall_s4w1 = result.wall_ms;
+    emit_fleet(config, result, rows);
+  }
+  double speedup_workers2 = 0.0;
+  double speedup_workers4 = 0.0;
+  for (const std::uint32_t workers : {2u, 4u}) {
+    FleetConfig config = base;
+    config.name = "fleet-s4w" + std::to_string(workers);
+    config.shards = 4;
+    config.workers = workers;
+    const FleetResult result = run_fleet(config);
+    invariant = invariant && result.digest == first_digest;
+    const double speedup =
+        result.wall_ms > 0.0 ? wall_s4w1 / result.wall_ms : 0.0;
+    (workers == 2 ? speedup_workers2 : speedup_workers4) = speedup;
+    emit_fleet(config, result, rows);
+  }
+
+  // Capacity point: the biggest fleet this process runs, so the process
+  // peak RSS after it is (to within the smaller sweep points) its
+  // high-water mark — rss_per_client_kb is an honest per-client ceiling.
+  FleetConfig capacity = base;
+  capacity.name = "fleet-capacity";
+  capacity.clients = env_size("TPNR_FLEET_CAPACITY_CLIENTS", base.clients);
+  capacity.shards = 4;
+  capacity.workers = static_cast<std::uint32_t>(
+      env_size("TPNR_FLEET_CAPACITY_WORKERS", 4));
+  const FleetResult cap = run_fleet(capacity);
+  emit_fleet(capacity, cap, rows);
+
+  bench::print_table(
+      "fleet sweep: placement + partitioned TTP (digest must not vary)",
+      rows);
+  const std::uint64_t cores = std::thread::hardware_concurrency();
+  const std::uint64_t rss_kb = bench::peak_rss_kb();
+  bench::JsonLine("scale_fleet")
+      .field("config", "fleet-summary")
+      .field("clients", static_cast<std::uint64_t>(base.clients))
+      .field("capacity_clients", static_cast<std::uint64_t>(capacity.clients))
+      .field("capacity_completed", static_cast<std::uint64_t>(cap.completed))
+      .field("capacity_txns", static_cast<std::uint64_t>(cap.txns))
+      .field("capacity_wall_ms", cap.wall_ms, 1)
+      .field("providers", static_cast<std::uint64_t>(base.providers))
+      .field("ttp_partitions", static_cast<std::uint64_t>(base.ttp_partitions))
+      .field("partitions_used", static_cast<std::uint64_t>(cap.partitions_used))
+      .field("key_bits", static_cast<std::uint64_t>(base.key_bits))
+      .field("digest_shard_invariant", invariant)
+      .field("speedup_workers2", speedup_workers2, 2)
+      .field("speedup_workers4", speedup_workers4, 2)
+      .field("hardware_cores", cores)
+      .field("peak_rss_kb", rss_kb)
+      .field("rss_per_client_kb",
+             static_cast<double>(rss_kb) /
+                 static_cast<double>(capacity.clients),
+             2)
+      .print();
+  std::printf("fleet digests invariant across shards/workers: %s\n",
+              invariant ? "yes" : "NO — DETERMINISM BUG");
+  std::printf(
+      "fleet speedup at shards=4: %.2fx (w2) %.2fx (w4) on %llu core(s)%s\n",
+      speedup_workers2, speedup_workers4,
+      static_cast<unsigned long long>(cores),
+      cores <= 1 ? " (single core: no concurrent execution possible)" : "");
+  std::printf("fleet capacity: %zu clients, %zu completed, %.1f KiB/client\n",
+              capacity.clients, cap.completed,
+              static_cast<double>(rss_kb) /
+                  static_cast<double>(capacity.clients));
+}
+
 void BM_ScaleStoreFetchSerial(benchmark::State& state) {
   for (auto _ : state) {
     ScaleConfig config;
@@ -460,16 +836,23 @@ int main(int argc, char** argv) {
     rows.push_back({"config", "shards", "workers", "txns", "completed",
                     "wall-ms", "txns/s", "p50-ms", "p99-ms", "digest"});
     emit(config, run_scale(config), rows);
+    tpnr::bench::emit_process_meta("scale");
     return 0;
   }
   // TPNR_SCALE_SWEEP=0 skips the experiment sweeps (e.g. to run only the
   // google-benchmark timings, or a single env-selected point via
-  // TPNR_SHARDS/TPNR_WORKERS in a sanitizer job).
-  if (env_flag("TPNR_SCALE_SWEEP", true)) {
+  // TPNR_SHARDS/TPNR_WORKERS in a sanitizer job). The fleet sweep has its
+  // own flag so the multi-core CI job can run it alone
+  // (TPNR_SCALE_SWEEP=0 TPNR_FLEET_SWEEP=1); it defaults to following the
+  // main sweep flag.
+  const bool scale_sweep = env_flag("TPNR_SCALE_SWEEP", true);
+  if (scale_sweep) {
     print_shard_sweep();
     print_copy_ab();
   }
+  if (env_flag("TPNR_FLEET_SWEEP", scale_sweep)) print_fleet_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("scale");
   return 0;
 }

@@ -141,5 +141,6 @@ int main(int argc, char** argv) {
   print_cost_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("sec3_bridging");
   return 0;
 }

@@ -93,5 +93,6 @@ int main(int argc, char** argv) {
   print_attack_matrix();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("sec5_attacks");
   return 0;
 }

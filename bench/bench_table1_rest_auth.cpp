@@ -171,5 +171,6 @@ int main(int argc, char** argv) {
   print_table1_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  tpnr::bench::emit_process_meta("table1_rest_auth");
   return 0;
 }

@@ -3,10 +3,13 @@
 // bench emits before the google-benchmark timings.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crypto/drbg.h"
@@ -30,15 +33,36 @@ inline const pki::Identity& identity(const std::string& name,
 
 /// A fresh Identity named `id` reusing the pooled keypair `key_name` — the
 /// cheap way to mint hundreds of actors (keygen dominates setup otherwise).
+/// `bits` must stay >= 784: the evidence envelope's OAEP wrap needs a
+/// ~98-byte modulus, so smaller fleet keys cannot seal evidence at all.
 inline pki::Identity pooled_identity(const std::string& id,
-                                     const std::string& key_name) {
-  const pki::Identity& pooled = identity(key_name);
+                                     const std::string& key_name,
+                                     std::size_t bits = 1024) {
+  const pki::Identity& pooled = identity(key_name, bits);
   return {id, crypto::RsaKeyPair{pooled.public_key(), pooled.private_key()}};
 }
 
-/// Shard/worker knobs from the environment (`TPNR_SHARDS`, `TPNR_WORKERS`),
-/// so any bench re-runs sharded or threaded without a rebuild. Protocol
-/// outcomes are shard-invariant by construction; only wall-clock changes.
+/// Positive-integer env knob with a fallback.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Boolean env knob: unset keeps the fallback, "0" means false, anything
+/// else means true.
+inline bool env_flag(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Shard/worker/event-store knobs from the environment (`TPNR_SHARDS`,
+/// `TPNR_WORKERS`, `TPNR_TIMER_WHEEL`), so any bench re-runs sharded,
+/// threaded, or on the legacy heap without a rebuild. This is the one env
+/// contract every bench binary honors; protocol outcomes are invariant
+/// under all three knobs by construction — only wall-clock changes.
 inline net::NetworkOptions options_from_env() {
   net::NetworkOptions options;
   const auto parse = [](const char* name, std::uint32_t fallback) {
@@ -49,7 +73,16 @@ inline net::NetworkOptions options_from_env() {
   };
   options.shards = parse("TPNR_SHARDS", options.shards);
   options.workers = parse("TPNR_WORKERS", options.workers);
+  options.use_timer_wheel =
+      env_flag("TPNR_TIMER_WHEEL", options.use_timer_wheel);
   return options;
+}
+
+/// Process-wide peak resident set (ru_maxrss, KiB on Linux).
+inline std::uint64_t peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
 }
 
 /// Prints a fixed-width table: header row then data rows.
@@ -170,5 +203,23 @@ class JsonLine {
 
   std::string body_;
 };
+
+/// Uniform per-process metadata record every bench binary emits once:
+/// parallelism knobs in effect plus the process peak RSS. Tagged
+/// `"record":"process_meta"` so determinism byte-diffs can filter it out —
+/// RSS and core counts legitimately vary across configurations while every
+/// other JsonLine record must not.
+inline void emit_process_meta(const std::string& bench_name) {
+  const net::NetworkOptions options = options_from_env();
+  JsonLine(bench_name)
+      .field("record", "process_meta")
+      .field("shards", static_cast<std::uint64_t>(options.shards))
+      .field("workers", static_cast<std::uint64_t>(options.workers))
+      .field("timer_wheel", options.use_timer_wheel)
+      .field("hardware_cores",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .field("peak_rss_kb", peak_rss_kb())
+      .print();
+}
 
 }  // namespace tpnr::bench

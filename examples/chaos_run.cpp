@@ -76,7 +76,8 @@ int main() {
 
   const nr::ClientActor::Txn* state = alice.transaction(txn);
   std::printf("=== transaction timeline (%s) ===\n", txn.c_str());
-  for (const auto& [at, st] : state->history) {
+  for (std::size_t i = 0; i < state->history_size(); ++i) {
+    const auto [at, st] = state->history_entry(i);
     std::printf("  %8.1f s  %s\n",
                 static_cast<double>(at) / static_cast<double>(kSecond),
                 nr::txn_state_name(st).c_str());

@@ -46,4 +46,22 @@ Bytes concat(std::initializer_list<BytesView> parts);
 /// XORs `b` into `a` (sizes must match; throws std::invalid_argument otherwise).
 void xor_into(Bytes& a, BytesView b);
 
+/// FNV-1a hash functor for Bytes keys in unordered containers (std::hash has
+/// no std::vector<uint8_t> specialization). Not collision-resistant against
+/// adversarial keys by itself — callers hashing attacker-controlled bytes
+/// (e.g. nonces) rely on those bytes being fixed-length randomness.
+struct BytesHash {
+  std::size_t operator()(BytesView data) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint8_t b : data) {
+      h ^= b;
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+  std::size_t operator()(const Bytes& data) const noexcept {
+    return operator()(BytesView(data));
+  }
+};
+
 }  // namespace tpnr::common

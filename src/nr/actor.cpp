@@ -1,6 +1,7 @@
 #include "nr/actor.h"
 
 #include "persist/records.h"
+#include "pki/key_intern.h"
 
 namespace tpnr::nr {
 
@@ -44,13 +45,13 @@ void NrActor::use_reliable(std::uint64_t seed, net::ReliableOptions options) {
 
 void NrActor::trust_peer(const std::string& peer_id,
                          crypto::RsaPublicKey key) {
-  peers_[peer_id] = std::move(key);
+  peers_[peer_id] = pki::intern_public_key(std::move(key));
 }
 
 const crypto::RsaPublicKey* NrActor::peer_key(
     const std::string& peer_id) const {
   const auto it = peers_.find(peer_id);
-  return it == peers_.end() ? nullptr : &it->second;
+  return it == peers_.end() ? nullptr : it->second.get();
 }
 
 bool NrActor::screen(const NrMessage& message) {

@@ -5,10 +5,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "crypto/drbg.h"
 #include "crypto/hash.h"
@@ -149,12 +149,16 @@ class NrActor {
   std::string default_topic_ = "nr";
   std::string reply_topic_;  ///< topic of the message currently being handled
   ScreeningPolicy policy_;
-  std::map<std::string, crypto::RsaPublicKey> peers_;
-  std::set<Bytes> seen_nonces_;
+  /// Peer keys are interned process-wide (pki/key_intern.h): a fleet's
+  /// (actor, peer) trust edges share one immutable copy per distinct key
+  /// instead of duplicating BigInts per actor.
+  std::unordered_map<std::string, std::shared_ptr<const crypto::RsaPublicKey>>
+      peers_;
+  std::unordered_set<Bytes, common::BytesHash> seen_nonces_;
   /// Highest sequence seen, keyed "txn|sender".
-  std::map<std::string, std::uint64_t> txn_last_seq_;
+  std::unordered_map<std::string, std::uint64_t> txn_last_seq_;
   /// Next sequence to emit, keyed by txn (advanced past anything received).
-  std::map<std::string, std::uint64_t> txn_next_seq_;
+  std::unordered_map<std::string, std::uint64_t> txn_next_seq_;
 };
 
 }  // namespace tpnr::nr

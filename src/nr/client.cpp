@@ -1,8 +1,21 @@
 #include "nr/client.h"
 
+#include <algorithm>
+
 #include "common/serial.h"
+#include "nr/ttp.h"
 
 namespace tpnr::nr {
+
+namespace {
+
+/// Packed history entry: (at << 8) | state. SimTime is microseconds, so the
+/// 55 usable bits cover ~1100 years of sim time.
+std::int64_t pack_history(common::SimTime at, TxnState state) {
+  return (at << 8) | static_cast<std::int64_t>(state);
+}
+
+}  // namespace
 
 std::string txn_state_name(TxnState state) {
   switch (state) {
@@ -76,7 +89,7 @@ std::string ClientActor::store_chunked(const std::string& provider,
 
 void ClientActor::set_state(Txn& txn, TxnState state) {
   txn.state = state;
-  txn.history.emplace_back(network_->now(), state);
+  txn.history.push_back(pack_history(network_->now(), state));
   if (txn_state_terminal(state)) txn.finished_at = network_->now();
 }
 
@@ -89,6 +102,15 @@ std::string ClientActor::store_impl(const std::string& provider,
     throw common::ProtocolError("ClientActor::store: provider key unknown");
   }
   const std::string txn_id = txn_ids_.next_id("txn");
+  // Partitioned-TTP override: the adjudicating instance is a deterministic
+  // function of the txn id, so the respondent and the arbitrator derive the
+  // same partition without coordination.
+  const std::string& ttp_eff =
+      ttp_partitions_.empty()
+          ? ttp
+          : ttp_partitions_[ttp_partition_of(
+                txn_id,
+                static_cast<std::uint32_t>(ttp_partitions_.size()))];
   // The agreed hash: flat digest, or the Merkle root for chunked objects.
   std::size_t chunk_count = 0;
   Bytes data_hash;
@@ -102,13 +124,14 @@ std::string ClientActor::store_impl(const std::string& provider,
 
   Txn txn;
   txn.provider = provider;
-  txn.ttp = ttp;
+  txn.ttp = ttp_eff;
   txn.object_key = object_key;
   txn.data_hash = data_hash;
   txn.chunk_size = chunk_size;
   txn.chunk_count = chunk_count;
   txn.started_at = network_->now();
-  txn.history.emplace_back(network_->now(), TxnState::kStorePending);
+  txn.history.push_back(
+      pack_history(network_->now(), TxnState::kStorePending));
   // Keep the object bytes only if re-sending the NRO is allowed — the
   // retry path must rebuild the exact payload.
   if (options_.store_retries > 0) {
@@ -349,8 +372,95 @@ void ClientActor::on_message(const NrMessage& message) {
     case MsgType::kResolveQuery:
       handle_resolve_query(message);
       break;
+    case MsgType::kDirReply:
+      handle_dir_reply(message);
+      break;
     default:
       break;
+  }
+}
+
+std::string ClientActor::store_routed(const std::string& ttp,
+                                      const std::string& object_key,
+                                      BytesView data) {
+  // Owner by the shared ring if we hold one; else by the lookup-miss cache.
+  const std::string* owner = nullptr;
+  if (placement_ != nullptr && !placement_->empty()) {
+    owner = &placement_->owner(object_key);
+  } else {
+    const auto it = owner_cache_.find(object_key);
+    if (it != owner_cache_.end()) owner = &it->second;
+  }
+  // A usable route needs the owner's authenticated key, too: knowing the
+  // name without the key cannot build the NRO's sealed evidence.
+  if (owner == nullptr || peer_key(*owner) == nullptr) {
+    defer_store(ttp, object_key, data);
+    return "";
+  }
+  const std::string txn_id = store_impl(*owner, ttp, object_key, data,
+                                        /*chunk_size=*/0);
+  routed_txns_.push_back(txn_id);
+  return txn_id;
+}
+
+void ClientActor::defer_store(const std::string& ttp,
+                              const std::string& object_key, BytesView data) {
+  if (directory_.empty()) {
+    throw common::ProtocolError(
+        "ClientActor::store_routed: owner unknown and no directory set");
+  }
+  PendingStore pending;
+  pending.ttp = ttp;
+  pending.object_key = object_key;
+  pending.data = common::Payload::copy_of(data);
+  pending_stores_.push_back(std::move(pending));
+
+  common::BinaryWriter payload;
+  payload.str(object_key);
+
+  NrMessage message;
+  // All of one client's lookups share the pseudo-txn "dir": the per-txn
+  // sequence check still sees a strictly increasing stream per sender.
+  message.header =
+      next_header(MsgType::kDirLookup, directory_, /*ttp=*/"", "dir",
+                  crypto::sha256(common::BytesView{}),
+                  network_->now() + options_.reply_window);
+  message.payload = payload.take();
+  send(directory_, std::move(message));
+}
+
+void ClientActor::handle_dir_reply(const NrMessage& message) {
+  std::string object_key;
+  std::string owner;
+  crypto::RsaPublicKey owner_key;
+  try {
+    common::BinaryReader r(message.payload);
+    object_key = r.str();
+    owner = r.str();
+    owner_key = crypto::RsaPublicKey::decode(r.bytes());
+    r.u64();  // ring version (informational; a later reply may re-route)
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  // The reply came through screen(), so it is from the trusted directory —
+  // adopting the key it vouches for is the §5.1 out-of-band key channel.
+  owner_cache_[object_key] = owner;
+  trust_peer(owner, std::move(owner_key));
+
+  // Issue every store parked on this key, in original call order.
+  auto parked = std::stable_partition(
+      pending_stores_.begin(), pending_stores_.end(),
+      [&](const PendingStore& p) { return p.object_key != object_key; });
+  std::vector<PendingStore> ready(std::make_move_iterator(parked),
+                                  std::make_move_iterator(
+                                      pending_stores_.end()));
+  pending_stores_.erase(parked, pending_stores_.end());
+  for (PendingStore& p : ready) {
+    const std::string txn_id =
+        store_impl(owner, p.ttp, p.object_key, p.data, /*chunk_size=*/0);
+    routed_txns_.push_back(txn_id);
   }
 }
 

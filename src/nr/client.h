@@ -3,13 +3,15 @@
 // data against the hash the provider signed for.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/id.h"
 #include "nr/actor.h"
 #include "nr/chunked.h"
+#include "runtime/placement.h"
 
 namespace tpnr::nr {
 
@@ -95,8 +97,20 @@ class ClientActor final : public NrActor {
     std::size_t store_attempts = 0;   ///< store transmissions incl. first
     std::size_t resolve_attempts = 0;
     common::Payload retry_data;  ///< object bytes, iff store_retries > 0
-    /// Every state transition with its sim time (index 0 = kStorePending).
-    std::vector<std::pair<common::SimTime, TxnState>> history;
+    /// Every state transition with its sim time, packed (at << 8) | state —
+    /// 8 bytes per entry instead of 16 keeps a fleet's millions of
+    /// histories compact. Decode with history_entry()/history_size().
+    std::vector<std::int64_t> history;
+
+    [[nodiscard]] std::size_t history_size() const noexcept {
+      return history.size();
+    }
+    /// Entry `i` of the packed timeline (index 0 = kStorePending).
+    [[nodiscard]] std::pair<common::SimTime, TxnState> history_entry(
+        std::size_t i) const {
+      return {history[i] >> 8,
+              static_cast<TxnState>(history[i] & 0xff)};
+    }
   };
 
   ClientActor(std::string id, net::Network& network, pki::Identity& identity,
@@ -114,6 +128,45 @@ class ClientActor final : public NrActor {
                             const std::string& ttp,
                             const std::string& object_key, BytesView data,
                             std::size_t chunk_size);
+
+  // --- Fleet routing (runtime/placement.h) -------------------------------
+
+  /// Routes stores by object key over a shared consistent-hash ring instead
+  /// of a caller-chosen provider. The ring is owned by the driver; it must
+  /// outlive the actor.
+  void set_placement(const runtime::Placement* placement) noexcept {
+    placement_ = placement;
+  }
+  /// Directory endpoint consulted on lookup misses (owner unknown, or the
+  /// owner's key not yet trusted). The directory must be a trusted peer.
+  void set_directory(std::string directory) {
+    directory_ = std::move(directory);
+  }
+  /// Shards this client's resolve traffic over a partitioned TTP fleet:
+  /// store_* calls override their `ttp` argument with
+  /// names[ttp_partition_of(txn_id, names.size())]. Empty list = single-TTP
+  /// behaviour (the argument is used as-is).
+  void set_ttp_partitions(std::vector<std::string> names) {
+    ttp_partitions_ = std::move(names);
+  }
+
+  /// Placement-routed store: the provider is owner(object_key) on the ring
+  /// (or the cached directory answer). Returns the txn id when the store
+  /// was issued immediately; returns "" when the owner (or its key) is
+  /// unknown and a kDirLookup round-trip was started — the deferred store
+  /// is issued on the kDirReply and its txn id appended to routed_txns().
+  std::string store_routed(const std::string& ttp,
+                           const std::string& object_key, BytesView data);
+
+  /// Txn ids minted by store_routed, in issue order (deferred stores appear
+  /// when their directory reply lands).
+  [[nodiscard]] const std::vector<std::string>& routed_txns() const noexcept {
+    return routed_txns_;
+  }
+
+  /// Pre-sizes the transaction tables for an expected fleet workload so a
+  /// million-txn run does not pay incremental rehashes.
+  void reserve_txns(std::size_t count) { txns_.reserve(count); }
 
   /// Requests chunk `chunk_index` of a chunked transaction; the response is
   /// verified against the SIGNED root and recorded in Txn::audits.
@@ -160,10 +213,29 @@ class ClientActor final : public NrActor {
   void handle_abort_reply(const NrMessage& message);
   void handle_resolve_verdict(const NrMessage& message);
   void handle_resolve_query(const NrMessage& message);
+  void handle_dir_reply(const NrMessage& message);
+  /// Sends a kDirLookup for `object_key` and parks the store until the
+  /// reply names (and keys) the owner.
+  void defer_store(const std::string& ttp, const std::string& object_key,
+                   BytesView data);
+
+  /// A store parked on a directory lookup.
+  struct PendingStore {
+    std::string ttp;
+    std::string object_key;
+    common::Payload data;
+  };
 
   ClientOptions options_;
-  std::map<std::string, Txn> txns_;
+  std::unordered_map<std::string, Txn> txns_;
   common::IdGenerator txn_ids_;
+  const runtime::Placement* placement_ = nullptr;
+  std::string directory_;
+  std::vector<std::string> ttp_partitions_;
+  std::vector<PendingStore> pending_stores_;
+  /// object_key -> owner, filled from directory replies (lookup-miss cache).
+  std::unordered_map<std::string, std::string> owner_cache_;
+  std::vector<std::string> routed_txns_;
 };
 
 }  // namespace tpnr::nr

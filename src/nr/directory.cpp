@@ -1,0 +1,56 @@
+#include "nr/directory.h"
+
+#include "common/serial.h"
+
+namespace tpnr::nr {
+
+DirectoryActor::DirectoryActor(std::string id, net::Network& network,
+                               pki::Identity& identity, crypto::Drbg& rng,
+                               const runtime::Placement& placement)
+    : NrActor(std::move(id), network, identity, rng),
+      placement_(&placement) {}
+
+void DirectoryActor::register_provider_key(const std::string& provider,
+                                           crypto::RsaPublicKey key) {
+  provider_keys_[provider] = std::move(key);
+}
+
+void DirectoryActor::on_message(const NrMessage& message) {
+  if (message.header.flag != MsgType::kDirLookup) return;
+  std::string object_key;
+  try {
+    common::BinaryReader r(message.payload);
+    object_key = r.str();
+    r.expect_done();
+  } catch (const common::SerialError&) {
+    ++stats_.rejected_bad_hash;
+    return;
+  }
+  if (placement_->empty()) {
+    ++lookups_unroutable_;
+    return;
+  }
+  const std::string& owner = placement_->owner(object_key);
+  const auto key_it = provider_keys_.find(owner);
+  if (key_it == provider_keys_.end()) {
+    ++lookups_unroutable_;
+    return;
+  }
+  ++lookups_served_;
+
+  common::BinaryWriter payload;
+  payload.str(object_key);
+  payload.str(owner);
+  payload.bytes(key_it->second.encode());
+  payload.u64(placement_->version());
+
+  const MessageHeader& h = message.header;
+  NrMessage reply;
+  reply.header = next_header(MsgType::kDirReply, h.sender, /*ttp=*/"",
+                             h.txn_id, h.data_hash,
+                             network_->now() + 10 * common::kSecond);
+  reply.payload = payload.take();
+  send(h.sender, std::move(reply));
+}
+
+}  // namespace tpnr::nr

@@ -1,0 +1,49 @@
+// Placement directory: answers "which provider owns this object key?" for
+// clients that miss in their local ring or lack the owner's authenticated
+// key. One lookup round-trip (kDirLookup -> kDirReply) returns the owner's
+// name, its public key (the directory vouches for keys it was handed out of
+// band, the §5.1 channel), and the ring version so cached answers can be
+// aged out after membership changes.
+//
+// The directory is a read-only view over a driver-owned runtime::Placement;
+// it never mutates the ring.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "nr/actor.h"
+#include "runtime/placement.h"
+
+namespace tpnr::nr {
+
+class DirectoryActor final : public NrActor {
+ public:
+  DirectoryActor(std::string id, net::Network& network,
+                 pki::Identity& identity, crypto::Drbg& rng,
+                 const runtime::Placement& placement);
+
+  /// Registers a provider's public key for inclusion in replies. Providers
+  /// without a registered key resolve on the ring but cannot be vouched
+  /// for; their lookups are dropped (and counted).
+  void register_provider_key(const std::string& provider,
+                             crypto::RsaPublicKey key);
+
+  [[nodiscard]] std::uint64_t lookups_served() const noexcept {
+    return lookups_served_;
+  }
+  [[nodiscard]] std::uint64_t lookups_unroutable() const noexcept {
+    return lookups_unroutable_;
+  }
+
+ protected:
+  void on_message(const NrMessage& message) override;
+
+ private:
+  const runtime::Placement* placement_;
+  std::unordered_map<std::string, crypto::RsaPublicKey> provider_keys_;
+  std::uint64_t lookups_served_ = 0;
+  std::uint64_t lookups_unroutable_ = 0;
+};
+
+}  // namespace tpnr::nr

@@ -63,6 +63,10 @@ std::string msg_type_name(MsgType type) {
       return "gossip-views";
     case MsgType::kForkReport:
       return "fork-report";
+    case MsgType::kDirLookup:
+      return "dir-lookup";
+    case MsgType::kDirReply:
+      return "dir-reply";
   }
   return "unknown";
 }

@@ -62,6 +62,11 @@ enum class MsgType : std::uint8_t {
   kViewUpdate = 44,     ///< provider -> client: replayable op log
   kGossipViews = 45,    ///< client -> client: commitment tail (cons.gossip)
   kForkReport = 46,     ///< client -> auditor/TTP: equivocation proof
+
+  // Fleet placement (runtime/placement.h): object->provider routing over a
+  // consistent-hash ring, with a directory for lookup misses.
+  kDirLookup = 50,  ///< client -> directory: which provider owns this key?
+  kDirReply = 51,   ///< directory -> client: owner name + key + ring version
 };
 
 std::string msg_type_name(MsgType type);

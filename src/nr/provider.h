@@ -5,10 +5,10 @@
 // TTP).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "nr/actor.h"
 #include "storage/merkle_cache.h"
@@ -85,6 +85,9 @@ class ProviderActor final : public NrActor {
   /// Administrator tamper: rewrite the object behind a transaction.
   bool tamper(const std::string& txn_id, BytesView new_data);
 
+  /// Pre-sizes the transaction table for an expected fleet workload.
+  void reserve_txns(std::size_t count) { txns_.reserve(count); }
+
   /// Evidence Bob would present to an arbitrator (his NRO for the txn).
   [[nodiscard]] std::optional<std::pair<MessageHeader, OpenedEvidence>>
   present_nro(const std::string& txn_id) const;
@@ -123,7 +126,7 @@ class ProviderActor final : public NrActor {
   /// every chunk proof afterwards is served from the cached tree. Entries
   /// self-invalidate on any byte change via Payload buffer identity.
   storage::MerkleCache merkle_cache_;
-  std::map<std::string, TxnRecord> txns_;
+  std::unordered_map<std::string, TxnRecord> txns_;
   std::uint64_t receipts_resent_ = 0;
 };
 

@@ -4,6 +4,24 @@
 
 namespace tpnr::nr {
 
+std::uint32_t ttp_partition_of(const std::string& txn_id,
+                               std::uint32_t partitions) {
+  if (partitions <= 1) return 0;
+  // FNV-1a 64. Not a crypto hash — it only needs to be a fixed, documented
+  // function every party computes identically; an adversary steering txns
+  // to one partition gains nothing (partitions are equally trusted).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : txn_id) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<std::uint32_t>(h % partitions);
+}
+
+std::string ttp_partition_name(const std::string& base, std::uint32_t index) {
+  return base + ".p" + std::to_string(index);
+}
+
 TtpActor::TtpActor(std::string id, net::Network& network,
                    pki::Identity& identity, crypto::Drbg& rng,
                    TtpOptions options)

@@ -32,6 +32,20 @@ struct TtpOptions {
   common::SimTime reply_window = 10 * common::kSecond;
 };
 
+/// Which of `partitions` TTP instances adjudicates `txn_id` (FNV-1a 64 of
+/// the id, mod the partition count). Every party — the client escalating,
+/// the provider resolving, the arbitrator replaying — computes the same
+/// partition from the txn id alone, so a fleet's resolve traffic spreads
+/// over N independent signers without any coordination message.
+[[nodiscard]] std::uint32_t ttp_partition_of(const std::string& txn_id,
+                                             std::uint32_t partitions);
+
+/// Canonical name of partition `index` of the TTP fleet rooted at `base`
+/// ("ttp" -> "ttp.p0", "ttp.p1", ...). One name per independent PKI
+/// identity/signer.
+[[nodiscard]] std::string ttp_partition_name(const std::string& base,
+                                             std::uint32_t index);
+
 class TtpActor final : public NrActor {
  public:
   TtpActor(std::string id, net::Network& network, pki::Identity& identity,

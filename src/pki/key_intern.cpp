@@ -1,0 +1,40 @@
+#include "pki/key_intern.h"
+
+#include <map>
+#include <mutex>
+
+#include "common/bytes.h"
+
+namespace tpnr::pki {
+
+namespace {
+
+std::mutex g_mutex;
+std::map<common::Bytes, std::shared_ptr<const crypto::RsaPublicKey>>&
+table() {
+  static auto* t =
+      new std::map<common::Bytes,
+                   std::shared_ptr<const crypto::RsaPublicKey>>();
+  return *t;
+}
+
+}  // namespace
+
+std::shared_ptr<const crypto::RsaPublicKey> intern_public_key(
+    crypto::RsaPublicKey key) {
+  common::Bytes fp = key.fingerprint();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& t = table();
+  const auto it = t.find(fp);
+  if (it != t.end()) return it->second;
+  auto shared = std::make_shared<const crypto::RsaPublicKey>(std::move(key));
+  t.emplace(std::move(fp), shared);
+  return shared;
+}
+
+std::size_t interned_key_count() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return table().size();
+}
+
+}  // namespace tpnr::pki

@@ -64,7 +64,11 @@ Engine::Engine(std::uint64_t seed, EngineOptions options)
   if (options_.shards == 0) options_.shards = 1;
   if (options_.workers == 0) options_.workers = 1;
   shards_.resize(options_.shards);
-  for (Shard& shard : shards_) shard.outbox.resize(options_.shards);
+  for (Shard& shard : shards_) {
+    shard.queue = EventStore(options_.use_timer_wheel);
+    shard.outbox.resize(options_.shards);
+  }
+  external_ = EventStore(options_.use_timer_wheel);
 }
 
 Engine::~Engine() { stop_workers(); }
@@ -182,13 +186,13 @@ std::uint32_t Engine::current_bucket() const {
   return shard_count();
 }
 
-const Engine::Event* Engine::peek_min() const {
-  const Event* best = external_.empty() ? nullptr : &external_.top();
+const Event* Engine::peek_min() {
+  const Event* best = external_.peek();
   EventLater later;
-  for (const Shard& shard : shards_) {
-    if (shard.queue.empty()) continue;
-    const Event& top = shard.queue.top();
-    if (best == nullptr || later(*best, top)) best = &top;
+  for (Shard& shard : shards_) {
+    const Event* top = shard.queue.peek();
+    if (top == nullptr) continue;
+    if (best == nullptr || later(*best, *top)) best = top;
   }
   return best;
 }
@@ -206,18 +210,14 @@ void Engine::execute(Event event, std::uint32_t shard_index) {
 bool Engine::serial_step() {
   const Event* min = peek_min();
   if (min == nullptr) return false;
-  // priority_queue::top() is const; moving out before pop avoids copying the
-  // std::function (safe: the pop immediately discards the moved-from slot).
-  if (!external_.empty() && &external_.top() == min) {
-    Event event = std::move(const_cast<Event&>(external_.top()));
-    external_.pop();
+  if (external_.peek() == min) {
+    Event event = external_.pop();
     clock_.advance_to(event.at);
     execute(std::move(event), shard_count());
   } else {
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-      if (!shards_[s].queue.empty() && &shards_[s].queue.top() == min) {
-        Event event = std::move(const_cast<Event&>(shards_[s].queue.top()));
-        shards_[s].queue.pop();
+      if (shards_[s].queue.peek() == min) {
+        Event event = shards_[s].queue.pop();
         clock_.advance_to(event.at);
         shards_[s].local_now = event.at;
         execute(std::move(event), s);
@@ -241,9 +241,10 @@ std::size_t Engine::run(std::size_t max_events) {
 void Engine::process_shard_window(std::uint32_t shard_index,
                                   SimTime window_end) {
   Shard& shard = shards_[shard_index];
-  while (!shard.queue.empty() && shard.queue.top().at < window_end) {
-    Event event = std::move(const_cast<Event&>(shard.queue.top()));
-    shard.queue.pop();
+  for (const Event* head = shard.queue.peek();
+       head != nullptr && head->at < window_end;
+       head = shard.queue.peek()) {
+    Event event = shard.queue.pop();
     shard.local_now = event.at;
     execute(std::move(event), shard_index);
     ++shard.executed;
@@ -261,7 +262,8 @@ std::size_t Engine::run_parallel(std::size_t max_events) {
 
     // Driver-originated events have no shard affinity: execute their window
     // serially (the global merge), which is always safe.
-    if (!external_.empty() && external_.top().at < window_end) {
+    const Event* external_head = external_.peek();
+    if (external_head != nullptr && external_head->at < window_end) {
       while (processed < max_events) {
         const Event* head = peek_min();
         if (head == nullptr || head->at >= window_end) break;
@@ -274,8 +276,8 @@ std::size_t Engine::run_parallel(std::size_t max_events) {
     std::uint32_t busy = 0;
     std::uint32_t only_shard = 0;
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-      if (!shards_[s].queue.empty() &&
-          shards_[s].queue.top().at < window_end) {
+      const Event* head = shards_[s].queue.peek();
+      if (head != nullptr && head->at < window_end) {
         ++busy;
         only_shard = s;
       }
@@ -368,10 +370,9 @@ void Engine::worker_loop() {
       const std::uint32_t s =
           round_next_shard_.fetch_add(1, std::memory_order_relaxed);
       if (s >= shard_count_u) break;
-      if (!shards_[s].queue.empty() &&
-          shards_[s].queue.top().at < window_end) {
-        process_shard_window(s, window_end);
-      }
+      // process_shard_window peeks (and so may cascade wheel buckets), but
+      // only this thread touches shard s during the round.
+      process_shard_window(s, window_end);
     }
     {
       std::lock_guard<std::mutex> lock(pool_mutex_);

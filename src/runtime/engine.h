@@ -34,7 +34,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -44,17 +43,12 @@
 
 #include "common/clock.h"
 #include "crypto/drbg.h"
+#include "runtime/event.h"
+#include "runtime/timer_wheel.h"
 
 namespace tpnr::runtime {
 
 using common::SimTime;
-
-/// Compact id for an interned name (endpoint or topic).
-using NameId = std::uint32_t;
-using EndpointId = NameId;
-
-/// Origin/context marker for events not tied to any endpoint (driver code).
-inline constexpr EndpointId kNoEndpoint = 0xffffffffu;
 
 /// String -> dense id interner. Lookup is one hash probe; the reverse
 /// mapping is an index into a vector, so the hot path never compares or
@@ -79,6 +73,11 @@ class NameInterner {
 struct EngineOptions {
   std::uint32_t shards = 1;   ///< logical shards; endpoints are round-robined
   std::uint32_t workers = 1;  ///< worker threads; > 1 enables parallel rounds
+  /// Per-shard pending-event container: hierarchical timer wheel (default)
+  /// or the legacy binary heap. Both produce the identical (at, origin, seq)
+  /// pop order; the heap is kept for A/B runs (TPNR_TIMER_WHEEL=0) and the
+  /// equivalence tests.
+  bool use_timer_wheel = true;
 };
 
 struct EngineStats {
@@ -162,24 +161,6 @@ class Engine {
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
  private:
-  struct Event {
-    SimTime at = 0;
-    EndpointId origin = kNoEndpoint;  ///< merge-key component
-    std::uint64_t seq = 0;            ///< per-origin sequence
-    EndpointId target = kNoEndpoint;  ///< execution context endpoint
-    Task task;
-  };
-  /// Full deterministic order: (at, origin, seq). kNoEndpoint sorts last at
-  /// equal timestamps. (origin, seq) pairs are unique, so ties cannot occur.
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      if (a.origin != b.origin) return a.origin > b.origin;
-      return a.seq > b.seq;
-    }
-  };
-  using EventQueue = std::priority_queue<Event, std::vector<Event>, EventLater>;
-
   struct EndpointState {
     std::uint32_t shard = 0;
     std::unique_ptr<crypto::Drbg> rng;  ///< lazily derived from (seed, name)
@@ -188,7 +169,7 @@ class Engine {
   };
 
   struct Shard {
-    EventQueue queue;
+    EventStore queue;
     SimTime local_now = 0;
     std::uint64_t executed = 0;  ///< events executed in the current round
     /// Cross-shard events produced during a parallel round, keyed by target
@@ -200,7 +181,8 @@ class Engine {
   void push_event(Event event);
   /// Pops and executes the globally-minimal event. Returns false when idle.
   bool serial_step();
-  [[nodiscard]] const Event* peek_min() const;
+  /// Not const: peeking a timer wheel may cascade buckets internally.
+  [[nodiscard]] const Event* peek_min();
   void process_shard_window(std::uint32_t shard_index, SimTime window_end);
   std::size_t run_parallel(std::size_t max_events);
   void start_workers();
@@ -213,7 +195,7 @@ class Engine {
   NameInterner endpoints_;
   std::vector<EndpointState> endpoint_state_;
   std::vector<Shard> shards_;
-  EventQueue external_;  ///< driver-originated timers, executed serially
+  EventStore external_;  ///< driver-originated timers, executed serially
   std::uint64_t external_seq_ = 0;
   SimTime lookahead_ = 1;
   EngineStats stats_;

@@ -1,0 +1,124 @@
+#include "runtime/timer_wheel.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tpnr::runtime {
+
+namespace {
+
+constexpr SimTime kEmptySlot = std::numeric_limits<SimTime>::max();
+
+/// Level for a positive delta: the highest 6-bit digit in use. Level L
+/// covers deltas in [2^(6L), 2^(6(L+1))).
+int level_for(SimTime delta) {
+  int level = 0;
+  while (delta >> (TimerWheel::kLevelBits * (level + 1)) != 0) ++level;
+  return level;
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel() {
+  for (auto& level : slot_min_) level.fill(kEmptySlot);
+}
+
+void TimerWheel::push(Event event) {
+  ++size_;
+  // At or before the floor: the event belongs to the batch currently being
+  // drained (a same-timestamp push — e.g. an actor posting a zero-delay
+  // follow-up — must interleave exactly as the heap would). Insert in
+  // comparator position; EventLater sorts descending here, so upper_bound
+  // keeps the vector pop_back()-minimal.
+  if (event.at <= origin_ && (!ready_.empty() || event.at <= ready_time_)) {
+    if (ready_.empty()) ready_time_ = event.at;
+    auto pos = std::upper_bound(ready_.begin(), ready_.end(), event,
+                                EventLater{});
+    ready_.insert(pos, std::move(event));
+    return;
+  }
+  place(std::move(event));
+}
+
+void TimerWheel::place(Event event) {
+  const SimTime delta = event.at > origin_ ? event.at - origin_ : 0;
+  if (delta >= kHorizon) {
+    overflow_.push(std::move(event));
+    return;
+  }
+  if (delta == 0) {
+    // at == origin_ with no active batch (first event ever, or pushed right
+    // after the batch drained): seed/extend the ready batch.
+    ready_time_ = event.at;
+    auto pos = std::upper_bound(ready_.begin(), ready_.end(), event,
+                                EventLater{});
+    ready_.insert(pos, std::move(event));
+    return;
+  }
+  const int level = level_for(delta);
+  // Slot index from the absolute timestamp's level-L digit: within one
+  // level, equal indices imply timestamps within one slot width, so a
+  // level-0 slot holds exactly one timestamp.
+  const int slot = static_cast<int>(
+      (event.at >> (kLevelBits * level)) & (kSlotsPerLevel - 1));
+  SimTime& cached = slot_min_[level][slot];
+  if (event.at < cached) cached = event.at;
+  slots_[level][slot].push_back(std::move(event));
+}
+
+void TimerWheel::advance() {
+  // Find the minimal pending timestamp across slot caches + overflow.
+  SimTime best = kEmptySlot;
+  for (int level = 0; level < kLevels; ++level) {
+    for (int slot = 0; slot < kSlotsPerLevel; ++slot) {
+      best = std::min(best, slot_min_[level][slot]);
+    }
+  }
+  if (!overflow_.empty()) best = std::min(best, overflow_.top().at);
+  if (best == kEmptySlot) return;  // wheel is empty
+
+  // Advance the floor FIRST so re-bucketed events compute deltas against
+  // the new origin (smaller deltas -> lower levels; that is the cascade).
+  origin_ = best;
+  ready_time_ = best;
+
+  // Drain every slot that might hold the minimal timestamp. Equal minima
+  // can coexist at several levels (an event pushed from far away lands at a
+  // high level and stays there even as the floor approaches), hence the
+  // full scan rather than a single-slot drain.
+  for (int level = 0; level < kLevels; ++level) {
+    for (int slot = 0; slot < kSlotsPerLevel; ++slot) {
+      if (slot_min_[level][slot] != best) continue;
+      std::vector<Event> bucket = std::move(slots_[level][slot]);
+      slots_[level][slot].clear();
+      slot_min_[level][slot] = kEmptySlot;
+      for (Event& event : bucket) {
+        if (event.at == best) {
+          ready_.push_back(std::move(event));
+        } else {
+          place(std::move(event));  // re-buckets relative to the new floor
+        }
+      }
+    }
+  }
+  while (!overflow_.empty() && overflow_.top().at == best) {
+    ready_.push_back(std::move(const_cast<Event&>(overflow_.top())));
+    overflow_.pop();
+  }
+  std::sort(ready_.begin(), ready_.end(), EventLater{});
+}
+
+const Event* TimerWheel::peek() {
+  if (ready_.empty()) advance();
+  return ready_.empty() ? nullptr : &ready_.back();
+}
+
+Event TimerWheel::pop() {
+  if (ready_.empty()) advance();
+  Event event = std::move(ready_.back());
+  ready_.pop_back();
+  --size_;
+  return event;
+}
+
+}  // namespace tpnr::runtime

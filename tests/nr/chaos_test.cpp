@@ -118,8 +118,8 @@ TEST_F(ChaosTest, NrrJustBeforeReceiptTimerLeavesTxnCompleted) {
   EXPECT_EQ(ttp_->stats().received, 0u);  // the timer never escalated
   // The full timeline is two entries: pending -> completed. No bounce
   // through resolve states.
-  ASSERT_EQ(state->history.size(), 2u);
-  EXPECT_EQ(state->history[1].second, TxnState::kCompleted);
+  ASSERT_EQ(state->history_size(), 2u);
+  EXPECT_EQ(state->history_entry(1).second, TxnState::kCompleted);
 }
 
 TEST_F(ChaosTest, ResolveOnSettledTxnDoesNotUnsettleIt) {
@@ -283,8 +283,10 @@ TEST_F(ChaosTest, ResolveRetriesRideOutTtpDownWindow) {
   EXPECT_EQ(state->state, TxnState::kResolvedCompleted);
   EXPECT_GE(state->resolve_attempts, 2u);
   bool retried = false;
-  for (const auto& [at, s] : state->history) {
-    if (s == TxnState::kResolveRetrying) retried = true;
+  for (std::size_t i = 0; i < state->history_size(); ++i) {
+    if (state->history_entry(i).second == TxnState::kResolveRetrying) {
+      retried = true;
+    }
   }
   EXPECT_TRUE(retried);
   EXPECT_GT(network_.stats().messages_dropped_endpoint_down, 0u);

@@ -1,0 +1,303 @@
+// Fleet layer end to end: consistent-hash routed stores (nr::ClientActor
+// store_routed), the placement directory detour (kDirLookup/kDirReply), and
+// TTP partitioning by txn-id hash — plus the outcome-invariance contract:
+// actor registration order must not change any protocol outcome.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "net/network.h"
+#include "nr/client.h"
+#include "nr/directory.h"
+#include "nr/provider.h"
+#include "nr/ttp.h"
+#include "runtime/placement.h"
+
+namespace tpnr::nr {
+namespace {
+
+using common::to_bytes;
+
+/// Shared deterministic identities (RSA keygen is the slow part).
+const pki::Identity& fleet_identity(const std::string& name) {
+  static const auto* pool = [] {
+    auto* identities = new std::map<std::string, pki::Identity>();
+    crypto::Drbg rng(std::uint64_t{515151});
+    for (const char* id :
+         {"c-0", "c-1", "c-2", "p-0", "p-1", "ttp.p0", "ttp.p1", "dir"}) {
+      identities->emplace(id, pki::Identity(id, 1024, rng));
+    }
+    return identities;
+  }();
+  return pool->at(name);
+}
+
+// --- TTP partition hashing -------------------------------------------------
+
+TEST(TtpPartition, NameFormat) {
+  EXPECT_EQ(ttp_partition_name("ttp", 0), "ttp.p0");
+  EXPECT_EQ(ttp_partition_name("ttp", 13), "ttp.p13");
+}
+
+TEST(TtpPartition, HashIsStableAndInRange) {
+  const std::uint32_t first = ttp_partition_of("txn-00000042", 4);
+  EXPECT_EQ(ttp_partition_of("txn-00000042", 4), first);  // pure function
+  EXPECT_LT(first, 4u);
+  EXPECT_EQ(ttp_partition_of("txn-00000042", 1), 0u);
+  EXPECT_EQ(ttp_partition_of("anything", 0), 0u);  // degenerate: no fleet
+}
+
+TEST(TtpPartition, SpreadsTxnIdsOverAllPartitions) {
+  std::vector<std::size_t> load(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ++load[ttp_partition_of("txn-" + std::to_string(i), 4)];
+  }
+  for (const std::size_t count : load) {
+    EXPECT_GT(count, 150u);  // uniform share is 250
+    EXPECT_LT(count, 400u);
+  }
+}
+
+// --- Fleet fixture ---------------------------------------------------------
+
+/// A 2-provider, 2-TTP-partition fleet with a directory, built in a
+/// caller-chosen actor registration order.
+struct Fleet {
+  /// A per-actor Drbg seeded by the actor's NAME: txn ids and nonces become
+  /// pure functions of the actor, independent of construction order — which
+  /// is exactly what the registration-order invariance test pins down.
+  crypto::Drbg& rng_for(const std::string& name) {
+    auto it = rngs.find(name);
+    if (it == rngs.end()) {
+      it = rngs.emplace(name, std::make_unique<crypto::Drbg>(
+                                  crypto::sha256(common::to_bytes(name))))
+               .first;
+    }
+    return *it->second;
+  }
+
+  explicit Fleet(const std::vector<std::string>& client_order,
+                 bool withhold_receipts = false)
+      : network(7) {
+    ring.add_provider("p-0");
+    ring.add_provider("p-1");
+    partition_names = {"ttp.p0", "ttp.p1"};
+    for (const std::string& name : client_order) {
+      auto client = std::make_unique<ClientActor>(
+          name, network, const_cast<pki::Identity&>(fleet_identity(name)),
+          rng_for(name));
+      client->set_placement(&ring);
+      client->set_directory("dir");
+      client->set_ttp_partitions(partition_names);
+      clients[name] = std::move(client);
+    }
+    for (const std::string name : {"p-0", "p-1"}) {
+      providers[name] = std::make_unique<ProviderActor>(
+          name, network, const_cast<pki::Identity&>(fleet_identity(name)),
+          rng_for(name));
+    }
+    if (withhold_receipts) {
+      ProviderBehavior unfair;
+      unfair.send_store_receipts = false;
+      for (auto& [name, provider] : providers) provider->set_behavior(unfair);
+    }
+    for (const std::string& name : partition_names) {
+      ttps[name] = std::make_unique<TtpActor>(
+          name, network, const_cast<pki::Identity&>(fleet_identity(name)),
+          rng_for(name));
+    }
+    directory = std::make_unique<DirectoryActor>(
+        "dir", network, const_cast<pki::Identity&>(fleet_identity("dir")),
+        rng_for("dir"), ring);
+    for (const std::string p : {"p-0", "p-1"}) {
+      directory->register_provider_key(p, fleet_identity(p).public_key());
+      for (const std::string& t : partition_names) {
+        providers[p]->trust_peer(t, fleet_identity(t).public_key());
+        ttps[t]->trust_peer(p, fleet_identity(p).public_key());
+      }
+    }
+    for (const auto& [name, client] : clients) {
+      client->trust_peer("dir", fleet_identity("dir").public_key());
+      directory->trust_peer(name, fleet_identity(name).public_key());
+      for (const std::string p : {"p-0", "p-1"}) {
+        providers[p]->trust_peer(name, fleet_identity(name).public_key());
+      }
+      for (const std::string& t : partition_names) {
+        client->trust_peer(t, fleet_identity(t).public_key());
+        ttps[t]->trust_peer(name, fleet_identity(name).public_key());
+      }
+    }
+  }
+
+  net::Network network;
+  std::map<std::string, std::unique_ptr<crypto::Drbg>> rngs;
+  runtime::Placement ring;
+  std::vector<std::string> partition_names;
+  std::map<std::string, std::unique_ptr<ClientActor>> clients;
+  std::map<std::string, std::unique_ptr<ProviderActor>> providers;
+  std::map<std::string, std::unique_ptr<TtpActor>> ttps;
+  std::unique_ptr<DirectoryActor> directory;
+};
+
+// --- Routed stores and the directory detour --------------------------------
+
+TEST(FleetRouting, KnownOwnerStoresImmediately) {
+  Fleet fleet({"c-0"});
+  ClientActor& alice = *fleet.clients.at("c-0");
+  const std::string owner = fleet.ring.owner("report");
+  alice.trust_peer(owner, fleet_identity(owner).public_key());
+
+  const std::string txn =
+      alice.store_routed("ttp.p0", "report", to_bytes("q3 numbers"));
+  ASSERT_FALSE(txn.empty());  // no directory detour needed
+  fleet.network.run();
+
+  const auto* state = alice.transaction(txn);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->state, TxnState::kCompleted);
+  EXPECT_EQ(state->provider, owner);  // the ring choice, not the caller's
+  EXPECT_EQ(fleet.directory->lookups_served(), 0u);
+  ASSERT_EQ(alice.routed_txns().size(), 1u);
+  EXPECT_EQ(alice.routed_txns().front(), txn);
+}
+
+TEST(FleetRouting, DirectoryMissDefersThenCompletes) {
+  Fleet fleet({"c-0"});
+  ClientActor& alice = *fleet.clients.at("c-0");
+  // Cold client: it knows NO provider key, so the store must take the
+  // kDirLookup -> kDirReply detour before issuing.
+  const std::string deferred =
+      alice.store_routed("ttp.p0", "ledger", to_bytes("entries"));
+  EXPECT_TRUE(deferred.empty());
+  EXPECT_TRUE(alice.routed_txns().empty());
+  fleet.network.run();
+
+  EXPECT_EQ(fleet.directory->lookups_served(), 1u);
+  ASSERT_EQ(alice.routed_txns().size(), 1u);
+  const auto* state = alice.transaction(alice.routed_txns().front());
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->state, TxnState::kCompleted);
+  EXPECT_EQ(state->provider, fleet.ring.owner("ledger"));
+
+  // The reply warmed the owner cache AND trusted the key: the next store
+  // for the same key issues immediately.
+  EXPECT_FALSE(
+      alice.store_routed("ttp.p0", "ledger", to_bytes("more")).empty());
+}
+
+TEST(FleetRouting, DeferredStoresKeepIssueOrder) {
+  Fleet fleet({"c-0"});
+  ClientActor& alice = *fleet.clients.at("c-0");
+  // Three cold stores for the SAME key: one lookup services all three, and
+  // they must issue in original call order.
+  for (const char* payload : {"v1", "v2", "v3"}) {
+    EXPECT_TRUE(
+        alice.store_routed("ttp.p0", "series", to_bytes(payload)).empty());
+  }
+  fleet.network.run();
+  ASSERT_EQ(alice.routed_txns().size(), 3u);
+  // routed_txns() records mint order; each parked store must keep the payload
+  // it was issued with, so txn i carries the hash of payload i.
+  const std::vector<std::string> payloads = {"v1", "v2", "v3"};
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const auto* state = alice.transaction(alice.routed_txns()[i]);
+    ASSERT_NE(state, nullptr);
+    EXPECT_EQ(state->state, TxnState::kCompleted);
+    EXPECT_EQ(state->data_hash, crypto::sha256(to_bytes(payloads[i])))
+        << "payload " << i << " out of order";
+  }
+}
+
+// --- Partitioned TTP -------------------------------------------------------
+
+TEST(FleetTtp, ResolveReachesTheHashedPartition) {
+  // Every provider withholds receipts, so each store escalates to the TTP
+  // partition selected by ttp_partition_of(txn_id, 2) — and completes
+  // through it.
+  Fleet fleet({"c-0"}, /*withhold_receipts=*/true);
+  ClientActor& alice = *fleet.clients.at("c-0");
+  for (const std::string p : {"p-0", "p-1"}) {
+    alice.trust_peer(p, fleet_identity(p).public_key());
+  }
+  std::vector<std::string> txns;
+  for (int i = 0; i < 4; ++i) {
+    txns.push_back(alice.store_routed("ttp.p0", "obj-" + std::to_string(i),
+                                      to_bytes("payload")));
+  }
+  fleet.network.run();
+
+  for (const std::string& txn : txns) {
+    const auto* state = alice.transaction(txn);
+    ASSERT_NE(state, nullptr);
+    EXPECT_EQ(state->state, TxnState::kResolvedCompleted) << txn;
+    // The partition that served the resolve is the hash-selected one, NOT
+    // the base name the caller passed.
+    EXPECT_EQ(state->ttp,
+              fleet.partition_names[ttp_partition_of(txn, 2)])
+        << txn;
+  }
+  const std::uint64_t p0 = fleet.ttps.at("ttp.p0")->stats().received;
+  const std::uint64_t p1 = fleet.ttps.at("ttp.p1")->stats().received;
+  // Resolve traffic landed only on partitions that own some txn hash.
+  std::size_t expect_p0 = 0;
+  for (const std::string& txn : txns) {
+    if (ttp_partition_of(txn, 2) == 0) ++expect_p0;
+  }
+  EXPECT_EQ(p0 > 0, expect_p0 > 0);
+  EXPECT_EQ(p1 > 0, expect_p0 < txns.size());
+}
+
+// --- Registration-order invariance -----------------------------------------
+
+/// Protocol-outcome fingerprint for one client: per routed txn its terminal
+/// state, serving TTP, provider and completion time. Envelope ids and shard
+/// assignments legitimately differ across registration orders; these
+/// outcomes must not.
+std::vector<std::string> outcomes(const ClientActor& client) {
+  std::vector<std::string> out;
+  for (const std::string& txn : client.routed_txns()) {
+    const auto* state = client.transaction(txn);
+    out.push_back(txn + "|" + txn_state_name(state->state) + "|" +
+                  state->ttp + "|" + state->provider + "|" +
+                  std::to_string(state->finished_at));
+  }
+  return out;
+}
+
+TEST(FleetInvariance, RegistrationOrderDoesNotChangeOutcomes) {
+  const std::vector<std::string> forward = {"c-0", "c-1", "c-2"};
+  const std::vector<std::string> reversed = {"c-2", "c-1", "c-0"};
+  std::map<std::string, std::vector<std::string>> digests[2];
+  int run = 0;
+  for (const auto& order : {forward, reversed}) {
+    Fleet fleet(order);
+    for (const std::string& name : forward) {  // same ISSUE order both runs
+      ClientActor& client = *fleet.clients.at(name);
+      for (const std::string p : {"p-0", "p-1"}) {
+        client.trust_peer(p, fleet_identity(p).public_key());
+      }
+      for (int i = 0; i < 2; ++i) {
+        client.store_routed("ttp.p0", name + "-obj-" + std::to_string(i),
+                            to_bytes("data"));
+      }
+    }
+    fleet.network.run();
+    for (const std::string& name : forward) {
+      digests[run][name] = outcomes(*fleet.clients.at(name));
+      for (const std::string& txn : fleet.clients.at(name)->routed_txns()) {
+        EXPECT_EQ(fleet.clients.at(name)->transaction(txn)->state,
+                  TxnState::kCompleted);
+      }
+    }
+    ++run;
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+}  // namespace
+}  // namespace tpnr::nr

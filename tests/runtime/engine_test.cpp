@@ -83,6 +83,22 @@ TEST(EngineDeterminism, TraceInvariantAcrossShardAndWorkerCounts) {
   }
 }
 
+TEST(EngineDeterminism, TimerWheelMatchesLegacyHeapTraces) {
+  // The timer wheel (default) and the legacy heap must produce byte-
+  // identical event traces for the same seed at every shard/worker shape —
+  // the wheel is a pure representation change, never an ordering change.
+  for (const auto& [shards, workers] :
+       {std::pair<std::uint32_t, std::uint32_t>{1, 1}, {4, 1}, {4, 4}}) {
+    EngineOptions wheel{shards, workers};
+    wheel.use_timer_wheel = true;
+    EngineOptions heap{shards, workers};
+    heap.use_timer_wheel = false;
+    EXPECT_EQ(run_ring(23, wheel, 6, 12), run_ring(23, heap, 6, 12))
+        << "wheel/heap divergence at shards=" << shards
+        << " workers=" << workers;
+  }
+}
+
 TEST(EngineDeterminism, SameConfigIsReproducible) {
   EXPECT_EQ(run_ring(11, {4, 4}), run_ring(11, {4, 4}));
 }

@@ -25,8 +25,11 @@ export TPNR_FORK_SWEEP=small
 run_bench() { # <binary> <tag> <shards> <workers> -> path of captured JsonLine
   local binary="$1" tag="$2" shards="$3" workers="$4"
   local out="$WORKDIR/${binary}.${tag}.jsonl"
-  TPNR_BENCH_JSON="$out" TPNR_SHARDS="$shards" TPNR_WORKERS="$workers" \
+  TPNR_BENCH_JSON="$out.raw" TPNR_SHARDS="$shards" TPNR_WORKERS="$workers" \
     "$BENCH_DIR/$binary" --benchmark_filter=NONE >/dev/null
+  # process_meta records carry the config itself (shards/workers/RSS) and
+  # are config-dependent BY DESIGN; everything else must be byte-identical.
+  grep -v '"record":"process_meta"' "$out.raw" > "$out" || true
   echo "$out"
 }
 
