@@ -43,6 +43,7 @@
 #include "bench_util.h"
 #include "common/payload.h"
 #include "common/serial.h"
+#include "crypto/counters.h"
 #include "crypto/hash.h"
 #include "net/network.h"
 #include "nr/client.h"
@@ -713,6 +714,7 @@ void emit_fleet(const FleetConfig& config, const FleetResult& r,
 /// (TPNR_FLEET_CAPACITY_CLIENTS; CI holds 100k clients there).
 void print_fleet_sweep() {
   const FleetConfig base = fleet_base_from_env();
+  const crypto::CounterSnapshot crypto_before = crypto::counters().snapshot();
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"config", "shards", "workers", "clients", "completed",
                   "resolved", "dir", "wall-ms", "txns/s", "digest"});
@@ -784,6 +786,51 @@ void print_fleet_sweep() {
                  static_cast<double>(capacity.clients),
              2)
       .print();
+  // Crypto batching telemetry over the whole sweep. Deltas, not absolutes,
+  // so earlier sections of this process don't pollute the fill-rate; the
+  // acceptance gate is mean lane fill > 4 messages per 8-lane dispatch.
+  const crypto::CounterSnapshot crypto_after = crypto::counters().snapshot();
+  const auto delta = [&](std::uint64_t crypto::CounterSnapshot::* field) {
+    return crypto_after.*field - crypto_before.*field;
+  };
+  const std::uint64_t mb_batches = delta(&crypto::CounterSnapshot::mb_batches);
+  const std::uint64_t mb_dispatch_jobs =
+      delta(&crypto::CounterSnapshot::mb_dispatch_jobs);
+  const double fill_rate =
+      mb_batches == 0 ? 0.0
+                      : static_cast<double>(mb_dispatch_jobs) /
+                            static_cast<double>(mb_batches);
+  bench::JsonLine("crypto_counters")
+      .field("scope", "fleet_sweep")
+      .field("accel_multi_lane", crypto::accel().multi_lane)
+      .field("accel_rsa_fast", crypto::accel().rsa_fast)
+      .field("accel_crypto_service", crypto::accel().crypto_service)
+      .field("mb_batches", mb_batches)
+      .field("mb_dispatch_jobs", mb_dispatch_jobs)
+      .field("lane_fill_rate", fill_rate, 2)
+      .field("lane_fill_gt4", fill_rate > 4.0)
+      .field("service_jobs", delta(&crypto::CounterSnapshot::service_jobs))
+      .field("service_flushes",
+             delta(&crypto::CounterSnapshot::service_flushes))
+      .field("service_inline_jobs",
+             delta(&crypto::CounterSnapshot::service_inline_jobs))
+      .field("batch_verify_groups",
+             delta(&crypto::CounterSnapshot::batch_verify_groups))
+      .field("batch_verify_items",
+             delta(&crypto::CounterSnapshot::batch_verify_items))
+      .field("mont_modmuls", delta(&crypto::CounterSnapshot::mont_modmuls))
+      .field("classic_modmuls",
+             delta(&crypto::CounterSnapshot::classic_modmuls))
+      .field("crt_signs", delta(&crypto::CounterSnapshot::crt_signs))
+      .field("classic_signs", delta(&crypto::CounterSnapshot::classic_signs))
+      .field("verify_memo_hits",
+             delta(&crypto::CounterSnapshot::verify_memo_hits))
+      .print();
+  std::printf("fleet crypto batching: lane fill %.2f msgs/dispatch over %llu "
+              "batches, %llu jobs deferred via CryptoService\n",
+              fill_rate, static_cast<unsigned long long>(mb_batches),
+              static_cast<unsigned long long>(
+                  delta(&crypto::CounterSnapshot::service_jobs)));
   std::printf("fleet digests invariant across shards/workers: %s\n",
               invariant ? "yes" : "NO — DETERMINISM BUG");
   std::printf(

@@ -1,13 +1,16 @@
 #include "audit/auditor.h"
 
-#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
 
+#include "common/payload.h"
 #include "common/serial.h"
 #include "crypto/sha256.h"
-#include "crypto/sha256_mb.h"
 #include "dyn/client.h"
 #include "nr/chunked.h"
 #include "nr/evidence.h"
+#include "runtime/crypto_service.h"
 
 namespace tpnr::audit {
 
@@ -264,13 +267,35 @@ void AuditorActor::handle_fork_report(const nr::NrMessage& message) {
     ++stats_.rejected_bad_hash;
     return;
   }
-  const crypto::RsaPublicKey* reporter_key = peer_key(h.sender);
+  std::shared_ptr<const crypto::RsaPublicKey> reporter_key =
+      peer_key_shared(h.sender);
   if (reporter_key == nullptr) return;
-  if (!nr::open_evidence(*identity_, *reporter_key, h, message.evidence)) {
+  const auto opened =
+      nr::open_evidence_unverified(*identity_, h, message.evidence);
+  if (!opened.has_value()) {
     ++stats_.rejected_bad_evidence;
     return;
   }
-  report_fork(provider, txn_id, object_key, proof, h.sender);
+  // The reporter's evidence signatures go through the crypto service; the
+  // proof itself is judged in the completion (its two provider signatures
+  // ride the per-key verify memo and Montgomery fast path).
+  std::vector<runtime::VerifyJob> sigs(2);
+  sigs[0].key = reporter_key;
+  sigs[0].message = h.data_hash;
+  sigs[0].signature = opened->data_hash_signature;
+  sigs[1].key = reporter_key;
+  sigs[1].message = h.encode();
+  sigs[1].signature = opened->header_signature;
+  crypto_service().submit_verifies(
+      std::move(sigs),
+      [this, provider, txn_id, object_key, proof = std::move(proof),
+       reporter = h.sender](std::vector<bool> ok) {
+        if (!ok[0] || !ok[1]) {
+          ++stats_.rejected_bad_evidence;
+          return;
+        }
+        report_fork(provider, txn_id, object_key, proof, reporter);
+      });
 }
 
 bool AuditorActor::report_fork(const std::string& provider,
@@ -343,50 +368,98 @@ void AuditorActor::handle_agg_response(const nr::NrMessage& message) {
   }
 
   // Evidence first: the provider signed the hash of this exact response,
-  // so whatever (version, root, σ, μ) it claims is non-repudiable.
-  const crypto::RsaPublicKey* provider_key = peer_key(target.provider);
-  if (provider_key == nullptr ||
-      crypto::sha256(response_bytes) != h.data_hash ||
-      !nr::open_evidence(*identity_, *provider_key, h, message.evidence)) {
+  // so whatever (version, root, σ, μ) it claims is non-repudiable. The
+  // digest and both evidence signatures run through the crypto service.
+  std::shared_ptr<const crypto::RsaPublicKey> provider_key =
+      peer_key_shared(target.provider);
+  const auto opened =
+      nr::open_evidence_unverified(*identity_, h, message.evidence);
+  if (provider_key == nullptr || !opened.has_value()) {
     ++stats_.rejected_bad_evidence;
     conclude(key, pending, AuditVerdict::kBadEvidence,
              "response evidence failed verification");
     return;
   }
 
-  // Freshness against the client's chain head BEFORE any algebra: a stale
-  // or rolled-back head is a verdict of its own, not a mere mismatch.
+  // The freshness reference is pinned NOW, at response-execution time: the
+  // completion judges against the chain head as it stood when the response
+  // event ran, exactly as the inline path would.
   const dyn::VersionChain& chain = *target.chain;
   const std::uint64_t head_version = chain.head_version();
-  if (response.version < head_version) {
-    conclude(key, pending, AuditVerdict::kStaleVersion,
-             "provider served version " + std::to_string(response.version) +
-                 " but the countersigned head is version " +
-                 std::to_string(head_version));
-    return;
-  }
-  if (!common::constant_time_equal(response.root, chain.head_root())) {
-    const auto older = chain.version_of_root(response.root);
-    if (older.has_value() && *older < head_version) {
-      conclude(key, pending, AuditVerdict::kRollback,
-               "root matches committed version " + std::to_string(*older) +
-                   " while claiming version " +
-                   std::to_string(response.version) + " (head " +
-                   std::to_string(head_version) + ")");
-    } else {
-      conclude(key, pending, AuditVerdict::kMismatch,
-               "root matches no committed version");
-    }
-    return;
-  }
+  const Bytes head_root = chain.head_root();
+  const std::size_t head_chunk_count = chain.head_chunk_count();
+  const auto older = chain.version_of_root(response.root);
 
-  const bool holds = dyn::verify_agg_response(
-      challenge, response, target.tag_key, chain.head_chunk_count(),
-      target.chunk_size, chain.head_root());
-  conclude(key, pending,
-           holds ? AuditVerdict::kVerified : AuditVerdict::kMismatch,
-           holds ? "aggregated proof verified against the chain head"
-                 : "aggregated proof failed verification");
+  std::vector<runtime::DigestJob> jobs(1);
+  jobs[0].message = common::Payload::copy_of(response_bytes);
+  crypto_service().submit_digests(
+      std::move(jobs),
+      [this, h, key, pending, provider_key, opened = *opened, challenge,
+       response = std::move(response), tag_key = target.tag_key,
+       chunk_size = target.chunk_size, head_version, head_root,
+       head_chunk_count, older](std::vector<Bytes> digests) {
+        if (!pending_.contains(key)) return;  // concluded meanwhile
+        if (digests[0] != h.data_hash) {
+          ++stats_.rejected_bad_evidence;
+          conclude(key, pending, AuditVerdict::kBadEvidence,
+                   "response evidence failed verification");
+          return;
+        }
+        std::vector<runtime::VerifyJob> sigs(2);
+        sigs[0].key = provider_key;
+        sigs[0].message = h.data_hash;
+        sigs[0].signature = opened.data_hash_signature;
+        sigs[1].key = provider_key;
+        sigs[1].message = h.encode();
+        sigs[1].signature = opened.header_signature;
+        crypto_service().submit_verifies(
+            std::move(sigs),
+            [this, key, pending, challenge, response, tag_key, chunk_size,
+             head_version, head_root, head_chunk_count,
+             older](std::vector<bool> ok) {
+              if (!pending_.contains(key)) return;
+              if (!ok[0] || !ok[1]) {
+                ++stats_.rejected_bad_evidence;
+                conclude(key, pending, AuditVerdict::kBadEvidence,
+                         "response evidence failed verification");
+                return;
+              }
+              // Freshness against the client's chain head BEFORE any
+              // algebra: a stale or rolled-back head is a verdict of its
+              // own, not a mere mismatch.
+              if (response.version < head_version) {
+                conclude(key, pending, AuditVerdict::kStaleVersion,
+                         "provider served version " +
+                             std::to_string(response.version) +
+                             " but the countersigned head is version " +
+                             std::to_string(head_version));
+                return;
+              }
+              if (!common::constant_time_equal(response.root, head_root)) {
+                if (older.has_value() && *older < head_version) {
+                  conclude(key, pending, AuditVerdict::kRollback,
+                           "root matches committed version " +
+                               std::to_string(*older) +
+                               " while claiming version " +
+                               std::to_string(response.version) + " (head " +
+                               std::to_string(head_version) + ")");
+                } else {
+                  conclude(key, pending, AuditVerdict::kMismatch,
+                           "root matches no committed version");
+                }
+                return;
+              }
+              const bool holds = dyn::verify_agg_response(
+                  challenge, response, tag_key, head_chunk_count, chunk_size,
+                  head_root);
+              conclude(key, pending,
+                       holds ? AuditVerdict::kVerified
+                             : AuditVerdict::kMismatch,
+                       holds ? "aggregated proof verified against the chain "
+                               "head"
+                             : "aggregated proof failed verification");
+            });
+      });
 }
 
 void AuditorActor::handle_chunk_response(const nr::NrMessage& message) {
@@ -438,36 +511,73 @@ void AuditorActor::handle_chunk_response(const nr::NrMessage& message) {
   }
 
   // Stages 3 and 4 each hash the full chunk — the evidence digest (flat
-  // SHA-256) and the Merkle leaf (0x00-tagged SHA-256). Fuse them into one
-  // multi-lane dispatch so the chunk's blocks stream through the compressor
-  // once, two lanes wide.
-  const std::array<crypto::TaggedMessage, 2> chunk_hashes = {
-      crypto::TaggedMessage{chunk, -1},    // evidence digest
-      crypto::TaggedMessage{chunk, 0x00},  // Merkle leaf
-  };
-  const std::vector<Bytes> digests = crypto::sha256_many_mixed(chunk_hashes);
-
-  // Stage 3: the response evidence — the provider signed the hash of the
-  // chunk it served NOW, so it cannot later repudiate this audit answer.
-  const crypto::RsaPublicKey* provider_key = peer_key(target.provider);
-  if (provider_key == nullptr || digests[0] != h.data_hash ||
-      !nr::open_evidence(*identity_, *provider_key, h, message.evidence)) {
+  // SHA-256) and the Merkle leaf (0x00-tagged SHA-256). Both go through the
+  // crypto service as one two-job submission, so concurrent audits in the
+  // shard coalesce into full multi-buffer dispatches and the chunk's blocks
+  // stream through the compressor once, two lanes wide.
+  std::shared_ptr<const crypto::RsaPublicKey> provider_key =
+      peer_key_shared(target.provider);
+  const auto opened =
+      nr::open_evidence_unverified(*identity_, h, message.evidence);
+  if (provider_key == nullptr || !opened.has_value()) {
     ++stats_.rejected_bad_evidence;
     conclude(key, pending, AuditVerdict::kBadEvidence,
              "response evidence failed verification");
     return;
   }
+  const common::Payload chunk_payload = common::Payload::copy_of(chunk);
+  std::vector<runtime::DigestJob> jobs(2);
+  jobs[0].message = chunk_payload;  // evidence digest
+  jobs[1].message = chunk_payload;  // Merkle leaf
+  jobs[1].tag = 0x00;
+  crypto_service().submit_digests(
+      std::move(jobs),
+      [this, h, key, pending, provider_key, opened = *opened,
+       proof = std::move(proof), chunk_index,
+       chunk_count = target.chunk_count,
+       root = target.root](std::vector<Bytes> digests) {
+        if (!pending_.contains(key)) return;  // concluded meanwhile
 
-  // Stage 4: the audit proper — does the served chunk chain to the Merkle
-  // root both parties signed at store time?
-  const bool chains =
-      proof.leaf_index == chunk_index &&
-      proof.leaf_count == target.chunk_count &&
-      crypto::MerkleTree::verify_from_leaf(digests[1], proof, target.root);
-  conclude(key, pending,
-           chains ? AuditVerdict::kVerified : AuditVerdict::kMismatch,
-           chains ? "chunk verified against the signed root"
-                  : "proof does not chain to the signed root");
+        // Stage 3: the response evidence — the provider signed the hash of
+        // the chunk it served NOW, so it cannot later repudiate this audit
+        // answer.
+        if (digests[0] != h.data_hash) {
+          ++stats_.rejected_bad_evidence;
+          conclude(key, pending, AuditVerdict::kBadEvidence,
+                   "response evidence failed verification");
+          return;
+        }
+        std::vector<runtime::VerifyJob> sigs(2);
+        sigs[0].key = provider_key;
+        sigs[0].message = h.data_hash;
+        sigs[0].signature = opened.data_hash_signature;
+        sigs[1].key = provider_key;
+        sigs[1].message = h.encode();
+        sigs[1].signature = opened.header_signature;
+        crypto_service().submit_verifies(
+            std::move(sigs),
+            [this, key, pending, proof, chunk_index, chunk_count, root,
+             leaf = std::move(digests[1])](std::vector<bool> ok) {
+              if (!pending_.contains(key)) return;
+              if (!ok[0] || !ok[1]) {
+                ++stats_.rejected_bad_evidence;
+                conclude(key, pending, AuditVerdict::kBadEvidence,
+                         "response evidence failed verification");
+                return;
+              }
+              // Stage 4: the audit proper — does the served chunk chain to
+              // the Merkle root both parties signed at store time?
+              const bool chains =
+                  proof.leaf_index == chunk_index &&
+                  proof.leaf_count == chunk_count &&
+                  crypto::MerkleTree::verify_from_leaf(leaf, proof, root);
+              conclude(key, pending,
+                       chains ? AuditVerdict::kVerified
+                              : AuditVerdict::kMismatch,
+                       chains ? "chunk verified against the signed root"
+                              : "proof does not chain to the signed root");
+            });
+      });
 }
 
 }  // namespace tpnr::audit

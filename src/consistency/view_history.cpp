@@ -1,9 +1,12 @@
 #include "consistency/view_history.h"
 
+#include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "common/serial.h"
 #include "crypto/hash.h"
+#include "crypto/rsa.h"
 #include "pki/identity.h"
 
 namespace tpnr::consistency {
@@ -109,10 +112,21 @@ bool EquivocationProof::valid(const crypto::RsaPublicKey& provider,
   if (a.view.encode() == b.view.encode()) {
     return fail(why, "commitments are identical (no conflict)");
   }
-  if (!a.verify(provider)) {
+  // Both signatures are under the provider's key: one rsa_verify_many
+  // group shares the key's Montgomery context (and the verify memo).
+  const Bytes message_a = a.view.encode();
+  const Bytes message_b = b.view.encode();
+  const std::vector<crypto::RsaVerifyItem> items = {
+      {crypto::HashKind::kSha256, BytesView(message_a),
+       BytesView(a.provider_sig)},
+      {crypto::HashKind::kSha256, BytesView(message_b),
+       BytesView(b.provider_sig)},
+  };
+  const std::vector<bool> ok = crypto::rsa_verify_many(provider, items);
+  if (!ok[0]) {
     return fail(why, "provider signature fails on commitment A");
   }
-  if (!b.verify(provider)) {
+  if (!ok[1]) {
     return fail(why, "provider signature fails on commitment B");
   }
   return true;
@@ -178,23 +192,43 @@ ViewWalkResult walk_view(std::span<const SignedViewCommitment> commits,
   ViewWalkResult result;
   if (commits.empty()) return result;
 
+  // Structural pass first: replay the hash links up to the first break.
+  // Every linked commitment's signature then runs as ONE rsa_verify_many
+  // group under the provider key's shared Montgomery context. The verdict
+  // is the earliest failure of either kind in original walk order — a
+  // signature failure before the break preempts the break, exactly as the
+  // per-commit walk reported it.
   ViewHistory replay;
   std::string why;
-  for (const SignedViewCommitment& commit : commits) {
-    const std::uint64_t seq = commit.view.global_seq;
-    if (!replay.append(commit, &why)) {
-      result.status = ViewWalkStatus::kBrokenLink;
-      result.at_seq = seq;
-      result.detail = why;
-      return result;
+  std::size_t linked = commits.size();  // commits that extend the chain
+  for (std::size_t i = 0; i < commits.size(); ++i) {
+    if (!replay.append(commits[i], &why)) {
+      linked = i;
+      break;
     }
-    if (!commit.verify(provider_key)) {
+  }
+  std::vector<Bytes> messages(linked);
+  std::vector<crypto::RsaVerifyItem> items(linked);
+  for (std::size_t i = 0; i < linked; ++i) {
+    messages[i] = commits[i].view.encode();
+    items[i] = {crypto::HashKind::kSha256, BytesView(messages[i]),
+                BytesView(commits[i].provider_sig)};
+  }
+  const std::vector<bool> ok = crypto::rsa_verify_many(provider_key, items);
+  for (std::size_t i = 0; i < linked; ++i) {
+    if (!ok[i]) {
       result.status = ViewWalkStatus::kBadSignature;
-      result.at_seq = seq;
+      result.at_seq = commits[i].view.global_seq;
       result.detail = "provider signature fails at position " +
-                      std::to_string(seq);
+                      std::to_string(commits[i].view.global_seq);
       return result;
     }
+  }
+  if (linked < commits.size()) {
+    result.status = ViewWalkStatus::kBrokenLink;
+    result.at_seq = commits[linked].view.global_seq;
+    result.detail = why;
+    return result;
   }
   result.status = ViewWalkStatus::kValid;
   return result;

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/error.h"
+#include "crypto/counters.h"
 
 namespace tpnr::crypto {
 
@@ -538,6 +539,18 @@ BigInt BigInt::mod(const BigInt& m) const {
 }
 
 BigInt BigInt::mod_pow(const BigInt& exp, const BigInt& m) const {
+  // The Montgomery path needs an odd modulus; anything else (and the A/B
+  // baseline) takes the classic multiply-then-reduce ladder. Both produce
+  // the same value bit-for-bit — this is a speed dispatch, not a semantic
+  // one. RSA moduli and primes are always odd, so the hot paths qualify.
+  if (accel().rsa_fast && m.is_odd() && m.compare(BigInt(1)) > 0 &&
+      !exp.is_negative()) {
+    return Montgomery(m).pow(*this, exp);
+  }
+  return mod_pow_classic(exp, m);
+}
+
+BigInt BigInt::mod_pow_classic(const BigInt& exp, const BigInt& m) const {
   if (exp.is_negative()) {
     throw CryptoError("BigInt::mod_pow: negative exponent");
   }
@@ -557,11 +570,13 @@ BigInt BigInt::mod_pow(const BigInt& exp, const BigInt& m) const {
 
   const std::size_t bits = exp.bit_length();
   const std::size_t windows = (bits + 3) / 4;
+  std::uint64_t modmuls = 14;  // table build
   BigInt result(1);
   for (std::size_t w = windows; w-- > 0;) {
     for (int i = 0; i < 4; ++i) {
       result = (result * result).mod(m);
     }
+    modmuls += 4;
     std::uint32_t nibble = 0;
     for (int i = 3; i >= 0; --i) {
       nibble = (nibble << 1) |
@@ -569,8 +584,10 @@ BigInt BigInt::mod_pow(const BigInt& exp, const BigInt& m) const {
     }
     if (nibble != 0) {
       result = (result * table[nibble]).mod(m);
+      ++modmuls;
     }
   }
+  counters().classic_modmuls.fetch_add(modmuls, std::memory_order_relaxed);
   return result;
 }
 
@@ -687,6 +704,181 @@ BigInt BigInt::generate_prime(std::size_t bits, Drbg& rng) {
     candidate.limbs_[0] |= 1u;
     if (candidate.is_probable_prime(rng)) return candidate;
   }
+}
+
+namespace {
+
+// Double-width accumulator for the CIOS inner loops. __extension__ keeps
+// -Wpedantic quiet about the non-standard __int128.
+#if defined(__SIZEOF_INT128__)
+__extension__ typedef unsigned __int128 MontDword;
+#else
+typedef std::uint64_t MontDword;
+#endif
+
+}  // namespace
+
+Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
+  if (n_.is_negative() || !n_.is_odd() || n_.compare(BigInt(1)) <= 0) {
+    throw CryptoError("Montgomery: modulus must be odd and > 1");
+  }
+  constexpr unsigned kWordBits = sizeof(Word) * 8;
+  n_limbs_ = pad(n_);
+  // n0' = -n^{-1} mod 2^w by Newton iteration: x0 = n is correct to 3 bits
+  // for odd n, and each step doubles the correct bit count
+  // (3 -> 6 -> 12 -> 24 -> 48 -> 96 >= w for both word sizes).
+  Word inv = n_limbs_[0];
+  for (int i = 0; i < 5; ++i) inv *= Word{2} - n_limbs_[0] * inv;
+  n0_ = Word{0} - inv;
+  // R^2 mod n for R = 2^(w s): the one division this context ever pays.
+  const std::size_t s = n_limbs_.size();
+  rr_ = pad(BigInt(1).shifted_left(2 * kWordBits * s).mod(n_));
+}
+
+Montgomery::Limbs Montgomery::pad(const BigInt& x) const {
+  // Repack the BigInt's 32-bit limbs into Words; for the modulus itself
+  // (n_limbs_ still empty) size to exactly cover it, else to its width.
+  const std::vector<std::uint32_t>& src = x.limbs_;
+  constexpr std::size_t kPer = sizeof(Word) / sizeof(std::uint32_t);
+  const std::size_t want = n_limbs_.empty()
+                               ? (src.size() + kPer - 1) / kPer
+                               : n_limbs_.size();
+  Limbs out(want, 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    out[i / kPer] |= static_cast<Word>(src[i]) << (32 * (i % kPer));
+  }
+  return out;
+}
+
+BigInt Montgomery::unpack(const Limbs& limbs) {
+  constexpr std::size_t kPer = sizeof(Word) / sizeof(std::uint32_t);
+  BigInt out;
+  out.limbs_.resize(limbs.size() * kPer);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] =
+        static_cast<std::uint32_t>(limbs[i / kPer] >> (32 * (i % kPer)));
+  }
+  out.normalize();
+  return out;
+}
+
+Montgomery::Limbs Montgomery::mont_mul(const Limbs& a, const Limbs& b) const {
+  // CIOS (coarsely integrated operand scanning): each outer step adds one
+  // partial product row, then folds in one reduction row chosen so the low
+  // word cancels — the running sum stays at s+2 words and the final value is
+  // a·b·R^{-1} mod n (up to one conditional subtract).
+  constexpr unsigned kWordBits = sizeof(Word) * 8;
+  const std::size_t s = n_limbs_.size();
+  Limbs t(s + 2, 0);
+  for (std::size_t i = 0; i < s; ++i) {
+    const Word ai = a[i];
+    Word carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const MontDword sum =
+          static_cast<MontDword>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<Word>(sum);
+      carry = static_cast<Word>(sum >> kWordBits);
+    }
+    MontDword sum = static_cast<MontDword>(t[s]) + carry;
+    t[s] = static_cast<Word>(sum);
+    t[s + 1] = static_cast<Word>(sum >> kWordBits);
+
+    const Word m = t[0] * n0_;
+    sum = static_cast<MontDword>(m) * n_limbs_[0] + t[0];
+    carry = static_cast<Word>(sum >> kWordBits);
+    for (std::size_t j = 1; j < s; ++j) {
+      const MontDword sum2 =
+          static_cast<MontDword>(m) * n_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<Word>(sum2);
+      carry = static_cast<Word>(sum2 >> kWordBits);
+    }
+    sum = static_cast<MontDword>(t[s]) + carry;
+    t[s - 1] = static_cast<Word>(sum);
+    t[s] = t[s + 1] + static_cast<Word>(sum >> kWordBits);
+  }
+  // t[0..s] < 2n with t[s] in {0, 1}; one conditional subtract normalizes.
+  bool ge = t[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t j = s; j-- > 0;) {
+      if (t[j] != n_limbs_[j]) {
+        ge = t[j] > n_limbs_[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    Word borrow = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const Word d1 = t[j] - n_limbs_[j];
+      const Word d2 = d1 - borrow;
+      borrow = static_cast<Word>((d1 > t[j]) || (d2 > d1));
+      t[j] = d2;
+    }
+  }
+  t.resize(s);
+  counters().mont_modmuls.fetch_add(1, std::memory_order_relaxed);
+  return t;
+}
+
+BigInt Montgomery::to_mont(const BigInt& x) const {
+  return unpack(mont_mul(pad(x), rr_));
+}
+
+BigInt Montgomery::from_mont(const BigInt& x) const {
+  Limbs one(n_limbs_.size(), 0);
+  one[0] = 1;
+  return unpack(mont_mul(pad(x), one));
+}
+
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  return unpack(mont_mul(pad(a), pad(b)));
+}
+
+BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_negative()) {
+    throw CryptoError("Montgomery::pow: negative exponent");
+  }
+  if (exp.is_zero()) return BigInt(1);
+  const BigInt reduced = base.mod(n_);
+  const Limbs base_m = mont_mul(pad(reduced), rr_);
+  const std::size_t bits = exp.bit_length();
+  Limbs acc;
+  if (bits <= 20) {
+    // Small exponents (every verify: e = 65537) — left-to-right binary; a
+    // window table would cost more than the ladder saves.
+    acc = base_m;
+    for (std::size_t i = bits - 1; i-- > 0;) {
+      acc = mont_mul(acc, acc);
+      if (exp.bit(i)) acc = mont_mul(acc, base_m);
+    }
+  } else {
+    // 4-bit fixed window, the same shape as the classic ladder.
+    Limbs one_m(n_limbs_.size(), 0);
+    one_m[0] = 1;
+    one_m = mont_mul(one_m, rr_);  // R mod n == to_mont(1)
+    std::vector<Limbs> table(16);
+    table[0] = one_m;
+    table[1] = base_m;
+    for (std::size_t i = 2; i < 16; ++i) {
+      table[i] = mont_mul(table[i - 1], base_m);
+    }
+    const std::size_t windows = (bits + 3) / 4;
+    acc = one_m;
+    for (std::size_t w = windows; w-- > 0;) {
+      for (int i = 0; i < 4; ++i) acc = mont_mul(acc, acc);
+      std::uint32_t nibble = 0;
+      for (int i = 3; i >= 0; --i) {
+        nibble = (nibble << 1) |
+                 static_cast<std::uint32_t>(
+                     exp.bit(4 * w + static_cast<std::size_t>(i)) ? 1 : 0);
+      }
+      if (nibble != 0) acc = mont_mul(acc, table[nibble]);
+    }
+  }
+  Limbs one(n_limbs_.size(), 0);
+  one[0] = 1;
+  return unpack(mont_mul(acc, one));
 }
 
 }  // namespace tpnr::crypto

@@ -87,8 +87,15 @@ class BigInt {
 
   /// Non-negative residue in [0, m).
   [[nodiscard]] BigInt mod(const BigInt& m) const;
-  /// (this ^ exp) mod m, exp >= 0, m > 1. 4-bit fixed-window exponentiation.
+  /// (this ^ exp) mod m, exp >= 0, m > 1. Dispatches to the Montgomery/CIOS
+  /// fast path when accel().rsa_fast is on and the modulus is odd; falls
+  /// back to mod_pow_classic otherwise. Results are bit-identical.
   [[nodiscard]] BigInt mod_pow(const BigInt& exp, const BigInt& m) const;
+  /// The reference path: 4-bit fixed-window exponentiation with schoolbook
+  /// multiply-then-reduce steps. Kept reachable for equivalence tests and
+  /// the TPNR_CRYPTO_ACCEL=0 A/B baseline.
+  [[nodiscard]] BigInt mod_pow_classic(const BigInt& exp,
+                                       const BigInt& m) const;
   /// Multiplicative inverse mod m; throws CryptoError if gcd != 1.
   [[nodiscard]] BigInt mod_inverse(const BigInt& m) const;
 
@@ -100,6 +107,8 @@ class BigInt {
   static BigInt generate_prime(std::size_t bits, Drbg& rng);
 
  private:
+  friend class Montgomery;
+
   void normalize() noexcept;
   [[nodiscard]] int compare_magnitude(const BigInt& other) const noexcept;
 
@@ -119,6 +128,52 @@ class BigInt {
 
   std::vector<std::uint32_t> limbs_;  // little-endian, normalized
   bool negative_ = false;             // never true for zero
+};
+
+/// Precomputed Montgomery-reduction context for one odd modulus n: holds
+/// n0' = -n^{-1} mod 2^w and R^2 mod n (R = 2^(w·limbs)), so repeated
+/// modular multiplications run as word-level CIOS loops (one fused
+/// multiply-and-reduce pass with double-width accumulators) instead of
+/// full-width multiply + Knuth division. The word size w is 64 where the
+/// compiler provides __int128 (one quarter the multiply-accumulate count of
+/// the 32-bit fallback). Building the context costs one division; amortize
+/// it across an exponentiation or a batch of verifies under the same key.
+/// Immutable after construction — safe to share across threads.
+class Montgomery {
+ public:
+  /// Throws CryptoError unless `modulus` is odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  [[nodiscard]] const BigInt& modulus() const noexcept { return n_; }
+
+  /// x (plain) -> x·R mod n. Requires 0 <= x < n.
+  [[nodiscard]] BigInt to_mont(const BigInt& x) const;
+  /// x (Montgomery form) -> x·R^{-1} mod n.
+  [[nodiscard]] BigInt from_mont(const BigInt& x) const;
+  /// Montgomery product: a·b·R^{-1} mod n, both operands in Montgomery form.
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+  /// (base ^ exp) mod n for plain (non-Montgomery) base; exp >= 0. 4-bit
+  /// fixed-window ladder over Montgomery products, bit-identical to
+  /// BigInt::mod_pow_classic with this modulus.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+ private:
+#if defined(__SIZEOF_INT128__)
+  using Word = std::uint64_t;
+#else
+  using Word = std::uint32_t;
+#endif
+  using Limbs = std::vector<Word>;
+
+  /// CIOS multiply-and-reduce on limb vectors padded to the modulus width.
+  [[nodiscard]] Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+  [[nodiscard]] Limbs pad(const BigInt& x) const;
+  [[nodiscard]] static BigInt unpack(const Limbs& limbs);
+
+  BigInt n_;
+  Limbs n_limbs_;  ///< modulus limbs, unpadded length s
+  Limbs rr_;       ///< R^2 mod n, padded to s limbs
+  Word n0_ = 0;    ///< -n^{-1} mod 2^w
 };
 
 }  // namespace tpnr::crypto

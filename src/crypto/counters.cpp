@@ -9,6 +9,7 @@ CounterSnapshot Counters::snapshot() const noexcept {
   s.scalar_blocks = scalar_blocks.load(std::memory_order_relaxed);
   s.mb_lane_blocks = mb_lane_blocks.load(std::memory_order_relaxed);
   s.mb_batches = mb_batches.load(std::memory_order_relaxed);
+  s.mb_dispatch_jobs = mb_dispatch_jobs.load(std::memory_order_relaxed);
   s.hmac_midstate_hits = hmac_midstate_hits.load(std::memory_order_relaxed);
   s.hmac_midstate_misses =
       hmac_midstate_misses.load(std::memory_order_relaxed);
@@ -17,6 +18,15 @@ CounterSnapshot Counters::snapshot() const noexcept {
       tree_rebuilds_avoided.load(std::memory_order_relaxed);
   s.verify_memo_hits = verify_memo_hits.load(std::memory_order_relaxed);
   s.verify_memo_misses = verify_memo_misses.load(std::memory_order_relaxed);
+  s.mont_modmuls = mont_modmuls.load(std::memory_order_relaxed);
+  s.classic_modmuls = classic_modmuls.load(std::memory_order_relaxed);
+  s.crt_signs = crt_signs.load(std::memory_order_relaxed);
+  s.classic_signs = classic_signs.load(std::memory_order_relaxed);
+  s.batch_verify_groups = batch_verify_groups.load(std::memory_order_relaxed);
+  s.batch_verify_items = batch_verify_items.load(std::memory_order_relaxed);
+  s.service_jobs = service_jobs.load(std::memory_order_relaxed);
+  s.service_flushes = service_flushes.load(std::memory_order_relaxed);
+  s.service_inline_jobs = service_inline_jobs.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -24,12 +34,22 @@ void Counters::reset() noexcept {
   scalar_blocks.store(0, std::memory_order_relaxed);
   mb_lane_blocks.store(0, std::memory_order_relaxed);
   mb_batches.store(0, std::memory_order_relaxed);
+  mb_dispatch_jobs.store(0, std::memory_order_relaxed);
   hmac_midstate_hits.store(0, std::memory_order_relaxed);
   hmac_midstate_misses.store(0, std::memory_order_relaxed);
   tree_builds.store(0, std::memory_order_relaxed);
   tree_rebuilds_avoided.store(0, std::memory_order_relaxed);
   verify_memo_hits.store(0, std::memory_order_relaxed);
   verify_memo_misses.store(0, std::memory_order_relaxed);
+  mont_modmuls.store(0, std::memory_order_relaxed);
+  classic_modmuls.store(0, std::memory_order_relaxed);
+  crt_signs.store(0, std::memory_order_relaxed);
+  classic_signs.store(0, std::memory_order_relaxed);
+  batch_verify_groups.store(0, std::memory_order_relaxed);
+  batch_verify_items.store(0, std::memory_order_relaxed);
+  service_jobs.store(0, std::memory_order_relaxed);
+  service_flushes.store(0, std::memory_order_relaxed);
+  service_inline_jobs.store(0, std::memory_order_relaxed);
 }
 
 Counters& counters() noexcept {
@@ -47,6 +67,8 @@ AccelConfig initial_config() noexcept {
     config.hmac_midstate = false;
     config.merkle_cache = false;
     config.verify_memo = false;
+    config.rsa_fast = false;
+    config.crypto_service = false;
   }
   return config;
 }
@@ -63,7 +85,14 @@ AccelConfig accel() noexcept { return config_storage(); }
 void set_accel(AccelConfig config) noexcept { config_storage() = config; }
 
 void set_accel_enabled(bool enabled) noexcept {
-  set_accel(AccelConfig{enabled, enabled, enabled, enabled});
+  AccelConfig config;
+  config.multi_lane = enabled;
+  config.hmac_midstate = enabled;
+  config.merkle_cache = enabled;
+  config.verify_memo = enabled;
+  config.rsa_fast = enabled;
+  config.crypto_service = enabled;
+  set_accel(config);
 }
 
 }  // namespace tpnr::crypto

@@ -6,7 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "crypto/bigint.h"
 #include "crypto/drbg.h"
@@ -14,9 +17,16 @@
 
 namespace tpnr::crypto {
 
+/// Cached CRT + Montgomery state for one private key (built in rsa.cpp).
+struct RsaCrtContext;
+
 struct RsaPublicKey {
   BigInt n;  ///< modulus
   BigInt e;  ///< public exponent
+
+  RsaPublicKey() = default;
+  RsaPublicKey(BigInt n_in, BigInt e_in)
+      : n(std::move(n_in)), e(std::move(e_in)) {}
 
   [[nodiscard]] std::size_t modulus_bytes() const {
     return (n.bit_length() + 7) / 8;
@@ -25,7 +35,20 @@ struct RsaPublicKey {
   [[nodiscard]] Bytes encode() const;
   static RsaPublicKey decode(BytesView data);
   /// SHA-256 of the canonical encoding; identifies the key in certificates.
+  /// Cached after the first call (copies share the cache), so hot lookups —
+  /// the verify memo keys on this — never re-encode n||e. Treat n/e as
+  /// immutable once a fingerprint has been taken.
   [[nodiscard]] Bytes fingerprint() const;
+
+  /// Shared Montgomery context for n, built on first use and cached (copies
+  /// share it) — the per-key R^2-mod-n division is paid once, not per
+  /// verify. Returns nullptr for degenerate moduli (even or < 2), which
+  /// routes verification to the classic exponentiation. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const Montgomery> mont_context() const;
+
+ private:
+  mutable std::shared_ptr<const Bytes> fp_cache_;
+  mutable std::shared_ptr<const Montgomery> mont_cache_;
 };
 
 struct RsaPrivateKey {
@@ -35,7 +58,25 @@ struct RsaPrivateKey {
   BigInt p;
   BigInt q;
 
+  RsaPrivateKey() = default;
+  RsaPrivateKey(BigInt n_in, BigInt e_in, BigInt d_in, BigInt p_in,
+                BigInt q_in)
+      : n(std::move(n_in)),
+        e(std::move(e_in)),
+        d(std::move(d_in)),
+        p(std::move(p_in)),
+        q(std::move(q_in)) {}
+
   [[nodiscard]] RsaPublicKey public_key() const { return {n, e}; }
+
+  /// CRT state (d mod p-1, d mod q-1, q^{-1} mod p, per-prime Montgomery
+  /// contexts), built on first use and cached; copies share it. Returns
+  /// nullptr for keys without valid factors (hand-built test keys), which
+  /// routes private ops to the full-width exponentiation. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const RsaCrtContext> crt_context() const;
+
+ private:
+  mutable std::shared_ptr<const RsaCrtContext> crt_cache_;
 };
 
 struct RsaKeyPair {
@@ -53,6 +94,23 @@ Bytes rsa_sign(const RsaPrivateKey& key, HashKind kind, BytesView message);
 /// throws for malformed signatures).
 bool rsa_verify(const RsaPublicKey& key, HashKind kind, BytesView message,
                 BytesView signature);
+
+/// One signature in a same-key batch for rsa_verify_many. The views must
+/// stay valid for the duration of the call.
+struct RsaVerifyItem {
+  HashKind kind = HashKind::kSha256;
+  BytesView message;
+  BytesView signature;
+};
+
+/// Verifies a batch of signatures under ONE public key, sharing a single
+/// Montgomery context across the whole group (the per-key setup — one
+/// division for R^2 mod n — is paid once instead of per signature). Each
+/// verdict is bit-identical to rsa_verify; the memo is consulted and fed
+/// per item when accel().verify_memo is on. This is the entry point for an
+/// auditor's evidence stream, TTP Resolve and fork-arbitration walks.
+std::vector<bool> rsa_verify_many(const RsaPublicKey& key,
+                                  std::span<const RsaVerifyItem> items);
 
 /// Hybrid encryption: RSA(OAEP-like) wraps a random 32-byte AEAD key, the
 /// payload is sealed under that key. Output: u16 len || wrapped key || sealed.

@@ -141,6 +141,9 @@ void hash_group(const EngineInfo& eng, std::span<const TaggedMessage> msgs,
     counters().mb_batches.fetch_add(1, std::memory_order_relaxed);
     counters().mb_lane_blocks.fetch_add(occupied * nblocks,
                                         std::memory_order_relaxed);
+    // jobs-per-dispatch: mb_dispatch_jobs / mb_batches is the lane fill
+    // rate the fleet sweep gates on (idle replay lanes don't count).
+    counters().mb_dispatch_jobs.fetch_add(occupied, std::memory_order_relaxed);
     for (std::size_t l = 0; l < occupied; ++l) {
       Bytes digest(32);
       for (int wd = 0; wd < 8; ++wd) {

@@ -24,8 +24,9 @@ std::map<Bytes, bool>& memo() {
 Bytes memo_key(const RsaPublicKey& key, HashKind kind, BytesView message,
                BytesView signature) {
   Sha256 h;
-  const Bytes pub = key.encode();
-  h.update(pub);
+  // The key's cached fingerprint: a 32-byte copy instead of re-serializing
+  // n||e (hundreds of bytes of BigInt encoding) on every lookup.
+  h.update(key.fingerprint());
   const std::uint8_t kind_byte = static_cast<std::uint8_t>(kind);
   h.update(BytesView(&kind_byte, 1));
   // Hash the (possibly large) message and signature down first so the memo
@@ -37,26 +38,40 @@ Bytes memo_key(const RsaPublicKey& key, HashKind kind, BytesView message,
 
 }  // namespace
 
+bool verify_memo_lookup(const RsaPublicKey& key, HashKind kind,
+                        BytesView message, BytesView signature, bool& result) {
+  if (!accel().verify_memo) return false;
+  Bytes id = memo_key(key, kind, message, signature);
+  std::lock_guard<std::mutex> lock(g_memo_mu);
+  auto it = memo().find(id);
+  if (it == memo().end()) return false;
+  counters().verify_memo_hits.fetch_add(1, std::memory_order_relaxed);
+  result = it->second;
+  return true;
+}
+
+void verify_memo_store(const RsaPublicKey& key, HashKind kind,
+                       BytesView message, BytesView signature, bool result) {
+  if (!accel().verify_memo) return;
+  counters().verify_memo_misses.fetch_add(1, std::memory_order_relaxed);
+  Bytes id = memo_key(key, kind, message, signature);
+  std::lock_guard<std::mutex> lock(g_memo_mu);
+  auto& m = memo();
+  if (m.size() >= kMemoCap) m.clear();
+  m.emplace(std::move(id), result);
+}
+
 bool rsa_verify_memo(const RsaPublicKey& key, HashKind kind, BytesView message,
                      BytesView signature) {
   if (!accel().verify_memo) {
     return rsa_verify(key, kind, message, signature);
   }
-  Bytes id = memo_key(key, kind, message, signature);
-  {
-    std::lock_guard<std::mutex> lock(g_memo_mu);
-    auto it = memo().find(id);
-    if (it != memo().end()) {
-      counters().verify_memo_hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
+  bool memoized = false;
+  if (verify_memo_lookup(key, kind, message, signature, memoized)) {
+    return memoized;
   }
-  counters().verify_memo_misses.fetch_add(1, std::memory_order_relaxed);
   const bool ok = rsa_verify(key, kind, message, signature);
-  std::lock_guard<std::mutex> lock(g_memo_mu);
-  auto& m = memo();
-  if (m.size() >= kMemoCap) m.clear();
-  m.emplace(std::move(id), ok);
+  verify_memo_store(key, kind, message, signature, ok);
   return ok;
 }
 

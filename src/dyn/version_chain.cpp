@@ -1,7 +1,12 @@
 #include "dyn/version_chain.h"
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include "common/serial.h"
 #include "crypto/hash.h"
+#include "crypto/rsa.h"
 #include "dyn/dyn_merkle.h"
 #include "pki/identity.h"
 
@@ -232,36 +237,74 @@ ChainWalkResult walk_chain(std::span<const SignedVersionRecord> records,
   Bytes head_hash = VersionRecord::genesis_link();
   const std::string& object = records.front().record.object_key;
 
-  for (const SignedVersionRecord& signed_rec : records) {
-    const VersionRecord& rec = signed_rec.record;
+  // Structural pass first: replay the links up to the first break, keeping
+  // each linked record's encoded bytes and countersigned message. The
+  // client signatures then run as ONE rsa_verify_many group under the
+  // client key, the countersignatures as another under the provider key —
+  // each group sharing its key's Montgomery context. The verdict is the
+  // earliest failure in original walk order (link, then client sig, then
+  // provider sig per record), exactly as the per-record walk reported it.
+  std::size_t linked = records.size();  // records that extend the chain
+  std::string link_why;
+  std::vector<Bytes> encoded(records.size());
+  std::vector<Bytes> countersigned(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const VersionRecord& rec = records[i].record;
     result.at_version = rec.version;
     std::string why;
     if (rec.object_key != object) {
-      result.status = ChainStatus::kBrokenLink;
-      result.detail = "record for a different object";
-      return result;
+      linked = i;
+      link_why = "record for a different object";
+      break;
     }
     if (!extends_head(rec, head_version, head_root, head_count, head_hash,
                       &why)) {
-      result.status = ChainStatus::kBrokenLink;
-      result.detail = std::move(why);
-      return result;
+      linked = i;
+      link_why = std::move(why);
+      break;
     }
-    if (!signed_rec.verify_client(client_key)) {
-      result.status = ChainStatus::kBadClientSig;
-      result.detail = "client signature fails on " + mutate_op_name(rec.op);
-      return result;
-    }
-    if (!signed_rec.verify_provider(provider_key)) {
-      result.status = ChainStatus::kBadProviderSig;
-      result.detail =
-          "provider countersignature fails on " + mutate_op_name(rec.op);
-      return result;
-    }
+    encoded[i] = rec.encode();
+    countersigned[i] = common::concat(
+        {BytesView(encoded[i]), BytesView(records[i].client_sig)});
     head_version = rec.version;
     head_root = rec.new_root;
     head_count = rec.chunk_count;
     head_hash = rec.hash();
+  }
+  std::vector<crypto::RsaVerifyItem> client_items(linked);
+  std::vector<crypto::RsaVerifyItem> provider_items(linked);
+  for (std::size_t i = 0; i < linked; ++i) {
+    client_items[i] = {crypto::HashKind::kSha256, BytesView(encoded[i]),
+                       BytesView(records[i].client_sig)};
+    provider_items[i] = {crypto::HashKind::kSha256,
+                         BytesView(countersigned[i]),
+                         BytesView(records[i].provider_sig)};
+  }
+  const std::vector<bool> client_ok =
+      crypto::rsa_verify_many(client_key, client_items);
+  const std::vector<bool> provider_ok =
+      crypto::rsa_verify_many(provider_key, provider_items);
+  for (std::size_t i = 0; i < linked; ++i) {
+    const VersionRecord& rec = records[i].record;
+    if (!client_ok[i]) {
+      result.status = ChainStatus::kBadClientSig;
+      result.at_version = rec.version;
+      result.detail = "client signature fails on " + mutate_op_name(rec.op);
+      return result;
+    }
+    if (!provider_ok[i]) {
+      result.status = ChainStatus::kBadProviderSig;
+      result.at_version = rec.version;
+      result.detail =
+          "provider countersignature fails on " + mutate_op_name(rec.op);
+      return result;
+    }
+  }
+  if (linked < records.size()) {
+    result.status = ChainStatus::kBrokenLink;
+    result.at_version = records[linked].record.version;
+    result.detail = std::move(link_why);
+    return result;
   }
   result.status = ChainStatus::kValid;
   result.at_version = head_version;

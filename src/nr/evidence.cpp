@@ -20,6 +20,18 @@ Bytes make_evidence(const pki::Identity& sender,
 std::optional<OpenedEvidence> open_evidence(
     const pki::Identity& recipient, const crypto::RsaPublicKey& sender_key,
     const MessageHeader& claimed_header, BytesView evidence) {
+  std::optional<OpenedEvidence> opened =
+      open_evidence_unverified(recipient, claimed_header, evidence);
+  if (!opened) return std::nullopt;
+  if (!verify_evidence_signatures(sender_key, claimed_header, *opened)) {
+    return std::nullopt;
+  }
+  return opened;
+}
+
+std::optional<OpenedEvidence> open_evidence_unverified(
+    const pki::Identity& recipient, const MessageHeader& claimed_header,
+    BytesView evidence) {
   Bytes inner;
   try {
     inner = recipient.unseal(evidence);
@@ -37,10 +49,6 @@ std::optional<OpenedEvidence> open_evidence(
     return std::nullopt;
   }
   opened.header = claimed_header;
-
-  if (!verify_evidence_signatures(sender_key, claimed_header, opened)) {
-    return std::nullopt;
-  }
   return opened;
 }
 

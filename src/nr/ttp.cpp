@@ -1,6 +1,7 @@
 #include "nr/ttp.h"
 
 #include "common/serial.h"
+#include "runtime/crypto_service.h"
 
 namespace tpnr::nr {
 
@@ -70,11 +71,39 @@ void TtpActor::handle_resolve_request(const NrMessage& message) {
   }
 
   // Genuineness: the initiator must prove the original header is theirs.
-  const crypto::RsaPublicKey* initiator_key = peer_key(h.sender);
+  // The signature check runs through the crypto batching service — resolve
+  // bursts (every client escalating after a provider failure) batch under
+  // one initiator-key group per flush — and the rest of the handler is the
+  // completion.
+  std::shared_ptr<const crypto::RsaPublicKey> initiator_key =
+      peer_key_shared(h.sender);
+  auto continue_resolve = [this, h, respondent, report,
+                           original_header_bytes](bool sig_ok) {
+    finish_resolve_request(h, respondent, report, original_header_bytes,
+                           sig_ok);
+  };
+  if (initiator_key == nullptr) {
+    continue_resolve(false);
+    return;
+  }
+  std::vector<runtime::VerifyJob> jobs(1);
+  jobs[0].key = std::move(initiator_key);
+  jobs[0].message = original_header_bytes;
+  jobs[0].signature = std::move(header_signature);
+  crypto_service().submit_verifies(
+      std::move(jobs),
+      [cont = std::move(continue_resolve)](std::vector<bool> verdicts) {
+        cont(verdicts[0]);
+      });
+}
+
+void TtpActor::finish_resolve_request(const MessageHeader& h,
+                                      const std::string& respondent,
+                                      const std::string& report,
+                                      const Bytes& original_header_bytes,
+                                      bool sig_ok) {
   MessageHeader original_header;
-  bool genuine = initiator_key != nullptr &&
-                 pki::Identity::verify(*initiator_key, original_header_bytes,
-                                       header_signature);
+  bool genuine = sig_ok;
   if (genuine) {
     try {
       original_header = MessageHeader::decode(original_header_bytes);
